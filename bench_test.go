@@ -1,0 +1,269 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md (E1–E16, A1–A3), each
+// regenerating its EXPERIMENTS.md table at reduced scale, plus
+// fine-grained operator benchmarks for the individual algorithms of the
+// paper's figures. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/dirbench prints the full-scale tables.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plist"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// tiny is the benchmark-sized preset: one size point per experiment.
+var tiny = bench.Preset{
+	Linear:   []int{1500},
+	Super:    []int{1000},
+	Cross:    []int{300},
+	AcSizes:  []int{1000},
+	Dist:     []int{10},
+	IndexN:   200,
+	AppScale: 40,
+	StackN:   120,
+}
+
+func runSpec(b *testing.B, id string) {
+	b.Helper()
+	for _, s := range bench.Specs {
+		if s.ID != id {
+			continue
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := s.Run(tiny)
+			if len(t.Rows) == 0 {
+				b.Fatalf("%s produced no rows", id)
+			}
+		}
+		return
+	}
+	b.Fatalf("no experiment %q", id)
+}
+
+func BenchmarkE1BooleanMerge(b *testing.B)  { runSpec(b, "E1") }
+func BenchmarkE2HSPC(b *testing.B)          { runSpec(b, "E2") }
+func BenchmarkE3HSAD(b *testing.B)          { runSpec(b, "E3") }
+func BenchmarkE4HSADc(b *testing.B)         { runSpec(b, "E4") }
+func BenchmarkE5SimpleAgg(b *testing.B)     { runSpec(b, "E5") }
+func BenchmarkE6HSAgg(b *testing.B)         { runSpec(b, "E6") }
+func BenchmarkE7ERDV(b *testing.B)          { runSpec(b, "E7") }
+func BenchmarkE8PipelineL2(b *testing.B)    { runSpec(b, "E8") }
+func BenchmarkE9PipelineL3(b *testing.B)    { runSpec(b, "E9") }
+func BenchmarkE10NaiveVsStack(b *testing.B) { runSpec(b, "E10") }
+func BenchmarkE11Hierarchy(b *testing.B)    { runSpec(b, "E11") }
+func BenchmarkE12AcEncodesP(b *testing.B)   { runSpec(b, "E12") }
+func BenchmarkE14Distributed(b *testing.B)  { runSpec(b, "E14") }
+func BenchmarkE15AtomicIndex(b *testing.B)  { runSpec(b, "E15") }
+func BenchmarkE16Apps(b *testing.B)         { runSpec(b, "E16") }
+func BenchmarkE17Operators(b *testing.B)    { runSpec(b, "E17") }
+
+func BenchmarkAblationStackWindow(b *testing.B) { runSpec(b, "A1") }
+func BenchmarkAblationBlockSize(b *testing.B)   { runSpec(b, "A2") }
+func BenchmarkAblationResort(b *testing.B)      { runSpec(b, "A3") }
+func BenchmarkAblationPlanner(b *testing.B)     { runSpec(b, "A4") }
+
+// ---- fine-grained operator benchmarks -------------------------------
+
+type opEnv struct {
+	dir *core.Directory
+	eng *engine.Engine
+	ls  []*plist.List
+}
+
+func newOpEnv(b *testing.B, atoms ...string) *opEnv {
+	b.Helper()
+	in := workload.RandomForest(workload.ForestConfig{N: 3000, Seed: 99})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &opEnv{dir: dir, eng: dir.Engine()}
+	for _, a := range atoms {
+		l, err := dir.Engine().Store().Eval(query.MustParse(a).(*query.Atomic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.ls = append(env.ls, l)
+	}
+	return env
+}
+
+func (e *opEnv) run(b *testing.B, fn func() (*plist.List, error)) {
+	b.Helper()
+	before := e.dir.Disk().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := out.Free(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	io := e.dir.Disk().Stats().Sub(before).IO()
+	b.ReportMetric(float64(io)/float64(b.N), "pageIO/op")
+}
+
+func BenchmarkOpBooleanAnd(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? val<4)")
+	e.run(b, func() (*plist.List, error) { return e.eng.EvalBool(query.OpAnd, e.ls[0], e.ls[1]) })
+}
+
+func BenchmarkOpHSPCChildren(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)")
+	e.run(b, func() (*plist.List, error) { return e.eng.ComputeHSPC(query.OpChildren, e.ls[0], e.ls[1]) })
+}
+
+func BenchmarkOpHSADAncestors(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)")
+	e.run(b, func() (*plist.List, error) { return e.eng.ComputeHSAD(query.OpAncestors, e.ls[0], e.ls[1]) })
+}
+
+func BenchmarkOpHSADcDescendants(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)", "( ? sub ? tag=c)")
+	e.run(b, func() (*plist.List, error) {
+		return e.eng.ComputeHSADc(query.OpDescendantsC, e.ls[0], e.ls[1], e.ls[2])
+	})
+}
+
+func BenchmarkOpHSAggMaxCount(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)")
+	sel, err := query.ParseAggSel("count($2) = max(count($2))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.run(b, func() (*plist.List, error) {
+		return e.eng.ComputeHSAgg(query.OpDescendants, e.ls[0], e.ls[1], nil, sel)
+	})
+}
+
+func BenchmarkOpSimpleAgg(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? objectClass=node)")
+	sel, err := query.ParseAggSel("count(val) > 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.run(b, func() (*plist.List, error) { return e.eng.EvalSimpleAgg(e.ls[0], sel) })
+}
+
+func BenchmarkOpERDV(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)")
+	e.run(b, func() (*plist.List, error) {
+		return e.eng.ComputeERAggDV(e.ls[0], e.ls[1], "ref", nil)
+	})
+}
+
+func BenchmarkOpERVD(b *testing.B) {
+	e := newOpEnv(b, "( ? sub ? tag=a)", "( ? sub ? tag=b)")
+	e.run(b, func() (*plist.List, error) {
+		return e.eng.ComputeERAggVD(e.ls[0], e.ls[1], "ref", nil)
+	})
+}
+
+func BenchmarkOpNaiveHier(b *testing.B) {
+	in := workload.RandomForest(workload.ForestConfig{N: 400, Seed: 99})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &opEnv{dir: dir, eng: dir.Engine()}
+	for _, a := range []string{"( ? sub ? tag=a)", "( ? sub ? tag=b)"} {
+		l, err := dir.Engine().Store().Eval(query.MustParse(a).(*query.Atomic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.ls = append(e.ls, l)
+	}
+	e.run(b, func() (*plist.List, error) {
+		return e.eng.NaiveHier(query.OpAncestors, e.ls[0], e.ls[1], nil, nil)
+	})
+}
+
+func BenchmarkFullQueryL2(b *testing.B) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 300, Seed: 99})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse(`(c (dc=com ? sub ? objectClass=TOPSSubscriber)
+	                         (dc=com ? sub ? objectClass=QHP)
+	                         count($2) >= 3)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := dir.Engine().Eval(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Free(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullQueryL3(b *testing.B) {
+	in := workload.GenQoS(workload.QoSConfig{Domains: 2, PoliciesPerDomain: 100, Seed: 99})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse(`(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                          (dc=att, dc=com ? sub ? objectClass=trafficProfile)
+	                          SLATPRef
+	                          count($2) >= 1)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := dir.Engine().Eval(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Free(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAtomicIndexedEval(b *testing.B) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 500, Seed: 99})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse("(dc=com ? sub ? surName=jagadish)").(*query.Atomic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := dir.Engine().Store().Eval(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Free(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	text := `(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)
+	            (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                   (& (dc=att, dc=com ? sub ? sourcePort=25)
+	                      (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+	                   SLATPRef)
+	               min(SLARulePriority)=min(min(SLARulePriority)))
+	            SLADSActRef)`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

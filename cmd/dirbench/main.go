@@ -1,0 +1,51 @@
+// Command dirbench runs the full reproduction-experiment suite of
+// DESIGN.md — every theorem, algorithm figure and worked example of
+// "Querying Network Directories" — and prints the measured tables
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dirbench            # full preset
+//	dirbench -quick     # CI-sized preset
+//	dirbench -only E10  # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run the CI-sized preset")
+		only  = flag.String("only", "", "run a single experiment (e.g. E7, A2)")
+	)
+	flag.Parse()
+
+	preset := bench.Full
+	name := "full"
+	if *quick {
+		preset = bench.Quick
+		name = "quick"
+	}
+	fmt.Printf("dirbench: preset %s, started %s\n\n", name, time.Now().Format(time.RFC3339))
+	start := time.Now()
+	shown := 0
+	for _, spec := range bench.Specs {
+		if *only != "" && !strings.EqualFold(spec.ID, *only) {
+			continue
+		}
+		spec.Run(preset).Fprint(os.Stdout)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintf(os.Stderr, "dirbench: no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("dirbench: %d tables in %s\n", shown, time.Since(start).Round(time.Millisecond))
+}

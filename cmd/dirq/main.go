@@ -1,0 +1,214 @@
+// Command dirq loads or generates a network directory and evaluates
+// queries written in the surface syntax of "Querying Network
+// Directories" (L0–L3), printing the matching entries and the page I/O
+// the evaluation performed.
+//
+// Usage:
+//
+//	dirq -gen paper -q '(dc=att, dc=com ? sub ? objectClass=trafficProfile)'
+//	dirq -ldif dir.ldif -q '(c (dc=com ? sub ? objectClass=TOPSSubscriber) (dc=com ? sub ? objectClass=QHP))'
+//	dirq -gen tops -n 100 -ldap '(dc=com ? sub ? (&(objectClass=QHP)(priority<=1)))'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/qos"
+	"repro/internal/core"
+	"repro/internal/ldif"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		ldifPath    = flag.String("ldif", "", "load the directory from this LDIF file")
+		gen         = flag.String("gen", "", "generate a directory: paper | forest | qos | tops")
+		n           = flag.Int("n", 200, "size parameter for generated directories")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		queryStr    = flag.String("q", "", "L0..L3 query to evaluate")
+		ldapStr     = flag.String("ldap", "", "LDAP baseline query to evaluate")
+		noIndex     = flag.Bool("noindex", false, "disable attribute indexes (scan-only atomic evaluation)")
+		optimize    = flag.Bool("optimize", false, "run the algebraic planner before evaluation")
+		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
+		explain     = flag.Bool("explain", false, "print the query plan (language, rewrites, access paths) before evaluating")
+		audit       = flag.String("audit", "", "audit the QoS policies of this domain DN for conflicts")
+		quiet       = flag.Bool("quiet", false, "print only the count and I/O statistics")
+		openSnap    = flag.String("open", "", "open a directory snapshot instead of generating/loading")
+		saveSnap    = flag.String("save", "", "save the directory as a snapshot to this path")
+	)
+	flag.Parse()
+
+	var dir *core.Directory
+	if *openSnap != "" {
+		f, err := os.Open(*openSnap)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = core.OpenSnapshot(f, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		in, err := loadInstance(*ldifPath, *gen, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = core.Open(in, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("directory: %d entries\n", dir.Count())
+
+	if *saveSnap != "" {
+		f, err := os.Create(*saveSnap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dir.SaveSnapshot(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot saved to %s\n", *saveSnap)
+		if *queryStr == "" && *ldapStr == "" && *audit == "" && !*interactive {
+			return
+		}
+	}
+
+	if *audit != "" {
+		conflicts, err := qos.Audit(dir, *audit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range conflicts {
+			fmt.Printf("conflict: %s vs %s — %s\n", c.P1.DN().RDN(), c.P2.DN().RDN(), c.Reason)
+		}
+		fmt.Printf("%d potential conflicts in %s\n", len(conflicts), *audit)
+		if *queryStr == "" && *ldapStr == "" {
+			return
+		}
+	}
+
+	if *explain && *queryStr != "" {
+		ex, err := dir.ExplainQuery(*queryStr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ex)
+	}
+
+	switch {
+	case *queryStr != "":
+		runQuery(dir, *queryStr, false, *quiet)
+	case *ldapStr != "":
+		runQuery(dir, *ldapStr, true, *quiet)
+	case *interactive:
+		repl(dir, *quiet)
+	default:
+		fmt.Fprintln(os.Stderr, "dirq: provide -q, -ldap, or -i")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runQuery(dir *core.Directory, text string, asLDAP, quiet bool) {
+	var res *core.Result
+	var err error
+	if asLDAP {
+		res, err = dir.SearchLDAP(text)
+	} else {
+		var lang query.Language
+		if lang, err = core.Language(text); err == nil {
+			fmt.Printf("query language: %s\n", lang)
+			res, err = dir.Search(text)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		for _, e := range res.Entries {
+			fmt.Println(e)
+			fmt.Println()
+		}
+	}
+	fmt.Printf("%d entries, I/O: %s (total %d page accesses)\n",
+		len(res.Entries), res.IO, res.IO.IO())
+}
+
+// repl reads one query per line from stdin. Lines starting with "ldap "
+// use the baseline language; everything else is parsed as L0..L3.
+func repl(dir *core.Directory, quiet bool) {
+	fmt.Println(`dirq: one query per line ("ldap (…)" for the baseline, ctrl-D to exit)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		asLDAP := false
+		if strings.HasPrefix(line, "ldap ") {
+			asLDAP, line = true, strings.TrimPrefix(line, "ldap ")
+		}
+		var res *core.Result
+		var err error
+		if asLDAP {
+			res, err = dir.SearchLDAP(line)
+		} else {
+			res, err = dir.Search(line)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if !quiet {
+			for _, e := range res.Entries {
+				fmt.Println("  " + e.DN().String())
+			}
+		}
+		fmt.Printf("%d entries, %d page I/Os\n", len(res.Entries), res.IO.IO())
+	}
+}
+
+func loadInstance(path, gen string, n int, seed int64) (*model.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ldif.Read(f, nil)
+	}
+	switch gen {
+	case "", "paper":
+		return workload.PaperInstance(), nil
+	case "forest":
+		return workload.RandomForest(workload.ForestConfig{N: n, Seed: seed}), nil
+	case "qos":
+		return workload.GenQoS(workload.QoSConfig{Domains: 1 + n/50, PoliciesPerDomain: 50, Seed: seed}), nil
+	case "tops":
+		return workload.GenTOPS(workload.TOPSConfig{Subscribers: n, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("dirq: unknown generator %q", gen)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dirq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command dirserve serves a network directory subtree over TCP using
+// the line protocol of internal/dirserver, the substrate of the
+// Section 8.3 distributed evaluation.
+//
+// Usage:
+//
+//	dirserve -ldif dir.ldif -addr 127.0.0.1:7001
+//	dirserve -gen tops -n 300 -addr 127.0.0.1:0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/dirserver"
+	"repro/internal/ldif"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		ldifPath = flag.String("ldif", "", "load the served directory from this LDIF file")
+		snapPath = flag.String("open", "", "serve a directory snapshot (as written by dirq -save)")
+		gen      = flag.String("gen", "paper", "or generate: paper | forest | qos | tops")
+		n        = flag.Int("n", 200, "size parameter for generated directories")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+	)
+	flag.Parse()
+
+	if *snapPath != "" {
+		f, err := os.Open(*snapPath)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err := core.OpenSnapshot(f, core.Options{})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		serve(dir, *addr)
+		return
+	}
+
+	var in *model.Instance
+	var err error
+	if *ldifPath != "" {
+		f, ferr := os.Open(*ldifPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		in, err = ldif.Read(f, nil)
+		f.Close()
+	} else {
+		switch *gen {
+		case "paper":
+			in = workload.PaperInstance()
+		case "forest":
+			in = workload.RandomForest(workload.ForestConfig{N: *n, Seed: *seed})
+		case "qos":
+			in = workload.GenQoS(workload.QoSConfig{Domains: 1 + *n/50, PoliciesPerDomain: 50, Seed: *seed})
+		case "tops":
+			in = workload.GenTOPS(workload.TOPSConfig{Subscribers: *n, Seed: *seed})
+		default:
+			err = fmt.Errorf("unknown generator %q", *gen)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	serve(dir, *addr)
+}
+
+func serve(dir *core.Directory, addr string) {
+	srv, err := dirserver.Serve(dir, addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dirserve: %d entries on %s\n", dir.Count(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dirserve: shutting down")
+	_ = srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dirserve:", err)
+	os.Exit(1)
+}

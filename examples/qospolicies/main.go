@@ -1,0 +1,89 @@
+// QoS policy administration (Example 2.1 of the paper): a policy
+// enforcement point — a router at the edge of the research subnet —
+// consults the directory for each flow it sees. The directory holds
+// SLAPolicyRules with priorities and exceptions (Figure 12); the
+// enforcement answer is the set of actions of the matching policies
+// after priority and exception conflict resolution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/qos"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const domain = "dc=research, dc=att, dc=com"
+
+	packets := []struct {
+		label string
+		p     qos.Packet
+	}{
+		{"weekend data flow from the lsplitOff range", qos.Packet{
+			SourceAddress: "204.178.16.5", DestinationPort: 8080,
+			Time: 19980704120000, DayOfWeek: 6}},
+		{"weekend SMTP from the same range (mail exception)", qos.Packet{
+			SourceAddress: "204.178.16.5", DestinationPort: 25,
+			Time: 19980704120000, DayOfWeek: 6}},
+		{"weekend FTP from the same range (fatt exception)", qos.Packet{
+			SourceAddress: "204.178.16.5", DestinationPort: 21,
+			Time: 19980704120000, DayOfWeek: 6}},
+		{"Tuesday traffic (outside dso's validity periods)", qos.Packet{
+			SourceAddress: "204.178.16.5", DestinationPort: 8080,
+			Time: 19980707100000, DayOfWeek: 2}},
+		{"traffic from an unrelated source", qos.Packet{
+			SourceAddress: "9.9.9.9", DestinationPort: 80,
+			Time: 19980704120000, DayOfWeek: 6}},
+	}
+
+	for _, c := range packets {
+		d, err := qos.Match(dir, domain, c.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("packet: %s\n", c.label)
+		if len(d.Policies) == 0 {
+			fmt.Println("    no policy applies (default forwarding)")
+		}
+		for _, pol := range d.Policies {
+			fmt.Printf("    policy %s\n", pol.DN().RDN())
+		}
+		for _, act := range d.Actions {
+			perm, _ := act.First("DSPermission")
+			fmt.Printf("    action %s -> %s\n", act.DN().RDN(), perm)
+		}
+		if d.Conflict {
+			fmt.Println("    WARNING: conflicting actions — directory population should have resolved this")
+		}
+		fmt.Println()
+	}
+
+	// The administrator's own maintenance queries, straight from the
+	// paper: which policies carry more than one validity period, and
+	// what does the highest-priority SMTP-governing policy do?
+	res, err := dir.Search(`(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                           count(SLAPVPRef) > 1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policies with >1 validity period: %v\n", res.DNs())
+
+	res, err = dir.Search(`(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)
+	                           (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                                  (& (dc=att, dc=com ? sub ? destinationPort=25)
+	                                     (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+	                                  SLATPRef)
+	                              min(SLARulePriority)=min(min(SLARulePriority)))
+	                           SLADSActRef)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("action of the top-priority SMTP policy: %v\n", res.DNs())
+}

@@ -1,0 +1,259 @@
+package qos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Conflict is a pair of policies that can both apply to some packet at
+// the same priority while specifying different actions, with neither
+// declared an exception of the other — the ambiguity Section 2.1 says
+// "must be resolved before populating the directory".
+type Conflict struct {
+	P1, P2 *model.Entry
+	Reason string
+}
+
+// Audit scans one administrative domain's policies and reports every
+// potential conflict. It over-approximates conservatively: two policies
+// are flagged if some pair of their traffic profiles can match a common
+// packet, their validity periods can overlap, their priorities are
+// equal, their action references differ, and neither references the
+// other through SLAExceptionRef.
+func Audit(dir *core.Directory, domain string) ([]Conflict, error) {
+	policies, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=SLAPolicyRules)", domain))
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=trafficProfile)", domain))
+	if err != nil {
+		return nil, err
+	}
+	periods, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=policyValidityPeriod)", domain))
+	if err != nil {
+		return nil, err
+	}
+	tpByKey := map[string]*model.Entry{}
+	for _, tp := range profiles.Entries {
+		tpByKey[tp.Key()] = tp
+	}
+	pvpByKey := map[string]*model.Entry{}
+	for _, pvp := range periods.Entries {
+		pvpByKey[pvp.Key()] = pvp
+	}
+
+	var out []Conflict
+	for i, p1 := range policies.Entries {
+		for _, p2 := range policies.Entries[i+1:] {
+			if reason, ok := conflictsWith(p1, p2, tpByKey, pvpByKey); ok {
+				out = append(out, Conflict{P1: p1, P2: p2, Reason: reason})
+			}
+		}
+	}
+	return out, nil
+}
+
+func conflictsWith(p1, p2 *model.Entry, tps, pvps map[string]*model.Entry) (string, bool) {
+	pr1, ok1 := p1.First("SLARulePriority")
+	pr2, ok2 := p2.First("SLARulePriority")
+	if !ok1 || !ok2 || pr1.Int() != pr2.Int() {
+		return "", false // priorities order them (the first resolution mechanism)
+	}
+	if refersTo(p1, "SLAExceptionRef", p2) || refersTo(p2, "SLAExceptionRef", p1) {
+		return "", false // exception relation resolves the overlap
+	}
+	if sameRefSet(p1, p2, "SLADSActRef") {
+		return "", false // identical treatment: no ambiguity
+	}
+	if !refsOverlap(p1, p2, "SLATPRef", tps, profilesOverlap) {
+		return "", false
+	}
+	if !refsOverlap(p1, p2, "SLAPVPRef", pvps, periodsOverlap) {
+		return "", false
+	}
+	return fmt.Sprintf("equal priority %d, overlapping profiles and periods, different actions", pr1.Int()), true
+}
+
+func refersTo(p *model.Entry, attr string, target *model.Entry) bool {
+	for _, v := range p.Values(attr) {
+		if v.Kind() == model.KindDN && v.DN().Key() == target.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func sameRefSet(p1, p2 *model.Entry, attr string) bool {
+	set := func(p *model.Entry) map[string]bool {
+		out := map[string]bool{}
+		for _, v := range p.Values(attr) {
+			if v.Kind() == model.KindDN {
+				out[v.DN().Key()] = true
+			}
+		}
+		return out
+	}
+	s1, s2 := set(p1), set(p2)
+	if len(s1) != len(s2) {
+		return false
+	}
+	for k := range s1 {
+		if !s2[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// refsOverlap reports whether some pair of referenced entries (one from
+// each policy) can apply simultaneously. Policies without any reference
+// of the given kind are unconstrained and overlap with everything.
+func refsOverlap(p1, p2 *model.Entry, attr string, byKey map[string]*model.Entry,
+	overlap func(a, b *model.Entry) bool) bool {
+	r1 := resolvedRefs(p1, attr, byKey)
+	r2 := resolvedRefs(p2, attr, byKey)
+	if len(r1) == 0 || len(r2) == 0 {
+		return true
+	}
+	for _, a := range r1 {
+		for _, b := range r2 {
+			if overlap(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func resolvedRefs(p *model.Entry, attr string, byKey map[string]*model.Entry) []*model.Entry {
+	var out []*model.Entry
+	for _, v := range p.Values(attr) {
+		if v.Kind() != model.KindDN {
+			continue
+		}
+		if e, ok := byKey[v.DN().Key()]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// profilesOverlap reports whether two traffic profiles can match a
+// common packet.
+func profilesOverlap(a, b *model.Entry) bool {
+	for _, attr := range []string{"SourceAddress", "DestinationAddress"} {
+		if !patternsOverlap(a.Values(attr), b.Values(attr)) {
+			return false
+		}
+	}
+	for _, attr := range []string{"sourcePort", "destinationPort", "protocolNumber"} {
+		if !intSetsOverlap(a.Values(attr), b.Values(attr)) {
+			return false
+		}
+	}
+	return true
+}
+
+func patternsOverlap(as, bs []model.Value) bool {
+	if len(as) == 0 || len(bs) == 0 {
+		return true // unconstrained
+	}
+	for _, a := range as {
+		for _, b := range bs {
+			if WildcardsIntersect(a.Str(), b.Str()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func intSetsOverlap(as, bs []model.Value) bool {
+	if len(as) == 0 || len(bs) == 0 {
+		return true
+	}
+	for _, a := range as {
+		for _, b := range bs {
+			if a.Int() == b.Int() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// periodsOverlap reports whether two validity periods can cover a
+// common instant.
+func periodsOverlap(a, b *model.Entry) bool {
+	aStart, aEnd := periodBounds(a)
+	bStart, bEnd := periodBounds(b)
+	if aStart > bEnd || bStart > aEnd {
+		return false
+	}
+	return intSetsOverlap(a.Values("PVDayOfWeek"), b.Values("PVDayOfWeek"))
+}
+
+func periodBounds(e *model.Entry) (start, end int64) {
+	start, end = 0, 1<<62
+	if v, ok := e.First("PVStartTime"); ok {
+		start = v.Int()
+	}
+	if v, ok := e.First("PVEndTime"); ok {
+		end = v.Int()
+	}
+	return start, end
+}
+
+// WildcardsIntersect reports whether two '*' wildcard patterns can both
+// match some common string: the standard product construction over the
+// two patterns, memoized.
+func WildcardsIntersect(p1, p2 string) bool {
+	type state struct{ i, j int }
+	memo := map[state]int8{} // 0 unknown, 1 true, 2 false
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if i == len(p1) && j == len(p2) {
+			return true
+		}
+		s := state{i, j}
+		if v := memo[s]; v != 0 {
+			return v == 1
+		}
+		memo[s] = 2
+		ok := false
+		switch {
+		case i < len(p1) && p1[i] == '*':
+			// '*' consumes nothing, or one symbol that p2 must also
+			// produce (a literal of p2, or p2's own '*').
+			ok = rec(i+1, j)
+			if !ok && j < len(p2) {
+				if p2[j] == '*' {
+					ok = rec(i, j+1) || rec(i+1, j+1)
+				} else {
+					ok = rec(i, j+1)
+				}
+			}
+		case j < len(p2) && p2[j] == '*':
+			ok = rec(i, j+1) || (i < len(p1) && rec(i+1, j))
+		case i < len(p1) && j < len(p2) && p1[i] == p2[j]:
+			ok = rec(i+1, j+1)
+		}
+		if ok {
+			memo[s] = 1
+		}
+		return ok
+	}
+	// Fast path: identical patterns always intersect (match themselves
+	// with '*' as empty) unless they contain '*' vs literal mismatches,
+	// handled by the recursion anyway.
+	if p1 == p2 {
+		return true
+	}
+	if !strings.Contains(p1, "*") && !strings.Contains(p2, "*") {
+		return p1 == p2
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,248 @@
+// Package qos implements the Quality-of-Service enforcement lookup of
+// Example 2.1 of "Querying Network Directories": a policy enforcement
+// entity (host, router, firewall, proxy) presents a packet profile and
+// the current time, and receives the actions of the matching policies
+// such that (a) no higher-priority policy applies to the packet, and
+// (b) the selected policies have no same-priority exceptions that apply.
+//
+// The candidate sets are retrieved with directory queries over the
+// Figure 12 schema; profile/period matching and the priority/exception
+// conflict-resolution of Chaudhury et al. [11] are applied app-side.
+package qos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/model"
+)
+
+// Packet is the profile an enforcement entity presents: the packet's
+// addressing 5-tuple plus the current time.
+type Packet struct {
+	SourceAddress      string
+	DestinationAddress string
+	SourcePort         int64
+	DestinationPort    int64
+	Protocol           int64
+	// Time is yyyymmddhhmmss, the format of PVStartTime/PVEndTime.
+	Time int64
+	// DayOfWeek is 1..7, matched against PVDayOfWeek.
+	DayOfWeek int64
+}
+
+// Decision is the enforcement answer: the selected policies and the
+// distinct actions they specify.
+type Decision struct {
+	Policies []*model.Entry
+	Actions  []*model.Entry
+	// Conflict is true when the selected policies specify more than one
+	// distinct action — the "policy conflict" of Section 2.1 that should
+	// have been resolved before populating the directory.
+	Conflict bool
+}
+
+// Match answers one enforcement query against the policies of the given
+// administrative domain (a DN such as "dc=dom0, dc=att, dc=com").
+func Match(dir *core.Directory, domain string, p Packet) (*Decision, error) {
+	// Candidate sets, one atomic query each (Section 2.1: policies are
+	// grouped by administrative domain).
+	policies, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=SLAPolicyRules)", domain))
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=trafficProfile)", domain))
+	if err != nil {
+		return nil, err
+	}
+	periods, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=policyValidityPeriod)", domain))
+	if err != nil {
+		return nil, err
+	}
+	actions, err := dir.Search(fmt.Sprintf("(%s ? sub ? objectClass=SLADSAction)", domain))
+	if err != nil {
+		return nil, err
+	}
+
+	matchingTP := map[string]bool{}
+	for _, tp := range profiles.Entries {
+		if profileMatches(tp, p) {
+			matchingTP[tp.Key()] = true
+		}
+	}
+	matchingPVP := map[string]bool{}
+	for _, pvp := range periods.Entries {
+		if periodCovers(pvp, p) {
+			matchingPVP[pvp.Key()] = true
+		}
+	}
+	byKey := map[string]*model.Entry{}
+	for _, pol := range policies.Entries {
+		byKey[pol.Key()] = pol
+	}
+
+	applies := func(pol *model.Entry) bool {
+		// A policy applies if some referenced profile matches the packet
+		// (the dso policy's two SLATPRefs are alternatives, Example 3.1)
+		// and, when it names validity periods, some period covers now.
+		tpOK := false
+		for _, ref := range pol.Values("SLATPRef") {
+			if ref.Kind() == model.KindDN && matchingTP[ref.DN().Key()] {
+				tpOK = true
+				break
+			}
+		}
+		if !tpOK {
+			return false
+		}
+		pvpRefs := pol.Values("SLAPVPRef")
+		if len(pvpRefs) == 0 {
+			return true
+		}
+		for _, ref := range pvpRefs {
+			if ref.Kind() == model.KindDN && matchingPVP[ref.DN().Key()] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var matching []*model.Entry
+	matchingSet := map[string]bool{}
+	for _, pol := range policies.Entries {
+		if applies(pol) {
+			matching = append(matching, pol)
+			matchingSet[pol.Key()] = true
+		}
+	}
+	if len(matching) == 0 {
+		return &Decision{}, nil
+	}
+
+	// (a) Highest priority wins: the smallest SLARulePriority value
+	// among the applying policies.
+	best := int64(1<<62 - 1)
+	for _, pol := range matching {
+		if pr, ok := pol.First("SLARulePriority"); ok && pr.Int() < best {
+			best = pr.Int()
+		}
+	}
+	var selected []*model.Entry
+	for _, pol := range matching {
+		pr, ok := pol.First("SLARulePriority")
+		if !ok || pr.Int() != best {
+			continue
+		}
+		// (b) Drop the policy if one of its exceptions, of the same
+		// priority, also applies to this packet: the exception takes
+		// over in the region of overlap.
+		excepted := false
+		for _, ref := range pol.Values("SLAExceptionRef") {
+			if ref.Kind() != model.KindDN {
+				continue
+			}
+			exc, ok := byKey[ref.DN().Key()]
+			if !ok || !matchingSet[exc.Key()] {
+				continue
+			}
+			if epr, ok := exc.First("SLARulePriority"); ok && epr.Int() == best {
+				excepted = true
+				break
+			}
+		}
+		if !excepted {
+			selected = append(selected, pol)
+		}
+	}
+
+	d := &Decision{Policies: selected}
+	actByKey := map[string]*model.Entry{}
+	for _, a := range actions.Entries {
+		actByKey[a.Key()] = a
+	}
+	seen := map[string]bool{}
+	for _, pol := range selected {
+		for _, ref := range pol.Values("SLADSActRef") {
+			if ref.Kind() != model.KindDN {
+				continue
+			}
+			k := ref.DN().Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if a, ok := actByKey[k]; ok {
+				d.Actions = append(d.Actions, a)
+			}
+		}
+	}
+	d.Conflict = len(d.Actions) > 1
+	return d, nil
+}
+
+// profileMatches tests a packet against one trafficProfile entry: every
+// attribute the profile specifies must match (addresses by wildcard,
+// ports and protocol exactly).
+func profileMatches(tp *model.Entry, p Packet) bool {
+	if !wildcardAttr(tp, "SourceAddress", p.SourceAddress) {
+		return false
+	}
+	if !wildcardAttr(tp, "DestinationAddress", p.DestinationAddress) {
+		return false
+	}
+	if !intAttr(tp, "sourcePort", p.SourcePort) {
+		return false
+	}
+	if !intAttr(tp, "destinationPort", p.DestinationPort) {
+		return false
+	}
+	return intAttr(tp, "protocolNumber", p.Protocol)
+}
+
+func wildcardAttr(e *model.Entry, attr, got string) bool {
+	vals := e.Values(attr)
+	if len(vals) == 0 {
+		return true // unconstrained
+	}
+	for _, v := range vals {
+		if filter.WildcardMatch(strings.Split(v.Str(), "*"), got) {
+			return true
+		}
+	}
+	return false
+}
+
+func intAttr(e *model.Entry, attr string, got int64) bool {
+	vals := e.Values(attr)
+	if len(vals) == 0 {
+		return true
+	}
+	for _, v := range vals {
+		if v.Int() == got {
+			return true
+		}
+	}
+	return false
+}
+
+// periodCovers tests the packet time against one policyValidityPeriod.
+func periodCovers(pvp *model.Entry, p Packet) bool {
+	if st, ok := pvp.First("PVStartTime"); ok && p.Time < st.Int() {
+		return false
+	}
+	if et, ok := pvp.First("PVEndTime"); ok && p.Time > et.Int() {
+		return false
+	}
+	days := pvp.Values("PVDayOfWeek")
+	if len(days) == 0 {
+		return true
+	}
+	for _, d := range days {
+		if d.Int() == p.DayOfWeek {
+			return true
+		}
+	}
+	return false
+}

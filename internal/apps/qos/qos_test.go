@@ -1,0 +1,237 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func paperDir(t *testing.T) *core.Directory {
+	t.Helper()
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const dom = "dc=research, dc=att, dc=com"
+
+func TestDsoPolicyDeniesWeekendTraffic(t *testing.T) {
+	// Section 2.1 / Example 3.1: data traffic from 204.178.16.* during a
+	// 1998 weekend is denied by the dso policy.
+	dir := paperDir(t)
+	d, err := Match(dir, dom, Packet{
+		SourceAddress:      "204.178.16.5",
+		DestinationAddress: "10.0.0.1",
+		SourcePort:         1234,
+		DestinationPort:    8080,
+		Time:               19980704120000, // a Saturday in 1998
+		DayOfWeek:          6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Policies) != 1 || d.Policies[0].DN().RDN().String() != "SLAPolicyName=dso" {
+		t.Fatalf("policies: %v", d.Policies)
+	}
+	if len(d.Actions) != 1 {
+		t.Fatalf("actions: %d", len(d.Actions))
+	}
+	perm, _ := d.Actions[0].First("DSPermission")
+	if perm.Str() != "Deny" {
+		t.Errorf("action = %s, want Deny", perm.Str())
+	}
+	if d.Conflict {
+		t.Error("single action must not be a conflict")
+	}
+}
+
+func TestExceptionOverridesPolicy(t *testing.T) {
+	// SMTP traffic from the same range matches both dso and its
+	// exception mail (same priority): the exception applies, dso is
+	// suppressed, and the traffic gets bestEffort instead of Deny.
+	dir := paperDir(t)
+	d, err := Match(dir, dom, Packet{
+		SourceAddress:   "204.178.16.5",
+		DestinationPort: 25,
+		Time:            19980704120000,
+		DayOfWeek:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range d.Policies {
+		names[p.DN().RDN().String()] = true
+	}
+	if names["SLAPolicyName=dso"] {
+		t.Error("dso must be suppressed by its matching exception")
+	}
+	if !names["SLAPolicyName=mail"] {
+		t.Errorf("mail exception must be selected: %v", names)
+	}
+	if len(d.Actions) != 1 {
+		t.Fatalf("actions: %d", len(d.Actions))
+	}
+	perm, _ := d.Actions[0].First("DSPermission")
+	if perm.Str() != "Permit" {
+		t.Errorf("action = %s, want Permit (bestEffort)", perm.Str())
+	}
+}
+
+func TestTimeOutsideValidity(t *testing.T) {
+	// A weekday outside the validity periods: dso does not apply, but
+	// the exception policies (no PVP refs: always valid) still do.
+	dir := paperDir(t)
+	d, err := Match(dir, dom, Packet{
+		SourceAddress:   "204.178.16.5",
+		DestinationPort: 9999,
+		Time:            19980707120000, // Tuesday
+		DayOfWeek:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Policies {
+		if p.DN().RDN().String() == "SLAPolicyName=dso" {
+			t.Error("dso must not apply outside its validity periods")
+		}
+	}
+}
+
+func TestNonMatchingSource(t *testing.T) {
+	dir := paperDir(t)
+	d, err := Match(dir, dom, Packet{
+		SourceAddress: "9.9.9.9",
+		Time:          19980704120000,
+		DayOfWeek:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Policies) != 0 {
+		t.Errorf("no profile matches 9.9.9.9, got %d policies", len(d.Policies))
+	}
+}
+
+func TestPriorityWinsOverLowerPriority(t *testing.T) {
+	// Build a tiny domain with two applying policies at different
+	// priorities: only the numerically smaller one is selected.
+	b := core.NewBuilder(workload.PaperInstance().Schema().Clone())
+	for _, dn := range []string{
+		"dc=com", "dc=x, dc=com",
+	} {
+		b.MustAdd(dn, "dcObject")
+	}
+	b.MustAdd("ou=networkPolicies, dc=x, dc=com", "organizationalUnit")
+	base := "ou=networkPolicies, dc=x, dc=com"
+	if err := b.AddEntry("TPName=all, "+base, []string{"trafficProfile"},
+		[2]string{"SourceAddress", "*"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range [][2]string{{"deny", "Deny"}, {"permit", "Permit"}} {
+		if err := b.AddEntry("DSActionName="+a[0]+", "+base, []string{"SLADSAction"},
+			[2]string{"DSPermission", a[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEntry("SLAPolicyName=strict, "+base, []string{"SLAPolicyRules"},
+		[2]string{"SLARulePriority", "1"},
+		[2]string{"SLATPRef", "TPName=all, " + base},
+		[2]string{"SLADSActRef", "DSActionName=deny, " + base}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry("SLAPolicyName=lax, "+base, []string{"SLAPolicyRules"},
+		[2]string{"SLARulePriority", "5"},
+		[2]string{"SLATPRef", "TPName=all, " + base},
+		[2]string{"SLADSActRef", "DSActionName=permit, " + base}); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := b.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Match(dir, "dc=x, dc=com", Packet{SourceAddress: "1.2.3.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Policies) != 1 || d.Policies[0].DN().RDN().String() != "SLAPolicyName=strict" {
+		t.Fatalf("selected: %v", d.Policies)
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	// Two same-priority applying policies with different actions: the
+	// ambiguity the directory population step should have resolved.
+	b := core.NewBuilder(workload.PaperInstance().Schema().Clone())
+	b.MustAdd("dc=com", "dcObject").MustAdd("dc=y, dc=com", "dcObject")
+	base := "ou=networkPolicies, dc=y, dc=com"
+	b.MustAdd(base, "organizationalUnit")
+	if err := b.AddEntry("TPName=all, "+base, []string{"trafficProfile"},
+		[2]string{"SourceAddress", "*"}); err != nil {
+		t.Fatal(err)
+	}
+	for i, perm := range []string{"Deny", "Permit"} {
+		if err := b.AddEntry(
+			[]string{"DSActionName=a0, ", "DSActionName=a1, "}[i]+base,
+			[]string{"SLADSAction"}, [2]string{"DSPermission", perm}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEntry(
+			[]string{"SLAPolicyName=p0, ", "SLAPolicyName=p1, "}[i]+base,
+			[]string{"SLAPolicyRules"},
+			[2]string{"SLARulePriority", "3"},
+			[2]string{"SLATPRef", "TPName=all, " + base},
+			[2]string{"SLADSActRef", []string{"DSActionName=a0, ", "DSActionName=a1, "}[i] + base}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir, err := b.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Match(dir, "dc=y, dc=com", Packet{SourceAddress: "1.1.1.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Conflict || len(d.Actions) != 2 {
+		t.Fatalf("conflict not detected: %d actions, conflict=%v", len(d.Actions), d.Conflict)
+	}
+}
+
+func TestSyntheticQoSMatches(t *testing.T) {
+	in := workload.GenQoS(workload.QoSConfig{Domains: 2, PoliciesPerDomain: 30, Seed: 7})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 40; i++ {
+		d, err := Match(dir, "dc=dom0, dc=att, dc=com", Packet{
+			SourceAddress:   "204.3.7.42",
+			SourcePort:      25,
+			DestinationPort: 80,
+			Time:            19980615120000,
+			DayOfWeek:       int64(1 + i%7),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += len(d.Policies)
+		// Selected policies must share the minimum priority.
+		var pr int64 = -1
+		for _, p := range d.Policies {
+			v, _ := p.First("SLARulePriority")
+			if pr == -1 {
+				pr = v.Int()
+			} else if v.Int() != pr {
+				t.Fatal("mixed priorities in selection")
+			}
+		}
+	}
+	if hits == 0 {
+		t.Skip("no synthetic matches for this seed; adjust workload")
+	}
+}

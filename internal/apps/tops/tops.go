@@ -1,0 +1,138 @@
+// Package tops implements the dial-by-name lookup of Example 2.2 of
+// "Querying Network Directories": a calling application supplies the
+// callee's logical name plus its own context (time of day, day of week,
+// media), and receives the call appearances of the highest-priority
+// query handling profile (QHP) that matches — giving subscribers
+// location- and device-independent reachability with privacy control.
+package tops
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Call is the caller-supplied context matched against QHPs.
+type Call struct {
+	// CalleeUID is the logical name being dialed.
+	CalleeUID string
+	// Time is HHMM (e.g. 1430), matched against startTime/endTime.
+	Time int64
+	// DayOfWeek is 1..7, matched against daysOfWeek.
+	DayOfWeek int64
+	// CallerGroup, if non-empty, must equal the QHP's callerGroup when
+	// the QHP specifies one (the access-control knob of Section 2.2).
+	CallerGroup string
+	// Media, if non-empty, must equal the QHP's mediaType when
+	// specified.
+	Media string
+}
+
+// Route is the directory's answer: the matched QHP and its call
+// appearances, ordered by ascending priority value (most preferred
+// first).
+type Route struct {
+	Subscriber  *model.Entry
+	QHP         *model.Entry
+	Appearances []*model.Entry
+}
+
+// Errors returned by Lookup.
+var (
+	ErrNoSubscriber = errors.New("tops: no such subscriber")
+	ErrNoQHP        = errors.New("tops: no query handling profile matches")
+)
+
+// Lookup resolves one call against the subscriber directory rooted at
+// base (e.g. "ou=userProfiles, dc=research, dc=att, dc=com").
+func Lookup(dir *core.Directory, base string, call Call) (*Route, error) {
+	subs, err := dir.Search(fmt.Sprintf("(%s ? one ? uid=%s)", base, call.CalleeUID))
+	if err != nil {
+		return nil, err
+	}
+	var sub *model.Entry
+	for _, e := range subs.Entries {
+		if e.HasClass("TOPSSubscriber") {
+			sub = e
+			break
+		}
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSubscriber, call.CalleeUID)
+	}
+
+	// The subscriber's prioritized policies are the QHP children of the
+	// subscriber entry (Figure 11).
+	qhps, err := dir.Search(fmt.Sprintf("(%s ? one ? objectClass=QHP)", sub.DN()))
+	if err != nil {
+		return nil, err
+	}
+	var best *model.Entry
+	bestPr := int64(1<<62 - 1)
+	for _, q := range qhps.Entries {
+		if !qhpMatches(q, call) {
+			continue
+		}
+		pr := int64(1<<62 - 1)
+		if v, ok := q.First("priority"); ok {
+			pr = v.Int()
+		}
+		if pr < bestPr {
+			best, bestPr = q, pr
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoQHP, call.CalleeUID)
+	}
+
+	cas, err := dir.Search(fmt.Sprintf("(%s ? one ? objectClass=callAppearance)", best.DN()))
+	if err != nil {
+		return nil, err
+	}
+	apps := append([]*model.Entry(nil), cas.Entries...)
+	sort.SliceStable(apps, func(i, j int) bool {
+		pi, pj := int64(1<<62-1), int64(1<<62-1)
+		if v, ok := apps[i].First("priority"); ok {
+			pi = v.Int()
+		}
+		if v, ok := apps[j].First("priority"); ok {
+			pj = v.Int()
+		}
+		return pi < pj
+	})
+	return &Route{Subscriber: sub, QHP: best, Appearances: apps}, nil
+}
+
+// qhpMatches applies the heterogeneous QHP semantics of Section 3.5:
+// a QHP constrains only the attributes it specifies — some specify
+// startTime/endTime, some daysOfWeek, some neither.
+func qhpMatches(q *model.Entry, call Call) bool {
+	if st, ok := q.First("startTime"); ok && call.Time < st.Int() {
+		return false
+	}
+	if et, ok := q.First("endTime"); ok && call.Time > et.Int() {
+		return false
+	}
+	if days := q.Values("daysOfWeek"); len(days) > 0 {
+		ok := false
+		for _, d := range days {
+			if d.Int() == call.DayOfWeek {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if cg, ok := q.First("callerGroup"); ok && call.CallerGroup != cg.Str() {
+		return false
+	}
+	if mt, ok := q.First("mediaType"); ok && call.Media != "" && call.Media != mt.Str() {
+		return false
+	}
+	return true
+}

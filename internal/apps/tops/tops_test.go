@@ -1,0 +1,183 @@
+package tops
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+const base = "ou=userProfiles, dc=research, dc=att, dc=com"
+
+func paperDir(t *testing.T) *core.Directory {
+	t.Helper()
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWeekendCallGoesToVoiceMail(t *testing.T) {
+	// Figure 11: on a weekend (day 6/7) Jagadish's weekend QHP (priority
+	// 1) wins, whose only appearance is voice mail.
+	dir := paperDir(t)
+	r, err := Lookup(dir, base, Call{CalleeUID: "jag", Time: 1100, DayOfWeek: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QHP.DN().RDN().String() != "QHPName=weekend" {
+		t.Fatalf("QHP = %s", r.QHP.DN())
+	}
+	if len(r.Appearances) != 1 {
+		t.Fatalf("appearances = %d", len(r.Appearances))
+	}
+	d, _ := r.Appearances[0].First("description")
+	if d.Str() != "voice mail" {
+		t.Errorf("appearance = %s", r.Appearances[0].DN())
+	}
+}
+
+func TestWorkingHoursCallOfficeFirst(t *testing.T) {
+	// On a weekday within 0830–1730 the working-hours QHP matches (the
+	// weekend QHP does not: wrong day), and the office phone has higher
+	// priority than the secretary.
+	dir := paperDir(t)
+	r, err := Lookup(dir, base, Call{CalleeUID: "jag", Time: 1000, DayOfWeek: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QHP.DN().RDN().String() != "QHPName=workinghours" {
+		t.Fatalf("QHP = %s", r.QHP.DN())
+	}
+	if len(r.Appearances) != 2 {
+		t.Fatalf("appearances = %d", len(r.Appearances))
+	}
+	first, _ := r.Appearances[0].First("CANumber")
+	if first.Str() != "9733608750" {
+		t.Errorf("first appearance = %s (want office phone)", first.Str())
+	}
+	second, _ := r.Appearances[1].First("description")
+	if second.Str() != "secretary" {
+		t.Errorf("second appearance = %s", r.Appearances[1].DN())
+	}
+}
+
+func TestOutsideAllQHPs(t *testing.T) {
+	// A weekday at 0300: working hours exclude it, weekend excludes the
+	// day — no QHP matches.
+	dir := paperDir(t)
+	_, err := Lookup(dir, base, Call{CalleeUID: "jag", Time: 300, DayOfWeek: 3})
+	if !errors.Is(err, ErrNoQHP) {
+		t.Fatalf("err = %v, want ErrNoQHP", err)
+	}
+}
+
+func TestUnknownSubscriber(t *testing.T) {
+	dir := paperDir(t)
+	_, err := Lookup(dir, base, Call{CalleeUID: "nobody"})
+	if !errors.Is(err, ErrNoSubscriber) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSyntheticRoutingAlwaysHighestPriority(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 40, Seed: 11})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for s := 0; s < 40; s++ {
+		uid := "sub000" + string(rune('0'+s%10))
+		if s >= 10 {
+			uid = ""
+		}
+		if uid == "" {
+			continue
+		}
+		r, err := Lookup(dir, base, Call{CalleeUID: uid, Time: 900, DayOfWeek: 3})
+		if errors.Is(err, ErrNoQHP) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed++
+		// No other matching QHP of the subscriber may have a strictly
+		// smaller priority value.
+		best, _ := r.QHP.First("priority")
+		qs, err := dir.Search("(" + r.Subscriber.DN().String() + " ? one ? objectClass=QHP)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs.Entries {
+			pr, ok := q.First("priority")
+			if !ok || pr.Int() >= best.Int() {
+				continue
+			}
+			if qhpMatches(q, Call{CalleeUID: uid, Time: 900, DayOfWeek: 3}) {
+				t.Fatalf("higher-priority QHP %s skipped", q.DN())
+			}
+		}
+		// Appearances sorted by priority.
+		last := int64(-1)
+		for _, a := range r.Appearances {
+			pr, _ := a.First("priority")
+			if pr.Int() < last {
+				t.Fatal("appearances out of priority order")
+			}
+			last = pr.Int()
+		}
+	}
+	if routed == 0 {
+		t.Skip("no routable synthetic subscribers for this seed")
+	}
+}
+
+func TestCallerGroupPrivacy(t *testing.T) {
+	// A QHP restricted to callerGroup=family must not match other
+	// callers; control over who can reach you (Section 2.2).
+	b := core.NewBuilder(workload.PaperInstance().Schema().Clone())
+	b.MustAdd("dc=com", "dcObject")
+	b.MustAdd("ou=u, dc=com", "organizationalUnit")
+	if err := b.AddEntry("uid=alice, ou=u, dc=com",
+		[]string{"TOPSSubscriber", "inetOrgPerson"}, [2]string{"surName", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry("QHPName=private, uid=alice, ou=u, dc=com", []string{"QHP"},
+		[2]string{"priority", "1"}, [2]string{"callerGroup", "family"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry("QHPName=public, uid=alice, ou=u, dc=com", []string{"QHP"},
+		[2]string{"priority", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry("CANumber=111, QHPName=private, uid=alice, ou=u, dc=com",
+		[]string{"callAppearance"}, [2]string{"priority", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry("CANumber=222, QHPName=public, uid=alice, ou=u, dc=com",
+		[]string{"callAppearance"}, [2]string{"priority", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := b.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Lookup(dir, "ou=u, dc=com", Call{CalleeUID: "alice", CallerGroup: "family"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QHP.DN().RDN().String() != "QHPName=private" {
+		t.Errorf("family caller got %s", r.QHP.DN())
+	}
+	r, err = Lookup(dir, "ou=u, dc=com", Call{CalleeUID: "alice", CallerGroup: "stranger"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QHP.DN().RDN().String() != "QHPName=public" {
+		t.Errorf("stranger got %s", r.QHP.DN())
+	}
+}

@@ -1,0 +1,446 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// E11Hierarchy demonstrates Theorem 8.1's strict hierarchy
+// LDAP ⊊ L0 ⊊ L1 ⊊ L2 ⊊ L3 with machine-checked witnesses: for each
+// separation, a query in the stronger language whose answer provably
+// cannot be produced by the weaker language on the witness data.
+//
+//   - LDAP ⊊ L0: an exhaustive certificate. Two entries are given
+//     identical attribute sets, so no filter separates them; the
+//     enumeration then shows no (base, scope, filter) triple produces the
+//     L0 difference query's answer (Example 4.1's shape).
+//   - L0 ⊊ L1: a two-instance certificate. The instances have identical
+//     namespaces; every atomic query's answer restricted to the two
+//     candidate entries is the same in both, so any boolean combination
+//     treats them alike — but the children query's answers differ.
+//   - L1 ⊊ L2: the instances are identical as sets of (attribute, value)
+//     pairs and differ only in value multiplicities, which every
+//     set-based L1 operator is blind to; count(val) sees them.
+//   - L2 ⊊ L3: the referencing entry and its whole hierarchy context are
+//     identical across the instances; only the attributes of a
+//     hierarchy-unrelated referenced entry change, so no L2 operator can
+//     carry the change to the referencing entry — vd can.
+func E11Hierarchy() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Strict expressiveness hierarchy (Theorem 8.1)",
+		Claim:  "LDAP < L0 < L1 < L2 < L3, each separation witnessed",
+		Header: []string{"separation", "witness query language", "certificate", "verified"},
+	}
+	t.AddRow("LDAP < L0", "L0 (difference, Ex 4.1)", "exhaustive over base x scope x filter", verify(sepLDAPvsL0))
+	t.AddRow("L0 < L1", "L1 (children, Ex 5.1)", "atomic-invariance across instance pair", verify(sepL0vsL1))
+	t.AddRow("L1 < L2", "L2 (count, Ex 6.1/6.2)", "multiset-blindness across instance pair", verify(sepL1vsL2))
+	t.AddRow("L2 < L3", "L3 (valueDN, Ex 7.1)", "hierarchy-locality across instance pair", verify(sepL2vsL3))
+	return t
+}
+
+func verify(f func() error) string {
+	if err := f(); err != nil {
+		return "FAILED: " + err.Error()
+	}
+	return "ok"
+}
+
+// exprSchema is the minimal schema of the witness instances.
+func exprSchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustDefineAttr("dc", model.TypeString)
+	s.MustDefineAttr("ou", model.TypeString)
+	s.MustDefineAttr("cn", model.TypeString)
+	s.MustDefineAttr("sn", model.TypeString)
+	s.MustDefineAttr("val", model.TypeInt)
+	s.MustDefineAttr("port", model.TypeInt)
+	s.MustDefineAttr("ref", model.TypeDN)
+	s.MustDefineClass("node", "dc", "ou", "cn", "sn", "val", "port", "ref")
+	return s
+}
+
+func exprEntry(in *model.Instance, dn string, avs ...[2]string) {
+	e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN(dn))
+	if err != nil {
+		panic(err)
+	}
+	e.AddClass("node")
+	for _, av := range avs {
+		t, _ := in.Schema().AttrType(av[0])
+		v, err := model.ParseValue(t, av[1])
+		if err != nil {
+			panic(err)
+		}
+		e.Add(av[0], v)
+	}
+	in.MustAdd(e)
+}
+
+func answerKeys(dir *core.Directory, q string) []string {
+	res, err := dir.Search(q)
+	if err != nil {
+		panic(err)
+	}
+	keys := make([]string, len(res.Entries))
+	for i, e := range res.Entries {
+		keys[i] = e.Key()
+	}
+	return keys
+}
+
+// sepLDAPvsL0: Example 4.1's shape with attribute-identical decoys. The
+// target — everyone named jagadish under att except those under
+// research — is the L0 difference query's answer. The certificate
+// enumerates every possible LDAP answer: for each (base, scope), the
+// achievable answers are exactly the unions of filter-equivalence
+// classes intersected with the scope set; none equals the target.
+func sepLDAPvsL0() error {
+	in := model.NewInstance(exprSchema())
+	exprEntry(in, "dc=att")
+	exprEntry(in, "dc=research, dc=att")
+	exprEntry(in, "ou=sales, dc=att")
+	// x and y: jagadishes directly under att. z: deeper, under sales.
+	// jr: under research. z and jr carry IDENTICAL attribute sets (same
+	// RDN attr=value), so no filter whatsoever separates them.
+	exprEntry(in, "cn=x, dc=att", [2]string{"sn", "jagadish"})
+	exprEntry(in, "cn=y, dc=att", [2]string{"sn", "jagadish"})
+	exprEntry(in, "cn=p, ou=sales, dc=att", [2]string{"sn", "jagadish"})
+	exprEntry(in, "cn=p, dc=research, dc=att", [2]string{"sn", "jagadish"})
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	target := answerKeys(dir, `(- (dc=att ? sub ? sn=jagadish) (dc=research, dc=att ? sub ? sn=jagadish))`)
+	if len(target) != 3 {
+		return fmt.Errorf("target should hold x, y and sales/p: got %d", len(target))
+	}
+	targetSet := toSet(target)
+
+	// Filter-equivalence classes: entries with identical (attr, value)
+	// SETS satisfy exactly the same filters (filters cannot see DNs or
+	// multiplicity).
+	classOf := map[string]string{}
+	for _, e := range in.Entries() {
+		sig := ""
+		seen := map[string]bool{}
+		for _, av := range e.Pairs() {
+			k := av.Attr + "=" + av.Value.String()
+			if !seen[k] {
+				seen[k] = true
+				sig += k + ";"
+			}
+		}
+		classOf[e.Key()] = sig
+	}
+
+	// Every LDAP answer is scope(B) ∩ (union of classes). The target is
+	// achievable iff within some scope set S ⊇ target, every class is
+	// uniform (entirely in or out of the target) on S.
+	var bases []model.DN
+	bases = append(bases, nil)
+	for _, e := range in.Entries() {
+		bases = append(bases, e.DN())
+	}
+	for _, base := range bases {
+		for _, sc := range []query.Scope{query.ScopeBase, query.ScopeOne, query.ScopeSub} {
+			scope := scopeSet(in, base, sc)
+			achievable := true
+			for k := range targetSet {
+				if !scope[k] {
+					achievable = false // target outside the scope
+					break
+				}
+			}
+			if !achievable {
+				continue
+			}
+			// Check class uniformity within the scope.
+			classIn := map[string]int{} // class -> +target/-nontarget counts
+			uniform := true
+			for k := range scope {
+				c := classOf[k]
+				v := -1
+				if targetSet[k] {
+					v = 1
+				}
+				if prev, ok := classIn[c]; ok && prev != v {
+					uniform = false
+					break
+				}
+				classIn[c] = v
+			}
+			if uniform {
+				return fmt.Errorf("LDAP expresses the target with base %q scope %v", base, sc)
+			}
+		}
+	}
+	return nil
+}
+
+// sepL0vsL1: two instances with identical namespaces where every atomic
+// query's answer agrees on the candidate pair (x1, x2) across both
+// instances — so every L0 boolean combination does too — while the
+// children query separates them differently in each.
+func sepL0vsL1() error {
+	build := func(jagUnder string) *model.Instance {
+		in := model.NewInstance(exprSchema())
+		exprEntry(in, "dc=att")
+		exprEntry(in, "ou=x1, dc=att")
+		exprEntry(in, "ou=x2, dc=att")
+		for _, ou := range []string{"x1", "x2"} {
+			sn := "smith"
+			if ou == jagUnder {
+				sn = "jagadish"
+			}
+			exprEntry(in, fmt.Sprintf("cn=p, ou=%s, dc=att", ou), [2]string{"sn", sn})
+		}
+		return in
+	}
+	i1, i2 := build("x1"), build("x2")
+	d1, err := core.Open(i1, core.Options{})
+	if err != nil {
+		return err
+	}
+	d2, err := core.Open(i2, core.Options{})
+	if err != nil {
+		return err
+	}
+	x1 := model.MustParseDN("ou=x1, dc=att").Key()
+	x2 := model.MustParseDN("ou=x2, dc=att").Key()
+
+	lq := `(c (dc=att ? sub ? ou=*) (dc=att ? sub ? sn=jagadish))`
+	a1, a2 := toSet(answerKeys(d1, lq)), toSet(answerKeys(d2, lq))
+	if !(a1[x1] && !a1[x2] && !a2[x1] && a2[x2]) {
+		return fmt.Errorf("L1 witness answers wrong: %v / %v", a1, a2)
+	}
+
+	// Invariance certificate: for every atomic query (all bases x scopes
+	// x atoms over the instances' vocabulary), the membership pattern of
+	// (x1, x2) is the same in I1 and I2. Boolean operators compute
+	// membership pointwise, so every L0 query inherits the invariance —
+	// and no invariant query can answer {x1} on I1 and {x2} on I2.
+	atoms := vocabularyAtoms(i1, i2)
+	var bases []model.DN
+	bases = append(bases, nil)
+	for _, e := range i1.Entries() {
+		bases = append(bases, e.DN())
+	}
+	for _, base := range bases {
+		for _, sc := range []query.Scope{query.ScopeBase, query.ScopeOne, query.ScopeSub} {
+			for _, atom := range atoms {
+				q := &query.Atomic{Base: base, Scope: sc, Filter: atom}
+				p1 := pairPattern(i1, q, x1, x2)
+				p2 := pairPattern(i2, q, x1, x2)
+				if p1 != p2 {
+					return fmt.Errorf("invariance broken by %s", q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sepL1vsL2: instances identical as sets of (attr, value) pairs,
+// differing only in multiplicities. Every L1 operator works on entry
+// sets and filter satisfaction, both multiplicity-blind, so all L1
+// answers coincide on the two instances; count(val) differs.
+func sepL1vsL2() error {
+	build := func(manyOn string) *model.Instance {
+		in := model.NewInstance(exprSchema())
+		exprEntry(in, "dc=att")
+		for _, cn := range []string{"x1", "x2"} {
+			reps := 2
+			if cn == manyOn {
+				reps = 11
+			}
+			e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN(fmt.Sprintf("cn=%s, dc=att", cn)))
+			if err != nil {
+				panic(err)
+			}
+			e.AddClass("node")
+			for i := 0; i < reps; i++ {
+				e.Add("val", model.Int(1)) // identical value, multiset semantics
+			}
+			in.MustAdd(e)
+		}
+		return in
+	}
+	i1, i2 := build("x1"), build("x2")
+
+	// Certificate: the instances are equal once multiplicities are
+	// erased (same entries, same attribute-value SETS) — so every
+	// set-based L0/L1 answer is literally equal on both.
+	if err := equalModuloMultiplicity(i1, i2); err != nil {
+		return err
+	}
+
+	d1, err := core.Open(i1, core.Options{})
+	if err != nil {
+		return err
+	}
+	d2, err := core.Open(i2, core.Options{})
+	if err != nil {
+		return err
+	}
+	lq := `(g (dc=att ? sub ? val=*) count(val) > 10)`
+	a1, a2 := answerKeys(d1, lq), answerKeys(d2, lq)
+	x1 := model.MustParseDN("cn=x1, dc=att").Key()
+	x2 := model.MustParseDN("cn=x2, dc=att").Key()
+	if !(len(a1) == 1 && a1[0] == x1 && len(a2) == 1 && a2[0] == x2) {
+		return fmt.Errorf("L2 witness answers wrong: %v / %v", a1, a2)
+	}
+	return nil
+}
+
+// sepL2vsL3: the referencing policy p1 and its entire subtree/ancestor
+// chain are identical across the instances; only the attributes of the
+// hierarchy-unrelated referenced profiles change. Filters see only p1's
+// own (unchanged) attributes; hierarchy operators see only p1's
+// (unchanged) chain — so every L2 query keeps p1's membership invariant,
+// while vd follows the reference and flips.
+func sepL2vsL3() error {
+	build := func(portOnX bool) *model.Instance {
+		in := model.NewInstance(exprSchema())
+		exprEntry(in, "dc=att")
+		exprEntry(in, "ou=pol, dc=att")
+		exprEntry(in, "ou=prof, dc=att")
+		px, py := "80", "25"
+		if portOnX {
+			px, py = "25", "80"
+		}
+		exprEntry(in, "cn=X, ou=prof, dc=att", [2]string{"port", px})
+		exprEntry(in, "cn=Y, ou=prof, dc=att", [2]string{"port", py})
+		exprEntry(in, "cn=p1, ou=pol, dc=att", [2]string{"ref", "cn=X, ou=prof, dc=att"})
+		return in
+	}
+	i1, i2 := build(true), build(false)
+
+	// Certificate: p1's hierarchy context is identical across instances.
+	p1 := model.MustParseDN("cn=p1, ou=pol, dc=att")
+	for _, dn := range []string{"cn=p1, ou=pol, dc=att", "ou=pol, dc=att", "dc=att"} {
+		e1, _ := i1.Get(model.MustParseDN(dn))
+		e2, _ := i2.Get(model.MustParseDN(dn))
+		if !e1.Equal(e2) {
+			return fmt.Errorf("p1's chain differs at %s", dn)
+		}
+	}
+	if len(i1.Descendants(p1)) != 0 || len(i2.Descendants(p1)) != 0 {
+		return fmt.Errorf("p1 must be a leaf")
+	}
+
+	d1, err := core.Open(i1, core.Options{})
+	if err != nil {
+		return err
+	}
+	d2, err := core.Open(i2, core.Options{})
+	if err != nil {
+		return err
+	}
+	lq := `(vd (dc=att ? sub ? ref=*) (ou=prof, dc=att ? sub ? port=25) ref)`
+	a1, a2 := answerKeys(d1, lq), answerKeys(d2, lq)
+	if !(len(a1) == 1 && a1[0] == p1.Key() && len(a2) == 0) {
+		return fmt.Errorf("L3 witness answers wrong: %v / %v", a1, a2)
+	}
+	return nil
+}
+
+func toSet(keys []string) map[string]bool {
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}
+
+// scopeSet returns the keys of the entries in scope(B).
+func scopeSet(in *model.Instance, base model.DN, sc query.Scope) map[string]bool {
+	out := map[string]bool{}
+	k := base.Key()
+	depth := base.Depth()
+	in.Range(k, model.SubtreeHigh(k), func(e *model.Entry) bool {
+		switch sc {
+		case query.ScopeBase:
+			if e.Key() != k {
+				return true
+			}
+		case query.ScopeOne:
+			if model.KeyDepth(e.Key())-depth > 1 {
+				return true
+			}
+		}
+		out[e.Key()] = true
+		return true
+	})
+	return out
+}
+
+// vocabularyAtoms enumerates the atomic filters over both instances'
+// (attribute, value) vocabulary plus presence tests.
+func vocabularyAtoms(ins ...*model.Instance) []*filter.Atom {
+	seen := map[string]bool{}
+	var atoms []*filter.Atom
+	add := func(a *filter.Atom) {
+		if !seen[a.String()] {
+			seen[a.String()] = true
+			atoms = append(atoms, a)
+		}
+	}
+	for _, in := range ins {
+		for _, e := range in.Entries() {
+			for _, av := range e.Pairs() {
+				add(filter.Eq(av.Attr, av.Value.String()))
+				add(filter.Present(av.Attr))
+				if av.Value.Kind() == model.KindInt {
+					add(filter.NewAtom(av.Attr, filter.OpLE, av.Value.String()))
+					add(filter.NewAtom(av.Attr, filter.OpGE, av.Value.String()))
+				}
+			}
+		}
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
+	return atoms
+}
+
+// pairPattern evaluates the atomic query in-memory and returns the
+// membership pattern of the two keys.
+func pairPattern(in *model.Instance, q *query.Atomic, k1, k2 string) [2]bool {
+	set := scopeSet(in, q.Base, q.Scope)
+	pat := [2]bool{}
+	for i, k := range []string{k1, k2} {
+		if !set[k] {
+			continue
+		}
+		e, _ := in.GetKey(k)
+		pat[i] = q.Filter.Matches(in.Schema(), e)
+	}
+	return pat
+}
+
+// equalModuloMultiplicity checks the two instances have the same entries
+// with the same attribute-value SETS.
+func equalModuloMultiplicity(a, b *model.Instance) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("sizes differ")
+	}
+	for _, ea := range a.Entries() {
+		eb, ok := b.Get(ea.DN())
+		if !ok {
+			return fmt.Errorf("%s missing in second instance", ea.DN())
+		}
+		for _, e := range []struct{ x, y *model.Entry }{{ea, eb}, {eb, ea}} {
+			for _, av := range e.x.Pairs() {
+				if !e.y.HasPair(av.Attr, av.Value) {
+					return fmt.Errorf("%s: pair %s=%s not shared", ea.DN(), av.Attr, av.Value)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/planner"
+	"repro/internal/plist"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// A4Planner measures the algebraic rewrites of internal/planner: for
+// each rule, a query shape that triggers it, evaluated with and without
+// optimization — answers verified identical, I/O compared.
+func A4Planner(subscribers int) *Table {
+	t := &Table{
+		ID:     "A4",
+		Title:  "Ablation: algebraic planner rewrites",
+		Claim:  "answer-preserving rewrites (scope narrowing, disjointness, the reverse Section 8.1 identity)",
+		Header: []string{"rule", "IO plain", "IO optimized", "saving"},
+	}
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: subscribers, Seed: 19})
+	env := openEnv(in, 0)
+	strict := in.Validate(true) == nil
+
+	cases := []struct {
+		rule string
+		q    string
+	}{
+		{"and-narrow-scope",
+			`(& (uid=sub0000, ou=userProfiles, dc=research, dc=att, dc=com ? sub ? objectClass=QHP)
+			    (dc=com ? sub ? priority<=2))`},
+		{"and-disjoint-empty",
+			`(& (uid=sub0000, ou=userProfiles, dc=research, dc=att, dc=com ? sub ? objectClass=QHP)
+			    (uid=sub0001, ou=userProfiles, dc=research, dc=att, dc=com ? sub ? objectClass=QHP))`},
+		{"diff-disjoint-noop",
+			`(- (uid=sub0000, ou=userProfiles, dc=research, dc=att, dc=com ? sub ? objectClass=*)
+			    (dc=ibm, dc=com ? sub ? objectClass=*))`},
+		{"ac-all-to-p",
+			`(ac (dc=com ? sub ? objectClass=QHP)
+			     (dc=com ? sub ? objectClass=TOPSSubscriber)
+			     ( ? sub ? objectClass=*))`},
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.q)
+		res := planner.Optimize(q, planner.Info{StrictForest: strict})
+
+		var plainOut, optOut *plist.List
+		ioPlain := env.MeasureIO(func() error {
+			var e error
+			plainOut, e = env.Eng.Eval(q)
+			return e
+		})
+		ioOpt := env.MeasureIO(func() error {
+			var e error
+			optOut, e = env.Eng.Eval(res.Query)
+			return e
+		})
+		pk, err := plist.Drain(plainOut)
+		if err != nil {
+			panic(err)
+		}
+		ok, err := plist.Drain(optOut)
+		if err != nil {
+			panic(err)
+		}
+		if len(pk) != len(ok) {
+			panic(fmt.Sprintf("A4 %s: rewrite changed answers (%d vs %d)", c.rule, len(pk), len(ok)))
+		}
+		for i := range pk {
+			if pk[i].Key != ok[i].Key {
+				panic("A4: rewrite changed an entry")
+			}
+		}
+		freeLists(plainOut, optOut)
+		t.AddRow(c.rule, ioPlain, ioOpt, float64(ioPlain)/float64(maxI64(ioOpt, 1)))
+	}
+	t.Notes = append(t.Notes, "answers verified identical for every rewrite")
+	return t
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// E17Operators demonstrates the negative directions of Theorem 8.2 the
+// only way they can be demonstrated on finite data: as query-size lower
+// bounds over an instance family. On a chain of depth d, the single L1
+// operator d(escendants) answers uniformly, while simulating it with
+// the children operator requires exactly d-1 nested c's — so no fixed
+// L0 + {c, p} query text works for every depth (Theorem 8.2(b); the
+// a/d-from-c/p direction, 8.2(a), is symmetric with p-nests). The
+// positive direction, 8.2(d), is verified in engine.TestTheorem82d and
+// measured in E12.
+func E17Operators(depths []int) *Table {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Operator separations as query-size lower bounds (Theorem 8.2)",
+		Claim:  "simulating a/d with c/p needs depth-many operators; a/d need one",
+		Header: []string{"chain depth d", "|d-query|", "c-nesting that works", "shallower nestings", "deeper nestings"},
+	}
+	for _, d := range depths {
+		in := chain(d)
+		dir, err := core.Open(in, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rootSel := "( ? sub ? n=c0)"
+		leafSel := fmt.Sprintf("( ? sub ? n=c%d)", d-1)
+
+		// The L1 way: one operator, any depth.
+		dAnswer := mustDNs(dir, fmt.Sprintf("(d %s %s)", rootSel, leafSel))
+		if len(dAnswer) != 1 {
+			panic(fmt.Sprintf("E17: d-query wrong on depth %d", d))
+		}
+
+		// The c-simulation: (c root (c ALL (c ALL ... leaf))) with k
+		// total c operators reaches exactly the k-th ancestor.
+		works := -1
+		var shallower, deeper []string
+		for k := 1; k <= d+1; k++ {
+			ans := mustDNs(dir, cNest(rootSel, leafSel, k))
+			switch {
+			case len(ans) == 1 && k != d-1:
+				panic(fmt.Sprintf("E17: c^%d unexpectedly answers on depth %d", k, d))
+			case len(ans) == 1:
+				works = k
+			case k < d-1:
+				shallower = append(shallower, fmt.Sprintf("c^%d=∅", k))
+			default:
+				deeper = append(deeper, fmt.Sprintf("c^%d=∅", k))
+			}
+		}
+		if works != d-1 {
+			panic(fmt.Sprintf("E17: depth %d needed c^%d", d, works))
+		}
+		t.AddRow(d, 1, fmt.Sprintf("c^%d", works),
+			strings.Join(shallower, " "), strings.Join(deeper, " "))
+	}
+	t.Notes = append(t.Notes,
+		"a fixed query has a fixed operator count, so no single L0+{c,p} text matches every row — the uniform separation of Theorem 8.2(b)")
+	return t
+}
+
+// cNest builds (c root (c ALL (c ALL ... leaf))) with k c-operators.
+func cNest(rootSel, leafSel string, k int) string {
+	const all = "( ? sub ? objectClass=*)"
+	q := leafSel
+	for i := 0; i < k-1; i++ {
+		q = fmt.Sprintf("(c %s %s)", all, q)
+	}
+	return fmt.Sprintf("(c %s %s)", rootSel, q)
+}
+
+// chain builds the depth-d path instance.
+func chain(d int) *model.Instance {
+	in := model.NewInstance(workload.ForestSchema())
+	dn := model.DN{}
+	for i := 0; i < d; i++ {
+		dn = dn.Child(model.RDN{{Attr: "n", Value: fmt.Sprintf("c%d", i)}})
+		e, err := model.NewEntryFromDN(in.Schema(), dn)
+		if err != nil {
+			panic(err)
+		}
+		e.AddClass("node")
+		in.MustAdd(e)
+	}
+	return in
+}
+
+func mustDNs(dir *core.Directory, q string) []string {
+	res, err := dir.Search(q)
+	if err != nil {
+		panic(err)
+	}
+	return res.DNs()
+}

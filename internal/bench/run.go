@@ -1,0 +1,85 @@
+package bench
+
+import "io"
+
+// Preset selects experiment sizes.
+type Preset struct {
+	Linear   []int // sizes for E1–E6 (entries)
+	Super    []int // sizes for E7–E9
+	Cross    []int // sizes for E10 (naive is quadratic: keep modest)
+	AcSizes  []int // sizes for E12
+	Dist     []int // subscriber counts for E14
+	IndexN   int   // directory size for E15
+	AppScale int   // scale for E16
+	StackN   int   // chain length for ablation A1
+}
+
+// Quick is sized for CI and go test; Full for cmd/dirbench reports.
+var (
+	Quick = Preset{
+		Linear:   []int{500, 1000, 2000, 4000},
+		Super:    []int{500, 1000, 2000},
+		Cross:    []int{200, 400, 800},
+		AcSizes:  []int{500, 1000, 2000},
+		Dist:     []int{20},
+		IndexN:   400,
+		AppScale: 60,
+		StackN:   120,
+	}
+	Full = Preset{
+		Linear:   []int{2000, 4000, 8000, 16000, 32000},
+		Super:    []int{2000, 4000, 8000, 16000},
+		Cross:    []int{250, 500, 1000, 2000},
+		AcSizes:  []int{1000, 2000, 4000, 8000},
+		Dist:     []int{40, 80},
+		IndexN:   2000,
+		AppScale: 150,
+		StackN:   120,
+	}
+)
+
+// Spec names one experiment and how to run it at a preset.
+type Spec struct {
+	ID  string
+	Run func(Preset) *Table
+}
+
+// Specs is the experiment registry in DESIGN.md order.
+var Specs = []Spec{
+	{"E1", func(p Preset) *Table { return E1Boolean(p.Linear) }},
+	{"E2", func(p Preset) *Table { return E2HSPC(p.Linear) }},
+	{"E3", func(p Preset) *Table { return E3HSAD(p.Linear) }},
+	{"E4", func(p Preset) *Table { return E4HSADc(p.Linear) }},
+	{"E5", func(p Preset) *Table { return E5SimpleAgg(p.Linear) }},
+	{"E6", func(p Preset) *Table { return E6HSAgg(p.Linear) }},
+	{"E7", func(p Preset) *Table { return E7ERDV(p.Super) }},
+	{"E8", func(p Preset) *Table { return E8PipelineL2(p.Super) }},
+	{"E9", func(p Preset) *Table { return E9PipelineL3(p.Super) }},
+	{"E10", func(p Preset) *Table { return E10NaiveVsStack(p.Cross) }},
+	{"E11", func(Preset) *Table { return E11Hierarchy() }},
+	{"E12", func(p Preset) *Table { return E12AcEncodesP(p.AcSizes) }},
+	{"E14", func(p Preset) *Table { return E14Distributed(p.Dist) }},
+	{"E15", func(p Preset) *Table { return E15AtomicIndex(p.IndexN) }},
+	{"E16", func(p Preset) *Table { return E16Apps(p.AppScale) }},
+	{"E17", func(Preset) *Table { return E17Operators([]int{3, 4, 5, 6, 8}) }},
+	{"A1", func(p Preset) *Table { return AblationStackWindow(p.StackN, []int{2, 4, 16, 64}) }},
+	{"A2", func(Preset) *Table { return AblationBlockSize(4000, []int{1024, 2048, 4096, 8192}) }},
+	{"A3", func(Preset) *Table { return AblationResort(4000) }},
+	{"A4", func(p Preset) *Table { return A4Planner(p.AppScale * 4) }},
+}
+
+// All runs every experiment and ablation at the given preset.
+func All(p Preset) []*Table {
+	out := make([]*Table, len(Specs))
+	for i, s := range Specs {
+		out[i] = s.Run(p)
+	}
+	return out
+}
+
+// FprintAll renders all tables.
+func FprintAll(w io.Writer, tables []*Table) {
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+}

@@ -1,0 +1,299 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pager"
+)
+
+func newTestTree(t *testing.T, pageSize, pool int) (*Tree, *pager.Disk) {
+	t.Helper()
+	d := pager.NewDisk(pageSize)
+	tr, err := New(d, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, d
+}
+
+func TestInsertGet(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	n := 2000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i*7%n))
+		v := []byte(fmt.Sprintf("val%d", i*7%n))
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if want := fmt.Sprintf("val%d", i); string(v) != want {
+			t.Fatalf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+	if _, err := tr.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	if err := tr.Insert([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	v, err := tr.Get([]byte("k"))
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		if err := tr.Insert(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Scan([]byte("k0100"), []byte("k0110"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "k0100" || got[9] != "k0109" {
+		t.Fatalf("scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	err = tr.Scan([]byte("k0000"), nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if err != nil || count != 5 {
+		t.Fatalf("early stop: %d, %v", count, err)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	keys := []string{"ab", "abc", "abd", "ac", "b"}
+	for _, k := range keys {
+		if err := tr.Insert([]byte(k), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := tr.ScanPrefix([]byte("ab"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ab", "abc", "abd"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestPrefixUpperBound(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte("ab"), []byte("ac")},
+		{[]byte{0x61, 0xff}, []byte{0x62}},
+		{[]byte{0xff, 0xff}, nil},
+		{[]byte{}, nil},
+	}
+	for _, c := range cases {
+		if got := prefixUpperBound(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("prefixUpperBound(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i += 2 {
+		if err := tr.Delete([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 300; i++ {
+		_, err := tr.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d still present: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("surviving key %d lost: %v", i, err)
+		}
+	}
+	if err := tr.Delete([]byte("nosuch")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestTooBig(t *testing.T) {
+	tr, _ := newTestTree(t, 128, 16)
+	if err := tr.Insert(make([]byte, 200), []byte("v")); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized insert: %v", err)
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	r := rand.New(rand.NewSource(4))
+	keys := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k := make([]byte, 1+r.Intn(40))
+		for j := range k {
+			k[j] = byte('a' + r.Intn(26))
+		}
+		v := fmt.Sprint(i)
+		keys[string(k)] = v
+		if err := tr.Insert(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for k, v := range keys {
+		got, err := tr.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	// Full scan must be sorted and complete.
+	var scanned []string
+	if err := tr.Scan(nil, nil, func(k, v []byte) bool {
+		scanned = append(scanned, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(scanned) {
+		t.Fatal("scan out of order")
+	}
+	if len(scanned) != len(keys) {
+		t.Fatalf("scan found %d of %d", len(scanned), len(keys))
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 32)
+	oracle := map[string]string{}
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		op := r.Intn(3)
+		k := fmt.Sprintf("k%03d", r.Intn(200))
+		switch op {
+		case 0:
+			v := fmt.Sprint(r.Intn(1000))
+			oracle[k] = v
+			if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+		case 1:
+			got, err := tr.Get([]byte(k))
+			want, ok := oracle[k]
+			if ok != (err == nil) {
+				return false
+			}
+			if ok && string(got) != want {
+				return false
+			}
+		case 2:
+			err := tr.Delete([]byte(k))
+			_, ok := oracle[k]
+			if ok != (err == nil) {
+				return false
+			}
+			delete(oracle, k)
+		}
+		return tr.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteriorCachingSavesIO(t *testing.T) {
+	tr, d := newTestTree(t, 256, 64)
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key%06d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	for i := 0; i < 100; i++ {
+		if _, err := tr.Get([]byte(fmt.Sprintf("key%06d", i*30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	// With a warm pool, 100 point lookups must cost far fewer than
+	// 100 * tree-height page reads.
+	if st.Reads > 150 {
+		t.Fatalf("point lookups did %d reads; pool not caching", st.Reads)
+	}
+}
+
+func TestPersistsThroughPoolEviction(t *testing.T) {
+	// A tiny pool forces every page to round-trip through the disk.
+	d := pager.NewDisk(256)
+	tr, err := New(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i += 97 {
+		v, err := tr.Get([]byte(fmt.Sprintf("k%06d", i)))
+		if err != nil || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get after eviction churn: %q, %v", v, err)
+		}
+	}
+}

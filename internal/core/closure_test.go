@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestClosureProperty exercises Section 10's composability claim: a
+// query answer, materialized as an instance and reopened, can be
+// queried again — including the case where the answer is a proper
+// forest (footnote 3: "in the formal model we develop, this could be a
+// forest. We need this extension to obtain the closure property").
+func TestClosureProperty(t *testing.T) {
+	d := smallDirectory(t, Options{})
+
+	// Select entries from two disconnected regions: the result has no
+	// single root.
+	res, err := d.Search(`(| (dc=com ? sub ? objectClass=QHP)
+	                         (dc=com ? sub ? objectClass=dcObject))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := res.AsInstance(d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Roots()) < 2 {
+		t.Fatalf("answer should be a forest, got %d roots", len(in.Roots()))
+	}
+	if err := in.Validate(false); err != nil {
+		t.Fatalf("answer instance invalid: %v", err)
+	}
+	if err := in.Validate(true); err == nil {
+		t.Fatal("forest answer unexpectedly parent-closed")
+	}
+
+	// Re-open and re-query the answer.
+	d2, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d2.Search("(dc=com ? sub ? objectClass=dcObject)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Entries) != 3 {
+		t.Fatalf("re-query over answer: %v", res2.DNs())
+	}
+	// Hierarchy operators still work over the (orphaned) QHP entries.
+	res3, err := d2.Search(`(g ( ? sub ? objectClass=QHP) count(priority) > 0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Entries) != 1 {
+		t.Fatalf("aggregate over answer: %v", res3.DNs())
+	}
+	if q := query.MustParse("( ? sub ? objectClass=*)"); q.Language() != query.LangL0 {
+		t.Fatal("sanity")
+	}
+}

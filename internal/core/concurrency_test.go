@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestConcurrentSearches hammers one Directory from many goroutines
+// (run under -race in CI): evaluation is serialized internally, so all
+// answers must be complete and consistent.
+func TestConcurrentSearches(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 60, Seed: 91})
+	dir, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"(dc=com ? sub ? objectClass=TOPSSubscriber)",
+		"(dc=com ? sub ? objectClass=QHP)",
+		"(c (dc=com ? sub ? objectClass=TOPSSubscriber) (dc=com ? sub ? objectClass=QHP))",
+		"(g (dc=com ? sub ? objectClass=QHP) count(priority) > 0)",
+	}
+	wantCounts := make([]int, len(queries))
+	for i, q := range queries {
+		res, err := dir.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCounts[i] = len(res.Entries)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				qi := (g + i) % len(queries)
+				res, err := dir.Search(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Entries) != wantCounts[qi] {
+					errs <- fmt.Errorf("query %d returned %d entries, want %d",
+						qi, len(res.Entries), wantCounts[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSearchAndUpdate interleaves searches with updates.
+func TestConcurrentSearchAndUpdate(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 20, Seed: 92})
+	dir, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := dir.Search("(dc=com ? sub ? objectClass=QHP)"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			err := dir.Update(func(in *model.Instance) error {
+				dn := fmt.Sprintf("uid=new%d, ou=userProfiles, dc=research, dc=att, dc=com", i)
+				e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN(dn))
+				if err != nil {
+					return err
+				}
+				e.AddClass("inetOrgPerson")
+				return in.Add(e)
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	res, err := dir.Search("(dc=com ? sub ? uid=new*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 {
+		t.Errorf("updates lost under concurrency: %d", len(res.Entries))
+	}
+}

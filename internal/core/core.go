@@ -1,0 +1,319 @@
+// Package core is the public face of the library: a Directory couples
+// the network directory data model of "Querying Network Directories"
+// (SIGMOD 1999) with its disk-resident store and the L0–L3 evaluation
+// engine, behind a small build-then-query API.
+//
+// Usage:
+//
+//	dir, err := core.NewBuilder(model.DefaultSchema()).
+//		MustAdd("dc=com", "dcObject").
+//		MustAdd("dc=att, dc=com", "dcObject").
+//		Build(core.Options{})
+//	res, err := dir.Search(`(dc=com ? sub ? objectClass=dcObject)`)
+//
+// Search accepts the full surface syntax of the paper's languages —
+// atomic queries, boolean operators, the six hierarchical selection
+// operators, aggregate selection, and the embedded-reference operators —
+// and returns entries in reverse-DN order along with the exact page I/O
+// the evaluation performed.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/planner"
+	"repro/internal/plist"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Options configures how a Directory is laid out and evaluated.
+type Options struct {
+	// PageSize is the simulated disk's page size (default 4096).
+	PageSize int
+	// NoAttrIndex disables the attribute/string indexes; every atomic
+	// query then scans its scope range.
+	NoAttrIndex bool
+	// Optimize runs the algebraic planner on every query before
+	// evaluation (scope narrowing, disjointness, the ac/dc collapse —
+	// see internal/planner).
+	Optimize bool
+	// Engine tunes the evaluation engine (stack window etc.).
+	Engine engine.Config
+}
+
+// Builder accumulates entries for a Directory.
+type Builder struct {
+	schema *model.Schema
+	inst   *model.Instance
+	err    error
+}
+
+// NewBuilder starts a directory over the given schema.
+func NewBuilder(schema *model.Schema) *Builder {
+	return &Builder{schema: schema, inst: model.NewInstance(schema)}
+}
+
+// Add inserts a pre-built entry.
+func (b *Builder) Add(e *model.Entry) error {
+	if b.err != nil {
+		return b.err
+	}
+	return b.inst.Add(e)
+}
+
+// AddEntry creates and inserts an entry: the DN's RDN attributes are
+// typed per the schema, classes are attached, and each (attr, textValue)
+// pair is parsed per the attribute's type.
+func (b *Builder) AddEntry(dn string, classes []string, avs ...[2]string) error {
+	if b.err != nil {
+		return b.err
+	}
+	parsed, err := model.ParseDN(dn)
+	if err != nil {
+		return err
+	}
+	e, err := model.NewEntryFromDN(b.schema, parsed)
+	if err != nil {
+		return err
+	}
+	for _, c := range classes {
+		e.AddClass(c)
+	}
+	for _, av := range avs {
+		t, ok := b.schema.AttrType(av[0])
+		if !ok {
+			return fmt.Errorf("core: unknown attribute %q", av[0])
+		}
+		v, err := model.ParseValue(t, av[1])
+		if err != nil {
+			return err
+		}
+		e.Add(av[0], v)
+	}
+	return b.inst.Add(e)
+}
+
+// MustAdd is AddEntry chaining for statically-known data; the first
+// error is deferred to Build.
+func (b *Builder) MustAdd(dn string, classes ...string) *Builder {
+	if err := b.AddEntry(dn, classes); err != nil && b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// Instance exposes the staged in-memory instance (e.g. for direct
+// entry manipulation before Build).
+func (b *Builder) Instance() *model.Instance { return b.inst }
+
+// Build lays the staged instance out on a fresh simulated disk and
+// returns the queryable Directory.
+func (b *Builder) Build(opts Options) (*Directory, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return Open(b.inst, opts)
+}
+
+// Open builds a Directory from an existing instance.
+func Open(inst *model.Instance, opts Options) (*Directory, error) {
+	d := &Directory{inst: inst, opts: opts}
+	if err := d.rebuild(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Directory is a queryable network directory. It is safe for concurrent
+// use: evaluation mutates shared engine state (buffer pools, scratch
+// pages on the simulated disk), so queries and updates are serialized
+// internally — one evaluation at a time, the same discipline a single
+// directory server process applies. Scale-out concurrency is the
+// distributed layer's job (internal/dirserver).
+type Directory struct {
+	mu     sync.Mutex
+	inst   *model.Instance
+	opts   Options
+	st     *store.Store
+	eng    *engine.Engine
+	strict bool // parent-closed forest (enables the ac/dc collapse)
+}
+
+// rebuild lays the current instance out on a fresh disk. The store is
+// read-optimized (contiguous master list, packed indexes), so updates
+// trade a full rebuild for scan-speed reads — the paper's directories
+// are read-mostly, populated by administrators and queried by the
+// network.
+func (d *Directory) rebuild() error {
+	disk := pager.NewDisk(d.opts.PageSize)
+	st, err := store.Build(disk, d.inst, store.Options{AttrIndex: !d.opts.NoAttrIndex})
+	if err != nil {
+		return err
+	}
+	d.st = st
+	d.eng = engine.New(st, d.opts.Engine)
+	d.strict = d.inst.Validate(true) == nil
+	return nil
+}
+
+// Update applies a mutation to the backing instance and rebuilds the
+// disk layout. The mutation sees the live instance; if it returns an
+// error the rebuild is skipped but any partial changes it already made
+// remain (mutate transactionally or not at all).
+func (d *Directory) Update(fn func(in *model.Instance) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := fn(d.inst); err != nil {
+		return err
+	}
+	return d.rebuild()
+}
+
+// Result is a materialized query answer. Per Section 4.1, an answer is
+// itself a directory instance: a subset of the input's entries, which —
+// like any instance — can exhibit the full heterogeneity of the model.
+type Result struct {
+	Entries []*model.Entry
+	// IO is the page I/O the evaluation performed (reads + writes of
+	// intermediate and result lists, stacks, sort runs and index pages).
+	IO pager.Stats
+}
+
+// DNs returns the distinguished names of the result entries, in order.
+func (r *Result) DNs() []string {
+	out := make([]string, len(r.Entries))
+	for i, e := range r.Entries {
+		out[i] = e.DN().String()
+	}
+	return out
+}
+
+// AsInstance materializes the answer as a directory instance of the
+// given schema — the closure property of Section 10: "answers to
+// queries can exhibit the same kinds of heterogeneity as directory
+// instances", and a materialized answer can itself be opened and
+// queried. Note the result is in general a forest even when the queried
+// directory was a tree (the reason the formal model is a forest,
+// footnote 3).
+func (r *Result) AsInstance(schema *model.Schema) (*model.Instance, error) {
+	in := model.NewInstance(schema)
+	for _, e := range r.Entries {
+		if err := in.Add(e.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// Schema returns the directory's schema.
+func (d *Directory) Schema() *model.Schema {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Schema()
+}
+
+// Count returns the number of entries.
+func (d *Directory) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Count()
+}
+
+// Engine exposes the evaluation engine (for benchmarks and tools that
+// need streaming results or custom configurations). Callers using it
+// directly bypass the Directory's query serialization and must provide
+// their own.
+func (d *Directory) Engine() *engine.Engine {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eng
+}
+
+// Instance returns the in-memory instance backing the directory.
+func (d *Directory) Instance() *model.Instance { return d.inst }
+
+// Disk exposes the simulated device for I/O accounting.
+func (d *Directory) Disk() *pager.Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Disk()
+}
+
+// Get fetches one entry by DN.
+func (d *Directory) Get(dn string) (*model.Entry, error) {
+	parsed, err := model.ParseDN(dn)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Get(parsed)
+}
+
+// Search parses, validates, and evaluates a query in the paper's
+// surface syntax, materializing the result.
+func (d *Directory) Search(text string) (*Result, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return d.SearchQuery(q)
+}
+
+// SearchQuery evaluates a parsed query tree.
+func (d *Directory) SearchQuery(q query.Query) (*Result, error) {
+	return d.evalLocked(q, true)
+}
+
+// SearchLDAP evaluates an LDAP baseline query: a single base and scope
+// with a boolean combination of atomic filters.
+func (d *Directory) SearchLDAP(text string) (*Result, error) {
+	q, err := query.ParseLDAP(text)
+	if err != nil {
+		return nil, err
+	}
+	return d.evalLocked(q, false)
+}
+
+func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if validate {
+		if err := query.Validate(d.st.Schema(), q); err != nil {
+			return nil, err
+		}
+		if d.opts.Optimize {
+			q = planner.Optimize(q, planner.Info{StrictForest: d.strict}).Query
+		}
+	}
+	disk := d.st.Disk()
+	before := disk.Stats()
+	l, err := d.eng.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{IO: disk.Stats().Sub(before)}
+	res.Entries = make([]*model.Entry, len(recs))
+	for i, r := range recs {
+		res.Entries[i] = r.Entry
+	}
+	return res, l.Free()
+}
+
+// Language classifies a query string into the paper's hierarchy.
+func Language(text string) (query.Language, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	return q.Language(), nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/planner"
+	"repro/internal/query"
+)
+
+// Explain describes how a query would be evaluated, without running it:
+// its language level, the planner rewrites that would fire (when the
+// directory was opened with Optimize), and the access path and catalog
+// estimate for each atomic leaf.
+type Explain struct {
+	Language  query.Language
+	Original  string
+	Optimized string
+	Rules     []string
+	Atoms     []AtomPlan
+}
+
+// AtomPlan is the plan for one atomic leaf.
+type AtomPlan struct {
+	Query     string
+	Path      string // base-point | index | scan
+	EstHits   int64  // -1 if the catalog cannot estimate
+	ScanBytes int64
+}
+
+// String renders a compact multi-line report.
+func (e *Explain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "language: %s\n", e.Language)
+	if e.Optimized != e.Original {
+		fmt.Fprintf(&b, "rewritten: %s\n", e.Optimized)
+		fmt.Fprintf(&b, "rules: %s\n", strings.Join(e.Rules, ", "))
+	}
+	for _, a := range e.Atoms {
+		fmt.Fprintf(&b, "atom %-10s est=%-6d scope=%dB  %s\n", a.Path, a.EstHits, a.ScanBytes, a.Query)
+	}
+	return b.String()
+}
+
+// ExplainQuery plans a query string without evaluating it.
+func (d *Directory) ExplainQuery(text string) (*Explain, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := query.Validate(d.st.Schema(), q); err != nil {
+		return nil, err
+	}
+	ex := &Explain{Language: q.Language(), Original: q.String(), Optimized: q.String()}
+	if d.opts.Optimize {
+		res := planner.Optimize(q, planner.Info{StrictForest: d.strict})
+		q = res.Query
+		ex.Optimized = q.String()
+		ex.Rules = res.Rules
+	}
+	query.Walk(q, func(node query.Query) {
+		a, ok := node.(*query.Atomic)
+		if !ok {
+			return
+		}
+		p := d.st.ExplainAtomic(a)
+		ex.Atoms = append(ex.Atoms, AtomPlan{
+			Query:     a.String(),
+			Path:      p.Path,
+			EstHits:   p.EstHits,
+			ScanBytes: p.ScanBytes,
+		})
+	})
+	return ex, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestExplainPaths(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 120, Seed: 93})
+	dir, err := Open(in, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Selective equality: index, with an exact estimate.
+	ex, err := dir.ExplainQuery("(dc=com ? sub ? uid=sub0005)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Atoms) != 1 || ex.Atoms[0].Path != "index" {
+		t.Fatalf("selective equality: %+v", ex.Atoms)
+	}
+	if ex.Atoms[0].EstHits != 1 {
+		t.Errorf("estimate = %d, want 1", ex.Atoms[0].EstHits)
+	}
+
+	// Universal presence: scan.
+	ex, err = dir.ExplainQuery("(dc=com ? sub ? objectClass=*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Atoms[0].Path != "scan" {
+		t.Errorf("universal presence path = %s", ex.Atoms[0].Path)
+	}
+
+	// Base scope: point lookup.
+	ex, err = dir.ExplainQuery("(dc=com ? base ? objectClass=*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Atoms[0].Path != "base-point" {
+		t.Errorf("base path = %s", ex.Atoms[0].Path)
+	}
+
+	// Rewrites are reported.
+	ex, err = dir.ExplainQuery(`(& (uid=sub0000, ou=userProfiles, dc=research, dc=att, dc=com ? sub ? objectClass=QHP)
+	                               (dc=com ? sub ? priority<=2))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Rules) == 0 || ex.Optimized == ex.Original {
+		t.Errorf("expected rewrite report: %+v", ex)
+	}
+	if !strings.Contains(ex.String(), "rules:") {
+		t.Errorf("String() lacks rules: %s", ex)
+	}
+
+	// Validation errors still surface.
+	if _, err := dir.ExplainQuery("(dc=com ? sub ? nosuch=1)"); err == nil {
+		t.Error("invalid query explained without error")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/ldif"
+	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/plist"
+	"repro/internal/store"
+)
+
+// Snapshot format: magic, then three length-prefixed sections — the
+// schema (as #schema directives), the store manifest (JSON), and the
+// raw disk image. Opening a snapshot skips the Build step entirely:
+// the master list, DN index and attribute index come back as written;
+// only the in-memory string indexes and catalog are rebuilt (one master
+// scan).
+var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'S', '1'}
+
+// SaveSnapshot writes the directory's disk image and metadata. The
+// directory is locked for the duration (a consistent snapshot).
+func (d *Directory) SaveSnapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := writeSection(bw, []byte(ldif.MarshalSchema(d.st.Schema()))); err != nil {
+		return err
+	}
+	manifest, err := d.st.Manifest()
+	if err != nil {
+		return err
+	}
+	if err := writeSection(bw, manifest); err != nil {
+		return err
+	}
+	if _, err := d.st.Disk().WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// OpenSnapshot reconstructs a queryable Directory from a snapshot.
+// Options must agree with the snapshot's layout where it matters
+// (PageSize is taken from the image; NoAttrIndex from the manifest).
+func OpenSnapshot(r io.Reader, opts Options) (*Directory, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != snapshotMagic {
+		return nil, errors.New("core: not a directory snapshot")
+	}
+	schemaText, err := readSection(br)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := ldif.UnmarshalSchema(string(schemaText))
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := readSection(br)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := pager.ReadDisk(br)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Reopen(disk, schema, manifest)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the in-memory instance from the master list so updates
+	// (mutate + rebuild) keep working after a restore.
+	inst := model.NewInstance(schema)
+	if err := loadInstanceFromStore(st, inst); err != nil {
+		return nil, err
+	}
+	d := &Directory{inst: inst, opts: opts, st: st}
+	d.eng = engine.New(st, opts.Engine)
+	d.strict = inst.Validate(true) == nil
+	return d, nil
+}
+
+func loadInstanceFromStore(st *store.Store, inst *model.Instance) error {
+	l, err := st.EvalString("( ? sub ? objectClass=*)")
+	if err != nil {
+		return err
+	}
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := inst.Add(r.Entry); err != nil {
+			return err
+		}
+	}
+	return l.Free()
+}
+
+func writeSection(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readSection(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("core: snapshot section too large (%d bytes)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 60, Seed: 131})
+	dir, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"(dc=com ? sub ? objectClass=TOPSSubscriber)",
+		"(c (dc=com ? sub ? objectClass=TOPSSubscriber) (dc=com ? sub ? objectClass=QHP) count($2) >= 2)",
+		"(dc=com ? sub ? surName=*adi*)", // exercises the rebuilt suffix index
+		"(dc=com ? sub ? priority<=1)",   // exercises the rebuilt catalog
+	}
+	want := map[string][]string{}
+	for _, q := range queries {
+		res, err := dir.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.DNs()
+	}
+
+	var buf bytes.Buffer
+	if err := dir.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := OpenSnapshot(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != dir.Count() {
+		t.Fatalf("count %d, want %d", back.Count(), dir.Count())
+	}
+	for _, q := range queries {
+		res, err := back.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if fmt.Sprint(res.DNs()) != fmt.Sprint(want[q]) {
+			t.Errorf("%s: snapshot answers differ\n got %v\nwant %v", q, res.DNs(), want[q])
+		}
+	}
+
+	// Updates still work after a restore (instance reconstructed).
+	err = back.Update(func(in *model.Instance) error {
+		e, err := model.NewEntryFromDN(in.Schema(),
+			model.MustParseDN("uid=restored, ou=userProfiles, dc=research, dc=att, dc=com"))
+		if err != nil {
+			return err
+		}
+		e.AddClass("inetOrgPerson")
+		return in.Add(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Search("(dc=com ? sub ? uid=restored)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatal("post-restore update invisible")
+	}
+}
+
+func TestSnapshotOpenSkipsBuildIO(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 120, Seed: 132})
+	dir, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dir.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenSnapshot(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen rebuilds only the in-memory indexes: one master scan plus
+	// the instance reload, far less than the Build's index insertions.
+	buildWrites := dir.Disk().Stats().Writes
+	reopenWrites := back.Disk().Stats().Writes
+	if reopenWrites*4 > buildWrites {
+		t.Errorf("reopen wrote %d pages vs build's %d; snapshot not reusing the image", reopenWrites, buildWrites)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := OpenSnapshot(bytes.NewReader([]byte("not a snapshot at all")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := OpenSnapshot(bytes.NewReader(nil), Options{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSnapshotUnindexedDirectory(t *testing.T) {
+	dir := smallDirectory(t, Options{NoAttrIndex: true})
+	var buf bytes.Buffer
+	if err := dir.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenSnapshot(&buf, Options{NoAttrIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Search("(dc=com ? sub ? surName=jagadish)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("unindexed snapshot: %v", res.DNs())
+	}
+}

@@ -1,0 +1,331 @@
+// Package dirserver implements the distributed side of "Querying
+// Network Directories": DNS-style delegation of the hierarchical
+// namespace to directory servers (Section 3.3), a line-oriented query
+// protocol over TCP, and the distributed query evaluation strategy of
+// Section 8.3 — each atomic sub-query whose base DN is managed by
+// another server is shipped to that server; the sorted result lists
+// come back to the queried server, which runs the operator pipeline
+// locally.
+package dirserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ldif"
+	"repro/internal/model"
+	"repro/internal/plist"
+	"repro/internal/query"
+)
+
+// Registry is the delegation map of the directory information forest:
+// which server owns which namespace subtree. It plays the role DNS
+// plays for the paper's deployment story ("these directory servers can
+// be located efficiently using mechanisms similar to those used in
+// DNS").
+type Registry struct {
+	mu    sync.RWMutex
+	zones []zone
+}
+
+type zone struct {
+	key   string // reverse-DN key prefix of the delegated subtree
+	dn    string
+	addrs []string // primary first, then secondaries
+}
+
+// Register delegates the subtree rooted at domain to the given servers:
+// a primary and, optionally, secondaries tried in order when the
+// primary is unreachable ("Secondary directory servers ensure that one
+// unreachable network will not necessarily cut off network directory
+// service" — the paper's footnote 4). More specific (deeper)
+// delegations take precedence, exactly as DNS subdomain delegation
+// does.
+func (r *Registry) Register(domain model.DN, addrs ...string) {
+	if len(addrs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zones = append(r.zones, zone{key: domain.Key(), dn: domain.String(), addrs: addrs})
+	sort.SliceStable(r.zones, func(i, j int) bool { return len(r.zones[i].key) > len(r.zones[j].key) })
+}
+
+// Lookup returns the primary server owning dn: the registered zone with
+// the longest key prefix of dn's key.
+func (r *Registry) Lookup(dn model.DN) (addr string, ok bool) {
+	addrs, ok := r.LookupAll(dn)
+	if !ok {
+		return "", false
+	}
+	return addrs[0], true
+}
+
+// LookupAll returns every server (primary first) for the zone owning
+// dn.
+func (r *Registry) LookupAll(dn model.DN) ([]string, bool) {
+	key := dn.Key()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, z := range r.zones { // sorted deepest-first
+		if strings.HasPrefix(key, z.key) {
+			return z.addrs, true
+		}
+	}
+	return nil, false
+}
+
+// Zones lists the registered delegations (for tools).
+func (r *Registry) Zones() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.zones))
+	for i, z := range r.zones {
+		out[i] = fmt.Sprintf("%s -> %s", z.dn, strings.Join(z.addrs, ", "))
+	}
+	return out
+}
+
+// request is one protocol message: a query to evaluate at the server.
+// Kind is "atomic" (the distributed-evaluation workhorse), "query" (a
+// full L0..L3 tree evaluated where it lands), or "ldap".
+type request struct {
+	Kind  string `json:"kind"`
+	Query string `json:"query"`
+}
+
+// response carries the sorted result entries as LDIF blocks.
+type response struct {
+	Entries []string `json:"entries"`
+	Err     string   `json:"err,omitempty"`
+}
+
+// Server serves a namespace subtree from a core.Directory over TCP.
+type Server struct {
+	dir  *core.Directory
+	ln   net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral
+// port) for the given directory.
+func Serve(dir *core.Directory, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{dir: dir, ln: ln, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{Err: "bad request: " + err.Error()})
+			return
+		}
+		_ = enc.Encode(s.serveOne(req))
+	}
+}
+
+func (s *Server) serveOne(req request) response {
+	var res *core.Result
+	var err error
+	switch req.Kind {
+	case "atomic":
+		var q query.Query
+		q, err = query.Parse(req.Query)
+		if err == nil {
+			if _, ok := q.(*query.Atomic); !ok {
+				err = fmt.Errorf("dirserver: %q is not atomic", req.Query)
+			}
+		}
+		if err == nil {
+			res, err = s.dir.SearchQuery(q)
+		}
+	case "query":
+		res, err = s.dir.Search(req.Query)
+	case "ldap":
+		res, err = s.dir.SearchLDAP(req.Query)
+	default:
+		err = fmt.Errorf("dirserver: unknown request kind %q", req.Kind)
+	}
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	out := response{Entries: make([]string, len(res.Entries))}
+	for i, e := range res.Entries {
+		out.Entries[i] = ldif.MarshalEntry(e)
+	}
+	return out
+}
+
+// Client errors.
+var ErrRemote = errors.New("dirserver: remote error")
+
+// Call sends one request to a server and decodes the entries.
+func Call(addr string, schema *model.Schema, kind, queryText string) ([]*model.Entry, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	b, err := json.Marshal(request{Kind: kind, Query: queryText})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(append(b, '\n')); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(conn)
+	var res response
+	if err := dec.Decode(&res); err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, res.Err)
+	}
+	out := make([]*model.Entry, len(res.Entries))
+	for i, block := range res.Entries {
+		if out[i], err = ldif.UnmarshalEntry(schema, block); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Coordinator evaluates full query trees the Section 8.3 way: atomic
+// sub-queries owned by other servers are shipped to them; their sorted
+// results are materialized locally and fed into this server's operator
+// pipeline.
+type Coordinator struct {
+	dir *core.Directory
+	reg *Registry
+	// selfAddr marks which delegations resolve to this server's own
+	// directory (evaluated locally without a network hop).
+	selfAddr string
+	// remoteAtomics counts atomic sub-queries shipped elsewhere.
+	remoteAtomics int
+}
+
+// NewCoordinator wraps a local directory. reg maps namespace subtrees
+// to server addresses; selfAddr identifies the local server in reg.
+func NewCoordinator(dir *core.Directory, reg *Registry, selfAddr string) *Coordinator {
+	c := &Coordinator{dir: dir, reg: reg, selfAddr: selfAddr}
+	dir.Engine().SetResolver(c.resolveAtomic)
+	return c
+}
+
+// RemoteAtomics reports how many atomic sub-queries were shipped to
+// other servers since creation.
+func (c *Coordinator) RemoteAtomics() int { return c.remoteAtomics }
+
+func (c *Coordinator) resolveAtomic(q *query.Atomic) (*plist.List, error) {
+	addrs, ok := c.reg.LookupAll(q.Base)
+	if !ok {
+		return c.dir.Engine().Store().Eval(q)
+	}
+	for _, a := range addrs {
+		if a == c.selfAddr {
+			return c.dir.Engine().Store().Eval(q)
+		}
+	}
+	c.remoteAtomics++
+	// Try the primary, then each secondary (footnote 4 failover).
+	var entries []*model.Entry
+	var err error
+	for _, addr := range addrs {
+		entries, err = Call(addr, c.dir.Schema(), "atomic", q.String())
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrRemote) {
+			// The server answered with an error: failing over will not
+			// change the outcome.
+			return nil, err
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dirserver: all servers for %q unreachable: %w", q.Base, err)
+	}
+	// Results arrive in reverse-DN order (every server's evaluation
+	// preserves it); materialize them on the local disk for the
+	// pipeline.
+	w := plist.NewWriter(c.dir.Disk())
+	for _, e := range entries {
+		if err := w.Append(plist.FromEntry(e)); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// Search evaluates a query string, distributing atomics as needed.
+func (c *Coordinator) Search(text string) ([]*model.Entry, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := query.Validate(c.dir.Schema(), q); err != nil {
+		return nil, err
+	}
+	l, err := c.dir.Engine().Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*model.Entry, len(recs))
+	for i, r := range recs {
+		out[i] = r.Entry
+	}
+	return out, l.Free()
+}

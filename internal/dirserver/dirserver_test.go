@@ -1,0 +1,366 @@
+package dirserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// splitPaperDirectory partitions the paper's sample directory the way
+// Figure 1's dotted lines suggest: one server for the upper levels plus
+// the userProfiles subtree, one for the research networkPolicies
+// subtree.
+func splitPaperDirectory(t *testing.T) (whole, upper, policies *core.Directory) {
+	t.Helper()
+	full := workload.PaperInstance()
+	s := full.Schema()
+	upperIn := model.NewInstance(s)
+	polIn := model.NewInstance(s)
+	polRoot := model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com")
+	for _, e := range full.Entries() {
+		if polRoot.IsAncestorOf(e.DN()) || polRoot.Equal(e.DN()) {
+			polIn.MustAdd(e.Clone())
+		} else {
+			upperIn.MustAdd(e.Clone())
+		}
+	}
+	var err error
+	if whole, err = core.Open(full, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if upper, err = core.Open(upperIn, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if policies, err = core.Open(polIn, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return whole, upper, policies
+}
+
+func TestRegistryLongestPrefix(t *testing.T) {
+	var r Registry
+	r.Register(model.MustParseDN("dc=com"), "A")
+	r.Register(model.MustParseDN("dc=att, dc=com"), "B")
+	r.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), "C")
+	cases := []struct {
+		dn   string
+		want string
+	}{
+		{"dc=com", "A"},
+		{"dc=ibm, dc=com", "A"},
+		{"dc=att, dc=com", "B"},
+		{"uid=j, dc=research, dc=att, dc=com", "B"},
+		{"TPName=x, ou=trafficProfile, ou=networkPolicies, dc=research, dc=att, dc=com", "C"},
+	}
+	for _, c := range cases {
+		got, ok := r.Lookup(model.MustParseDN(c.dn))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q", c.dn, got, ok, c.want)
+		}
+	}
+	if _, ok := r.Lookup(model.MustParseDN("dc=org")); ok {
+		t.Error("unowned namespace resolved")
+	}
+	if len(r.Zones()) != 3 {
+		t.Errorf("zones = %v", r.Zones())
+	}
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := Serve(whole, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	entries, err := Call(srv.Addr(), whole.Schema(), "query",
+		"(dc=com ? sub ? objectClass=dcObject)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Sorted, with typed values intact.
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key() >= entries[i].Key() {
+			t.Fatal("remote results not sorted")
+		}
+	}
+
+	// Atomic kind rejects composites.
+	if _, err := Call(srv.Addr(), whole.Schema(), "atomic",
+		"(& (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*))"); !errors.Is(err, ErrRemote) {
+		t.Errorf("composite as atomic: %v", err)
+	}
+
+	// LDAP kind.
+	entries, err = Call(srv.Addr(), whole.Schema(), "ldap",
+		"(dc=com ? sub ? (&(objectClass=QHP)(priority<=1)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ldap entries = %d", len(entries))
+	}
+
+	// Errors propagate.
+	if _, err := Call(srv.Addr(), whole.Schema(), "query", "((("); !errors.Is(err, ErrRemote) {
+		t.Errorf("parse error: %v", err)
+	}
+	if _, err := Call(srv.Addr(), whole.Schema(), "bogus", "x"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad kind: %v", err)
+	}
+}
+
+func TestDistributedEqualsCentralized(t *testing.T) {
+	// E14: a federated query over two servers returns exactly what the
+	// single-server evaluation returns.
+	whole, upper, policies := splitPaperDirectory(t)
+
+	upSrv, err := Serve(upper, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upSrv.Close()
+	polSrv, err := Serve(policies, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer polSrv.Close()
+
+	var reg Registry
+	reg.Register(model.MustParseDN("dc=com"), upSrv.Addr())
+	reg.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), polSrv.Addr())
+
+	// Coordinate from the "upper" server's point of view.
+	coord := NewCoordinator(upper, &reg, upSrv.Addr())
+
+	queries := []string{
+		// Purely local.
+		"(dc=com ? sub ? objectClass=TOPSSubscriber)",
+		// Purely remote.
+		"(ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)",
+		// Spanning: Ex 5.2-style ancestors across both servers. The first
+		// operand lives on the policy server, the second on both.
+		`(a (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=trafficProfile)
+		    (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? ou=networkPolicies))`,
+		// L3 across the wire.
+		`(vd (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+		     (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? destinationPort=25)
+		     SLATPRef)`,
+		// Boolean mixing local and remote atomics.
+		`(| (dc=com ? sub ? objectClass=TOPSSubscriber)
+		    (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLADSAction))`,
+	}
+	for _, qs := range queries {
+		want, err := whole.Search(qs)
+		if err != nil {
+			t.Fatalf("central %s: %v", qs, err)
+		}
+		got, err := coord.Search(qs)
+		if err != nil {
+			t.Fatalf("distributed %s: %v", qs, err)
+		}
+		if len(got) != len(want.Entries) {
+			t.Errorf("%s: distributed %d vs central %d", qs, len(got), len(want.Entries))
+			continue
+		}
+		for i := range got {
+			if !got[i].DN().Equal(want.Entries[i].DN()) {
+				t.Errorf("%s: entry %d differs: %s vs %s", qs, i, got[i].DN(), want.Entries[i].DN())
+			}
+		}
+	}
+	if coord.RemoteAtomics() == 0 {
+		t.Error("no atomic sub-queries were shipped remotely")
+	}
+}
+
+func TestSecondaryFailover(t *testing.T) {
+	// Footnote 4: an unreachable primary must not cut off service when a
+	// secondary holds the same subtree.
+	whole, upper, policies := splitPaperDirectory(t)
+	_ = upper
+
+	polSrv, err := Serve(policies, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer polSrv.Close()
+
+	// The primary address points at a server we immediately close.
+	dead, err := Serve(policies, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	_ = dead.Close()
+
+	localSrv, err := Serve(upper, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer localSrv.Close()
+
+	var reg Registry
+	reg.Register(model.MustParseDN("dc=com"), localSrv.Addr())
+	reg.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"),
+		deadAddr, polSrv.Addr()) // dead primary, live secondary
+
+	coord := NewCoordinator(upper, &reg, localSrv.Addr())
+	q := "(ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+	got, err := coord.Search(q)
+	if err != nil {
+		t.Fatalf("failover did not save the query: %v", err)
+	}
+	want, err := whole.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Entries) {
+		t.Fatalf("failover answer %d vs %d", len(got), len(want.Entries))
+	}
+
+	// With no live server at all, the error must say so.
+	var reg2 Registry
+	reg2.Register(model.MustParseDN("dc=com"), localSrv.Addr())
+	reg2.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), deadAddr)
+	coord2 := NewCoordinator(upper, &reg2, localSrv.Addr())
+	if _, err := coord2.Search(q); err == nil {
+		t.Fatal("query against only-dead servers succeeded")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := Serve(whole, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			q := fmt.Sprintf("(dc=com ? sub ? objectClass=%s)",
+				[]string{"dcObject", "QHP", "trafficProfile", "SLADSAction"}[i%4])
+			entries, err := Call(srv.Addr(), whole.Schema(), "query", q)
+			if err == nil && len(entries) == 0 {
+				err = fmt.Errorf("empty result for %s", q)
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestProtocolRobustness(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := Serve(whole, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Malformed JSON: the server answers with an error and closes.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("{not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Err string `json:"err"`
+	}
+	if err := json.NewDecoder(conn).Decode(&res); err != nil {
+		t.Fatalf("no error response: %v", err)
+	}
+	if res.Err == "" {
+		t.Fatal("malformed request accepted")
+	}
+	conn.Close()
+
+	// A dropped connection mid-request must not wedge the server.
+	conn, err = net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte(`{"kind":"query","query":"`)) // no newline, then drop
+	conn.Close()
+
+	// The server still answers new clients.
+	entries, err := Call(srv.Addr(), whole.Schema(), "query", "(dc=com ? sub ? objectClass=dcObject)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d after abusive clients", len(entries))
+	}
+
+	// Several requests on one connection (pipelining).
+	conn, err = net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	for i := 0; i < 3; i++ {
+		if err := enc.Encode(map[string]string{
+			"kind": "query", "query": "(dc=com ? sub ? objectClass=dcObject)",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var r struct {
+			Entries []string `json:"entries"`
+			Err     string   `json:"err"`
+		}
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if r.Err != "" || len(r.Entries) != 4 {
+			t.Fatalf("round %d: %d entries, err=%q", i, len(r.Entries), r.Err)
+		}
+	}
+}
+
+func TestEntryWireFidelity(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := Serve(whole, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	entries, err := Call(srv.Addr(), whole.Schema(), "query",
+		"(dc=com ? sub ? SLAPolicyName=dso)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	dso := entries[0]
+	if len(dso.Values("SLATPRef")) != 2 {
+		t.Error("DN-valued attributes lost on the wire")
+	}
+	pr, _ := dso.First("SLARulePriority")
+	if pr.Kind() != model.KindInt || pr.Int() != 2 {
+		t.Error("int typing lost on the wire")
+	}
+	if !strings.HasPrefix(dso.DN().String(), "SLAPolicyName=dso") {
+		t.Errorf("dn = %s", dso.DN())
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestCompiledLDAPEqualsNative verifies the constructive LDAP ⊆ L0
+// inclusion end to end: for randomized instances and a family of LDAP
+// queries, evaluating the compiled L0 query yields exactly the native
+// LDAP evaluation's answer.
+func TestCompiledLDAPEqualsNative(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	ldapQueries := []string{
+		"( ? sub ? tag=a)",
+		"( ? sub ? (&(tag=a)(val<4)))",
+		"( ? sub ? (|(tag=a)(tag=b)))",
+		"( ? sub ? (!(tag=a)))",
+		"( ? sub ? (&(objectClass=node)(!(val>=3))))",
+		"( ? one ? (|(tag=a)(!(tag=b))))",
+		"( ? sub ? (&(|(tag=a)(tag=b))(!(&(val>=2)(val<=3)))))",
+	}
+	for trial := 0; trial < 3; trial++ {
+		in := randForest(t, r, 100)
+		e := newEngine(t, in, Config{})
+		for _, qs := range ldapQueries {
+			lq, err := query.ParseLDAP(qs)
+			if err != nil {
+				t.Fatalf("%s: %v", qs, err)
+			}
+			native, err := e.Eval(lq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := query.CompileLDAP(lq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaL0, err := e.Eval(compiled)
+			if err != nil {
+				t.Fatalf("%s compiled %s: %v", qs, compiled, err)
+			}
+			nk, ck := resultKeys(t, native), resultKeys(t, viaL0)
+			if fmt.Sprint(nk) != fmt.Sprint(ck) {
+				t.Errorf("trial %d %s:\nnative %d entries\ncompiled (%s) %d entries",
+					trial, qs, len(nk), compiled, len(ck))
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestOperatorEdgeCases pins down the degenerate shapes: empty
+// operands on either side, identical operands, and whole-instance
+// operands, for every operator family.
+func TestOperatorEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	in := randForest(t, r, 60)
+	e := newEngine(t, in, Config{})
+
+	const (
+		empty = `(- ( ? base ? objectClass=*) ( ? base ? objectClass=*))`
+		all   = `( ? sub ? objectClass=*)`
+		some  = `( ? sub ? tag=a)`
+	)
+	cases := []string{
+		// Boolean with empties.
+		fmt.Sprintf("(& %s %s)", empty, all),
+		fmt.Sprintf("(| %s %s)", empty, some),
+		fmt.Sprintf("(- %s %s)", some, empty),
+		fmt.Sprintf("(- %s %s)", empty, some),
+		// Hierarchy with empty operands on each side.
+		fmt.Sprintf("(a %s %s)", empty, all),
+		fmt.Sprintf("(a %s %s)", all, empty),
+		fmt.Sprintf("(d %s %s)", empty, empty),
+		fmt.Sprintf("(c %s %s)", all, empty),
+		fmt.Sprintf("(p %s %s)", empty, all),
+		fmt.Sprintf("(ac %s %s %s)", all, all, empty),
+		fmt.Sprintf("(dc %s %s %s)", all, empty, all),
+		fmt.Sprintf("(ac %s %s %s)", empty, all, all),
+		// Identical operands.
+		fmt.Sprintf("(a %s %s)", all, all),
+		fmt.Sprintf("(d %s %s)", some, some),
+		fmt.Sprintf("(c %s %s)", all, all),
+		// Aggregates over empties and identities.
+		fmt.Sprintf("(g %s count(val) >= 0)", empty),
+		fmt.Sprintf("(c %s %s count($2) = 0)", all, empty), // zero-witness still compares
+		fmt.Sprintf("(d %s %s min($2.val) <= 100)", all, empty),
+		fmt.Sprintf("(g %s min(val) = min(min(val)))", empty),
+		// Embedded references with empties.
+		fmt.Sprintf("(vd %s %s ref)", empty, all),
+		fmt.Sprintf("(vd %s %s ref)", all, empty),
+		fmt.Sprintf("(dv %s %s ref)", all, empty),
+		fmt.Sprintf("(dv %s %s ref count($2) >= 0)", empty, all),
+	}
+	for _, qs := range cases {
+		q := query.MustParse(qs)
+		want := oracleEval(in, q).sortedKeys()
+		l, err := e.Eval(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		got := resultKeys(t, l)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s:\n got %d entries\nwant %d entries", qs, len(got), len(want))
+		}
+	}
+}
+
+// TestCountZeroSelectsWitnessless pins the subtle count($2)=0 case: the
+// structural operators evaluate the condition for every L1 entry, so a
+// zero-witness comparison selects exactly the entries with no
+// witnesses — not the empty set.
+func TestCountZeroSelectsWitnessless(t *testing.T) {
+	r := rand.New(rand.NewSource(142))
+	in := randForest(t, r, 50)
+	e := newEngine(t, in, Config{})
+	withW, err := e.Eval(query.MustParse("(d ( ? sub ? objectClass=*) ( ? sub ? tag=a))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := e.Eval(query.MustParse("(d ( ? sub ? objectClass=*) ( ? sub ? tag=a) count($2) = 0)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, kwo := resultKeys(t, withW), resultKeys(t, without)
+	if len(kw)+len(kwo) != in.Len() {
+		t.Fatalf("witnessed (%d) + witnessless (%d) != all (%d)", len(kw), len(kwo), in.Len())
+	}
+	seen := map[string]bool{}
+	for _, k := range kw {
+		seen[k] = true
+	}
+	for _, k := range kwo {
+		if seen[k] {
+			t.Fatalf("entry %q in both partitions", k)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/extsort"
+	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/plist"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Config tunes the engine's constant-memory budget.
+type Config struct {
+	// StackWindow is the number of resident pages per algorithm stack
+	// (default 4). Smaller windows spill more; Theorem 5.1's linearity
+	// holds for any constant window.
+	StackWindow int
+	// AnnPoolPages is the buffer-pool capacity for annotation files
+	// (default 16).
+	AnnPoolPages int
+	// SortMemBytes bounds the external sorter's run-formation memory
+	// (default: extsort's own default).
+	SortMemBytes int
+	// Naive switches every operator to its quadratic "straightforward
+	// way" baseline (Sections 5.3 and 7.2) — for the crossover
+	// experiments.
+	Naive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StackWindow < 2 {
+		c.StackWindow = 4
+	}
+	if c.AnnPoolPages < 2 {
+		c.AnnPoolPages = 16
+	}
+	return c
+}
+
+// Engine evaluates L0..L3 query trees bottom-up against a directory
+// store, pipelining sorted intermediate lists between operators
+// (Section 8.2): atomic queries evaluate through the store's indexes,
+// every operator consumes sorted lists and emits a sorted list, and no
+// intermediate re-sorting is ever needed.
+type Engine struct {
+	st       *store.Store
+	cfg      Config
+	resolver func(*query.Atomic) (*plist.List, error)
+}
+
+// SetResolver installs an atomic-query resolver consulted instead of the
+// local store. The distributed evaluator of Section 8.3 uses this to
+// ship atomic sub-queries to the directory server owning their base DN
+// and feed the returned sorted lists into the local operator pipeline.
+func (e *Engine) SetResolver(r func(*query.Atomic) (*plist.List, error)) { e.resolver = r }
+
+// New creates an engine over a store.
+func New(st *store.Store, cfg Config) *Engine {
+	return &Engine{st: st, cfg: cfg.withDefaults()}
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+func (e *Engine) disk() *pager.Disk { return e.st.Disk() }
+
+func (e *Engine) sortCfg() extsort.Config {
+	return extsort.Config{MemBytes: e.cfg.SortMemBytes}
+}
+
+// Eval evaluates a query tree and returns the result list, sorted by
+// reverse-DN key. Intermediate lists are freed as they are consumed.
+func (e *Engine) Eval(q query.Query) (*plist.List, error) {
+	switch n := q.(type) {
+	case *query.Atomic:
+		if e.resolver != nil {
+			return e.resolver(n)
+		}
+		return e.st.Eval(n)
+
+	case *query.LDAP:
+		return e.st.EvalLDAP(n)
+
+	case *query.Bool:
+		l1, err := e.Eval(n.Q1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := e.Eval(n.Q2)
+		if err != nil {
+			return nil, err
+		}
+		defer freeAll(l1, l2)
+		if e.cfg.Naive {
+			return e.NaiveBool(n.Op, l1, l2)
+		}
+		return e.EvalBool(n.Op, l1, l2)
+
+	case *query.Hier:
+		l1, err := e.Eval(n.Q1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := e.Eval(n.Q2)
+		if err != nil {
+			return nil, err
+		}
+		var l3 *plist.List
+		if n.Q3 != nil {
+			if l3, err = e.Eval(n.Q3); err != nil {
+				return nil, err
+			}
+		}
+		defer freeAll(l1, l2, l3)
+		if e.cfg.Naive {
+			return e.NaiveHier(n.Op, l1, l2, l3, n.AggSel)
+		}
+		return e.EvalHier(n.Op, l1, l2, l3, n.AggSel)
+
+	case *query.SimpleAgg:
+		l1, err := e.Eval(n.Q)
+		if err != nil {
+			return nil, err
+		}
+		defer freeAll(l1)
+		return e.EvalSimpleAgg(l1, n.AggSel)
+
+	case *query.EmbedRef:
+		l1, err := e.Eval(n.Q1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := e.Eval(n.Q2)
+		if err != nil {
+			return nil, err
+		}
+		defer freeAll(l1, l2)
+		if e.cfg.Naive {
+			return e.NaiveEmbedRef(n.Op, l1, l2, n.Attr, n.AggSel)
+		}
+		return e.EvalEmbedRef(n.Op, l1, l2, n.Attr, n.AggSel)
+
+	default:
+		return nil, fmt.Errorf("engine: unknown query node %T", q)
+	}
+}
+
+// EvalString parses, validates, and evaluates a query in the paper's
+// surface syntax.
+func (e *Engine) EvalString(text string) (*plist.List, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := query.Validate(e.st.Schema(), q); err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// Entries evaluates a query and drains the result into memory — for
+// small results, tools, and tests.
+func (e *Engine) Entries(q query.Query) ([]*model.Entry, error) {
+	l, err := e.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*model.Entry, len(recs))
+	for i, r := range recs {
+		out[i] = r.Entry
+	}
+	return out, l.Free()
+}
+
+func freeAll(ls ...*plist.List) {
+	for _, l := range ls {
+		if l != nil {
+			_ = l.Free()
+		}
+	}
+}
+
+// clean strips merge labels and operator annotations so results compose.
+func clean(rec *plist.Record) *plist.Record {
+	return &plist.Record{Key: rec.Key, Entry: rec.Entry}
+}
+
+// EvalBool computes the L0 boolean operators by the linear list-merge
+// technique of Section 4.2 (after Jacobson et al. [21]): one synchronized
+// scan of both sorted inputs, output written in sorted order.
+func (e *Engine) EvalBool(op query.BoolOp, l1, l2 *plist.List) (*plist.List, error) {
+	m := plist.NewMerge(l1.Reader(), l2.Reader())
+	w := plist.NewWriter(e.disk())
+	for {
+		rec, err := m.Next()
+		if err == io.EOF {
+			return w.Close()
+		}
+		if err != nil {
+			return nil, err
+		}
+		in1, in2 := rec.HasLabel(1), rec.HasLabel(2)
+		keep := false
+		switch op {
+		case query.OpAnd:
+			keep = in1 && in2
+		case query.OpOr:
+			keep = in1 || in2
+		case query.OpDiff:
+			keep = in1 && !in2
+		}
+		if keep {
+			if err := w.Append(clean(rec)); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package engine
+
+// An independent reference implementation of the denotational semantics
+// of Definitions 4.1, 5.1, 6.1, 6.2 and 7.1, computed naively over the
+// in-memory instance. The engine (stack/sort-merge algorithms) and the
+// naive disk baselines are both tested against it; agreement of three
+// independently-written evaluators is the correctness argument.
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+type oracleSet map[string]*model.Entry // reverse key -> entry
+
+func (s oracleSet) sortedKeys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func oracleEval(in *model.Instance, q query.Query) oracleSet {
+	switch n := q.(type) {
+	case *query.Atomic:
+		out := oracleSet{}
+		k := n.Base.Key()
+		depth := n.Base.Depth()
+		in.Range(k, model.SubtreeHigh(k), func(e *model.Entry) bool {
+			switch n.Scope {
+			case query.ScopeBase:
+				if e.Key() != k {
+					return true
+				}
+			case query.ScopeOne:
+				if model.KeyDepth(e.Key())-depth > 1 {
+					return true
+				}
+			}
+			if n.Filter.Matches(in.Schema(), e) {
+				out[e.Key()] = e
+			}
+			return true
+		})
+		return out
+
+	case *query.Bool:
+		s1, s2 := oracleEval(in, n.Q1), oracleEval(in, n.Q2)
+		out := oracleSet{}
+		switch n.Op {
+		case query.OpAnd:
+			for k, e := range s1 {
+				if _, ok := s2[k]; ok {
+					out[k] = e
+				}
+			}
+		case query.OpOr:
+			for k, e := range s1 {
+				out[k] = e
+			}
+			for k, e := range s2 {
+				out[k] = e
+			}
+		case query.OpDiff:
+			for k, e := range s1 {
+				if _, ok := s2[k]; !ok {
+					out[k] = e
+				}
+			}
+		}
+		return out
+
+	case *query.Hier:
+		s1, s2 := oracleEval(in, n.Q1), oracleEval(in, n.Q2)
+		var s3 oracleSet
+		if n.Q3 != nil {
+			s3 = oracleEval(in, n.Q3)
+		}
+		witnesses := func(r1 string) []*model.Entry {
+			var ws []*model.Entry
+			for r2, e2 := range s2 {
+				ok := false
+				switch n.Op {
+				case query.OpParents:
+					ok = model.KeyIsParent(r2, r1)
+				case query.OpChildren:
+					ok = model.KeyIsParent(r1, r2)
+				case query.OpAncestors:
+					ok = model.KeyIsAncestor(r2, r1)
+				case query.OpDescendants:
+					ok = model.KeyIsAncestor(r1, r2)
+				case query.OpAncestorsC:
+					ok = model.KeyIsAncestor(r2, r1)
+					if ok {
+						for r3 := range s3 {
+							if model.KeyIsAncestor(r3, r1) && model.KeyIsAncestor(r2, r3) {
+								ok = false
+								break
+							}
+						}
+					}
+				case query.OpDescendantsC:
+					ok = model.KeyIsAncestor(r1, r2)
+					if ok {
+						for r3 := range s3 {
+							if model.KeyIsAncestor(r1, r3) && model.KeyIsAncestor(r3, r2) {
+								ok = false
+								break
+							}
+						}
+					}
+				}
+				if ok {
+					ws = append(ws, e2)
+				}
+			}
+			return ws
+		}
+		return oracleStructuralSelect(s1, witnesses, n.AggSel)
+
+	case *query.SimpleAgg:
+		s1 := oracleEval(in, n.Q)
+		out := oracleSet{}
+		sa := oracleSetAccs(s1, nil, n.AggSel)
+		for k, e := range s1 {
+			if oracleCond(n.AggSel, e, nil, sa, int64(len(s1))) {
+				out[k] = e
+			}
+		}
+		return out
+
+	case *query.EmbedRef:
+		s1, s2 := oracleEval(in, n.Q1), oracleEval(in, n.Q2)
+		witnesses := func(r1 string) []*model.Entry {
+			var ws []*model.Entry
+			e1 := s1[r1]
+			for r2, e2 := range s2 {
+				match := false
+				if n.Op == query.OpValueDN {
+					for _, v := range e1.Values(n.Attr) {
+						if v.Kind() == model.KindDN && v.DN().Key() == r2 {
+							match = true
+							break
+						}
+					}
+				} else {
+					for _, v := range e2.Values(n.Attr) {
+						if v.Kind() == model.KindDN && v.DN().Key() == r1 {
+							match = true
+							break
+						}
+					}
+				}
+				if match {
+					ws = append(ws, e2)
+				}
+			}
+			return ws
+		}
+		return oracleStructuralSelect(s1, witnesses, n.AggSel)
+	}
+	return nil
+}
+
+func oracleStructuralSelect(s1 oracleSet, witnesses func(string) []*model.Entry, sel *query.AggSel) oracleSet {
+	out := oracleSet{}
+	ws := map[string][]*model.Entry{}
+	for k := range s1 {
+		ws[k] = witnesses(k)
+	}
+	if sel == nil {
+		for k, e := range s1 {
+			if len(ws[k]) > 0 {
+				out[k] = e
+			}
+		}
+		return out
+	}
+	sa := oracleSetAccs(s1, ws, sel)
+	for k, e := range s1 {
+		if oracleCond(sel, e, ws[k], sa, int64(len(s1))) {
+			out[k] = e
+		}
+	}
+	return out
+}
+
+// oracleEntryAgg computes an entry aggregate per Definitions 6.1/6.2.
+func oracleEntryAgg(ea query.EntryAgg, e *model.Entry, ws []*model.Entry) (int64, bool) {
+	var vals []int64  // integer values (numeric folds)
+	total := int64(0) // all values regardless of kind (count folds)
+	collect := func(src *model.Entry) {
+		for _, v := range src.Values(ea.Attr) {
+			total++
+			if v.Kind() == model.KindInt {
+				vals = append(vals, v.Int())
+			}
+		}
+	}
+	switch {
+	case ea.Over == query.VarWitness && ea.Attr == "": // count($2)
+		return int64(len(ws)), true
+	case ea.Over == query.VarWitness:
+		for _, w := range ws {
+			collect(w)
+		}
+	default:
+		collect(e)
+	}
+	if ea.Fn == query.AggCount {
+		return total, true
+	}
+	return oracleFold(ea.Fn, vals)
+}
+
+func oracleFold(fn query.AggFunc, vals []int64) (int64, bool) {
+	if fn == query.AggCount {
+		return int64(len(vals)), true
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	mn, mx, sum := vals[0], vals[0], int64(0)
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	switch fn {
+	case query.AggMin:
+		return mn, true
+	case query.AggMax:
+		return mx, true
+	case query.AggSum:
+		return sum, true
+	case query.AggAvg:
+		return sum / int64(len(vals)), true
+	}
+	return 0, false
+}
+
+type oracleAccs struct {
+	vals [2][]int64 // per-side folded inner values
+}
+
+func oracleSetAccs(s1 oracleSet, ws map[string][]*model.Entry, sel *query.AggSel) *oracleAccs {
+	acc := &oracleAccs{}
+	if sel == nil {
+		return acc
+	}
+	for i, side := range []query.AggAttr{sel.Left, sel.Right} {
+		if side.Kind != query.KindEntrySet || side.Form != query.SetOfEntry {
+			continue
+		}
+		for k, e := range s1 {
+			var w []*model.Entry
+			if ws != nil {
+				w = ws[k]
+			}
+			if v, ok := oracleEntryAgg(side.Entry, e, w); ok {
+				acc.vals[i] = append(acc.vals[i], v)
+			}
+		}
+	}
+	return acc
+}
+
+func oracleCond(sel *query.AggSel, e *model.Entry, ws []*model.Entry, acc *oracleAccs, n1 int64) bool {
+	side := func(i int, a query.AggAttr) (int64, bool) {
+		switch a.Kind {
+		case query.KindConst:
+			return a.Const, true
+		case query.KindEntry:
+			return oracleEntryAgg(a.Entry, e, ws)
+		default:
+			switch a.Form {
+			case query.SetCount1, query.SetCountAll:
+				return n1, true
+			default:
+				return oracleFold(a.OuterFn, acc.vals[i])
+			}
+		}
+	}
+	lv, lok := side(0, sel.Left)
+	rv, rok := side(1, sel.Right)
+	return lok && rok && sel.Op.Compare(lv, rv)
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestTheorem82d verifies Theorem 8.2(d) constructively on randomized
+// strict forests: L0 + {ac, dc} expresses all of p, c, a, d.
+//
+//	(p Q1 Q2) = (ac Q1 Q2 ALL)    ALL = (null-dn ? sub ? objectClass=*)
+//	(c Q1 Q2) = (dc Q1 Q2 ALL)    — every entry blocks, so only the
+//	                                immediate relative survives
+//	(a Q1 Q2) = (ac Q1 Q2 NONE)   NONE = a self-difference: no blockers
+//	(d Q1 Q2) = (dc Q1 Q2 NONE)
+//
+// The ALL encodings additionally require the strict-forest property
+// (every parent present), which the random generator guarantees by
+// construction.
+func TestTheorem82d(t *testing.T) {
+	const all = `( ? sub ? objectClass=*)`
+	const none = `(- ( ? base ? objectClass=*) ( ? base ? objectClass=*))`
+	q1, q2 := `( ? sub ? tag=a)`, `( ? sub ? tag=b)`
+
+	encodings := []struct {
+		native, encoded string
+	}{
+		{fmt.Sprintf("(p %s %s)", q1, q2), fmt.Sprintf("(ac %s %s %s)", q1, q2, all)},
+		{fmt.Sprintf("(c %s %s)", q1, q2), fmt.Sprintf("(dc %s %s %s)", q1, q2, all)},
+		{fmt.Sprintf("(a %s %s)", q1, q2), fmt.Sprintf("(ac %s %s %s)", q1, q2, none)},
+		{fmt.Sprintf("(d %s %s)", q1, q2), fmt.Sprintf("(dc %s %s %s)", q1, q2, none)},
+	}
+	r := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 5; trial++ {
+		in := randForest(t, r, 80)
+		if err := in.Validate(true); err != nil {
+			t.Fatalf("random forest not strict: %v", err)
+		}
+		e := newEngine(t, in, Config{})
+		for _, enc := range encodings {
+			ln, err := e.Eval(query.MustParse(enc.native))
+			if err != nil {
+				t.Fatal(err)
+			}
+			le, err := e.Eval(query.MustParse(enc.encoded))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kn, ke := resultKeys(t, ln), resultKeys(t, le)
+			if fmt.Sprint(kn) != fmt.Sprint(ke) {
+				t.Errorf("trial %d: %s != %s (%d vs %d entries)",
+					trial, enc.native, enc.encoded, len(kn), len(ke))
+			}
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package filter implements the atomic filters of Section 4.1 of
+// "Querying Network Directories" and, for the LDAP baseline language,
+// RFC 2254-style composite filters (boolean combinations of atomic
+// filters evaluated against a single entry).
+//
+// A directory entry satisfies an atomic filter if at least one of its
+// (attribute, value) pairs satisfies it:
+//
+//	r |= a=*   iff  exists v. (a, v) in val(r)                 (presence)
+//	r |= a<v1  iff  tau(a)=int and exists v2. (a,v2) in val(r), v2<v1
+//	r |= a=p   iff  tau(a)=string and some value matches the wildcard
+//	               pattern p (substring per RFC 2254), or the value/
+//	               pattern are equal for int and dn attributes.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Op is the comparison operator of an atomic filter.
+type Op uint8
+
+// Comparison operators. OpPresent is the `a=*` test; OpEq covers both
+// exact equality and wildcard string matching (the pattern may contain
+// '*').
+const (
+	OpInvalid Op = iota
+	OpPresent
+	OpEq
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpApprox // ~= treated as case-insensitive equality
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPresent:
+		return "=*"
+	case OpEq:
+		return "="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpApprox:
+		return "~="
+	default:
+		return "?"
+	}
+}
+
+// Filter is a predicate over a single directory entry. Atomic filters and
+// (for LDAP) boolean combinations implement it.
+type Filter interface {
+	// Matches reports r |= F under schema s.
+	Matches(s *model.Schema, r *model.Entry) bool
+	// String renders the filter in the paper's surface syntax.
+	String() string
+	// Atomic reports whether the filter is a single atomic comparison
+	// (the only kind admitted inside L0..L3 atomic queries).
+	Atomic() bool
+}
+
+// Atom is an atomic filter: one attribute, one operator, one operand.
+type Atom struct {
+	Attr    string
+	Op      Op
+	Operand string // textual operand; for OpEq on strings may hold '*'
+	pattern []string
+	isPat   bool
+	intVal  int64
+	isInt   bool
+}
+
+// NewAtom builds an atomic filter. The operand is interpreted lazily
+// against the schema at match time, but wildcard/integer forms are
+// pre-parsed here for speed.
+func NewAtom(attr string, op Op, operand string) *Atom {
+	a := &Atom{Attr: model.NormalizeAttr(attr), Op: op, Operand: operand}
+	if a.Attr == model.ObjectClass {
+		// Class names are case-insensitive and stored normalized.
+		operand = strings.ToLower(operand)
+		a.Operand = operand
+	}
+	if strings.Contains(operand, "*") && op == OpEq {
+		a.isPat = true
+		a.pattern = strings.Split(operand, "*")
+	}
+	if iv, err := strconv.ParseInt(strings.TrimSpace(operand), 10, 64); err == nil {
+		a.intVal, a.isInt = iv, true
+	}
+	return a
+}
+
+// Present returns the presence filter attr=*.
+func Present(attr string) *Atom { return NewAtom(attr, OpPresent, "") }
+
+// Eq returns the equality/wildcard filter attr=operand.
+func Eq(attr, operand string) *Atom { return NewAtom(attr, OpEq, operand) }
+
+// Atomic reports true.
+func (a *Atom) Atomic() bool { return true }
+
+func (a *Atom) String() string {
+	if a.Op == OpPresent {
+		return a.Attr + "=*"
+	}
+	return a.Attr + a.Op.String() + a.Operand
+}
+
+// Matches implements the satisfaction relation r |= F of Section 4.1.
+func (a *Atom) Matches(s *model.Schema, r *model.Entry) bool {
+	if a.Op == OpPresent {
+		return r.Has(a.Attr)
+	}
+	t, ok := s.AttrType(a.Attr)
+	if !ok {
+		return false
+	}
+	for _, v := range r.Values(a.Attr) {
+		if a.matchValue(t, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Atom) matchValue(t model.TypeName, v model.Value) bool {
+	switch model.TypeKind(t) {
+	case model.KindInt:
+		if !a.isInt {
+			return false
+		}
+		x := v.Int()
+		switch a.Op {
+		case OpEq, OpApprox:
+			return x == a.intVal
+		case OpLT:
+			return x < a.intVal
+		case OpLE:
+			return x <= a.intVal
+		case OpGT:
+			return x > a.intVal
+		case OpGE:
+			return x >= a.intVal
+		}
+		return false
+	case model.KindDN:
+		if a.Op != OpEq && a.Op != OpApprox {
+			return false
+		}
+		want, err := model.ParseDN(a.Operand)
+		if err != nil {
+			return false
+		}
+		return v.DN().Equal(want)
+	default: // string
+		sv := v.Str()
+		switch a.Op {
+		case OpEq:
+			if a.isPat {
+				return WildcardMatch(a.pattern, sv)
+			}
+			return sv == a.Operand
+		case OpApprox:
+			return strings.EqualFold(sv, a.Operand)
+		case OpLT:
+			return sv < a.Operand
+		case OpLE:
+			return sv <= a.Operand
+		case OpGT:
+			return sv > a.Operand
+		case OpGE:
+			return sv >= a.Operand
+		}
+		return false
+	}
+}
+
+// WildcardMatch reports whether s matches the pattern whose literal
+// segments (the pieces between '*'s, as produced by strings.Split on "*")
+// are given. An empty leading/trailing segment corresponds to a
+// leading/trailing '*'.
+func WildcardMatch(segments []string, s string) bool {
+	if len(segments) == 0 {
+		return s == ""
+	}
+	if len(segments) == 1 {
+		return s == segments[0]
+	}
+	if !strings.HasPrefix(s, segments[0]) {
+		return false
+	}
+	s = s[len(segments[0]):]
+	last := segments[len(segments)-1]
+	if !strings.HasSuffix(s, last) {
+		return false
+	}
+	s = s[:len(s)-len(last)]
+	for _, seg := range segments[1 : len(segments)-1] {
+		if seg == "" {
+			continue
+		}
+		i := strings.Index(s, seg)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(seg):]
+	}
+	return true
+}
+
+// And, Or, Not are the boolean combinations admitted in LDAP filters
+// (Section 4.2 notes LDAP combines *filters*, not queries, with &, |, !).
+type And []Filter
+
+// Or is the disjunction of its operand filters.
+type Or []Filter
+
+// Not negates its operand filter.
+type Not struct{ F Filter }
+
+// Atomic reports false for composite filters.
+func (f And) Atomic() bool { return false }
+
+// Atomic reports false for composite filters.
+func (f Or) Atomic() bool { return false }
+
+// Atomic reports false for composite filters.
+func (f Not) Atomic() bool { return false }
+
+// Matches reports whether every conjunct matches.
+func (f And) Matches(s *model.Schema, r *model.Entry) bool {
+	for _, c := range f {
+		if !c.Matches(s, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether any disjunct matches.
+func (f Or) Matches(s *model.Schema, r *model.Entry) bool {
+	for _, c := range f {
+		if c.Matches(s, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the operand does not match.
+func (f Not) Matches(s *model.Schema, r *model.Entry) bool {
+	return !f.F.Matches(s, r)
+}
+
+func (f And) String() string { return compositeString("&", f) }
+func (f Or) String() string  { return compositeString("|", f) }
+func (f Not) String() string { return "(!" + f.F.String() + ")" }
+
+func compositeString(op string, fs []Filter) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(op)
+	for _, f := range fs {
+		if f.Atomic() {
+			b.WriteByte('(')
+			b.WriteString(f.String())
+			b.WriteByte(')')
+		} else {
+			b.WriteString(f.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ErrParse reports a malformed filter string.
+var ErrParse = errors.New("filter: parse error")
+
+// Parse parses a filter in RFC 2254-ish syntax:
+//
+//	(&(objectClass=QHP)(priority<=2))
+//	(|(surName=jagadish)(surName=jag*))
+//	(!(telephoneNumber=*))
+//	surName=jagadish            (bare atomic, no parens)
+//
+// Operators: = (with '*' wildcards), <, <=, >, >=, ~=, and presence =*.
+func Parse(s string) (Filter, error) {
+	p := &parser{s: strings.TrimSpace(s)}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("%w: trailing input %q", ErrParse, p.s[p.i:])
+	}
+	return f, nil
+}
+
+// ParseAtom parses a single atomic filter (no parens, no boolean
+// operators) — the only filter form the L0..L3 grammars admit inside an
+// atomic query.
+func ParseAtom(s string) (*Atom, error) {
+	f, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := f.(*Atom)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not an atomic filter", ErrParse, s)
+	}
+	return a, nil
+}
+
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *parser) parse() (Filter, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("%w: empty filter", ErrParse)
+	}
+	if p.s[p.i] != '(' {
+		// Bare atomic form.
+		start := p.i
+		for p.i < len(p.s) && p.s[p.i] != ')' {
+			p.i++
+		}
+		return parseAtomText(p.s[start:p.i])
+	}
+	p.i++ // consume '('
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("%w: unterminated filter", ErrParse)
+	}
+	switch p.s[p.i] {
+	case '&', '|':
+		op := p.s[p.i]
+		p.i++
+		var kids []Filter
+		for {
+			p.skipSpace()
+			if p.i < len(p.s) && p.s[p.i] == ')' {
+				p.i++
+				break
+			}
+			k, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+		}
+		if len(kids) == 0 {
+			return nil, fmt.Errorf("%w: empty boolean filter", ErrParse)
+		}
+		if op == '&' {
+			return And(kids), nil
+		}
+		return Or(kids), nil
+	case '!':
+		p.i++
+		k, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != ')' {
+			return nil, fmt.Errorf("%w: expected ')' after !", ErrParse)
+		}
+		p.i++
+		return Not{F: k}, nil
+	default:
+		start := p.i
+		depth := 0
+		for p.i < len(p.s) {
+			if p.s[p.i] == '(' {
+				depth++
+			}
+			if p.s[p.i] == ')' {
+				if depth == 0 {
+					break
+				}
+				depth--
+			}
+			p.i++
+		}
+		if p.i >= len(p.s) {
+			return nil, fmt.Errorf("%w: unterminated atom", ErrParse)
+		}
+		a, err := parseAtomText(p.s[start:p.i])
+		if err != nil {
+			return nil, err
+		}
+		p.i++ // consume ')'
+		return a, nil
+	}
+}
+
+func parseAtomText(s string) (*Atom, error) {
+	s = strings.TrimSpace(s)
+	// Longest operators first.
+	for _, cand := range []struct {
+		text string
+		op   Op
+	}{
+		{"<=", OpLE}, {">=", OpGE}, {"~=", OpApprox}, {"<", OpLT}, {">", OpGT}, {"=", OpEq},
+	} {
+		if i := strings.Index(s, cand.text); i > 0 {
+			attr := strings.TrimSpace(s[:i])
+			operand := strings.TrimSpace(s[i+len(cand.text):])
+			if cand.op == OpEq && operand == "*" {
+				return Present(attr), nil
+			}
+			if operand == "" && cand.op != OpEq {
+				return nil, fmt.Errorf("%w: missing operand in %q", ErrParse, s)
+			}
+			return NewAtom(attr, cand.op, operand), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no operator in %q", ErrParse, s)
+}

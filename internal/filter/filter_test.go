@@ -1,0 +1,261 @@
+package filter
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func testEntry(t *testing.T) (*model.Schema, *model.Entry) {
+	t.Helper()
+	s := model.DefaultSchema()
+	e, err := model.NewEntryFromDN(s, model.MustParseDN("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddClass("inetOrgPerson").AddClass("TOPSSubscriber")
+	e.Add("surName", model.String("jagadish"))
+	e.Add("commonName", model.String("h jagadish"))
+	e.Add("telephoneNumber", model.String("9733608776"))
+	e.Add("priority", model.Int(2))
+	e.Add("priority", model.Int(7))
+	e.Add("SLATPRef", model.DNValue(model.MustParseDN("TPName=lsplitOff, dc=com")))
+	return s, e
+}
+
+func TestAtomPresence(t *testing.T) {
+	s, e := testEntry(t)
+	if !Present("surName").Matches(s, e) {
+		t.Error("surName=* should match")
+	}
+	if !Present("telephoneNumber").Matches(s, e) {
+		t.Error("telephoneNumber=* should match (Sect 4.1 example)")
+	}
+	if Present("mail").Matches(s, e) {
+		t.Error("mail=* should not match")
+	}
+}
+
+func TestAtomIntComparisons(t *testing.T) {
+	s, e := testEntry(t)
+	cases := []struct {
+		f    string
+		want bool
+	}{
+		{"priority<3", true},  // value 2 matches (SLARulePriority < 3 style)
+		{"priority<2", false}, // 2 and 7 both >= 2
+		{"priority<=2", true},
+		{"priority>6", true}, // value 7
+		{"priority>=7", true},
+		{"priority>7", false},
+		{"priority=7", true},
+		{"priority=3", false},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.f)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.f, err)
+		}
+		if got := f.Matches(s, e); got != c.want {
+			t.Errorf("%q = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAtomIntAgainstNonInt(t *testing.T) {
+	s, e := testEntry(t)
+	// tau(a)=int required for < filters (Sect 4.1): surName is string, so
+	// surName<zzz uses string order; priority=x (non-numeric operand) is false.
+	f := NewAtom("priority", OpEq, "notanumber")
+	if f.Matches(s, e) {
+		t.Error("non-numeric operand must not match int attribute")
+	}
+}
+
+func TestAtomWildcard(t *testing.T) {
+	s, e := testEntry(t)
+	cases := []struct {
+		f    string
+		want bool
+	}{
+		{"commonName=*jag*", true}, // the paper's example
+		{"commonName=h *", true},
+		{"commonName=*dish", true},
+		{"commonName=h*j*sh", true},
+		{"commonName=x*", false},
+		{"surName=jagadish", true},
+		{"surName=jagadis", false},
+		{"surName=*a*a*", true},
+		{"surName=*z*", false},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.f)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.f, err)
+		}
+		if got := f.Matches(s, e); got != c.want {
+			t.Errorf("%q = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestWildcardMatchProperty(t *testing.T) {
+	// Property: WildcardMatch agrees with a simple regexp-free oracle on
+	// random strings/patterns over a tiny alphabet.
+	r := rand.New(rand.NewSource(3))
+	randStr := func(n int) string {
+		b := make([]byte, r.Intn(n))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(3))
+		}
+		return string(b)
+	}
+	f := func() bool {
+		s := randStr(12)
+		pat := randStr(8)
+		// Inject stars.
+		for i := 0; i < r.Intn(3); i++ {
+			p := r.Intn(len(pat) + 1)
+			pat = pat[:p] + "*" + pat[p:]
+		}
+		got := WildcardMatch(strings.Split(pat, "*"), s)
+		want := greedyOracle(pat, s)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// greedyOracle is an exponential-time but obviously-correct wildcard
+// matcher used to validate WildcardMatch.
+func greedyOracle(pat, s string) bool {
+	if pat == "" {
+		return s == ""
+	}
+	if pat[0] == '*' {
+		for i := 0; i <= len(s); i++ {
+			if greedyOracle(pat[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	}
+	return s != "" && s[0] == pat[0] && greedyOracle(pat[1:], s[1:])
+}
+
+func TestAtomDNEquality(t *testing.T) {
+	s, e := testEntry(t)
+	f := NewAtom("SLATPRef", OpEq, "tpname=lsplitOff,dc=com")
+	if !f.Matches(s, e) {
+		t.Error("DN equality should normalize spacing and case of attrs")
+	}
+	f2 := NewAtom("SLATPRef", OpEq, "tpname=other,dc=com")
+	if f2.Matches(s, e) {
+		t.Error("different DN must not match")
+	}
+}
+
+func TestCompositeFilters(t *testing.T) {
+	s, e := testEntry(t)
+	cases := []struct {
+		f    string
+		want bool
+	}{
+		{"(&(surName=jagadish)(priority<3))", true},
+		{"(&(surName=jagadish)(priority<2))", false},
+		{"(|(surName=nobody)(priority=7))", true},
+		{"(|(surName=nobody)(priority=3))", false},
+		{"(!(mail=*))", true},
+		{"(!(surName=*))", false},
+		{"(&(objectClass=inetOrgPerson)(!(objectClass=ntUser)))", true},
+		{"(&(|(surName=jag*)(commonName=*jag*))(priority>=2))", true},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.f)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.f, err)
+		}
+		if got := f.Matches(s, e); got != c.want {
+			t.Errorf("%q = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "(", "()", "(&)", "(&(a=b)", "(!(a=b)", "noop", "(<5)", "surname<",
+		"(& (a=b) trailing",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		} else if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q): error not ErrParse: %v", bad, err)
+		}
+	}
+	if _, err := Parse("(a=b))"); err == nil {
+		t.Error("trailing paren should fail")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"surname=jagadish",
+		"priority<=2",
+		"telephonenumber=*",
+		"(&(surname=jag*)(priority<3))",
+		"(|(a=1)(b=2)(c=3))",
+		"(!(mail=*))",
+		"(&(|(a=1)(b=2))(!(c=3)))",
+	}
+	for _, c := range cases {
+		f, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		f2, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("re-parse %q -> %q: %v", c, f.String(), err)
+		}
+		if f.String() != f2.String() {
+			t.Errorf("round trip unstable: %q -> %q -> %q", c, f.String(), f2.String())
+		}
+	}
+}
+
+func TestParseAtomRejectsComposite(t *testing.T) {
+	if _, err := ParseAtom("(&(a=1)(b=2))"); err == nil {
+		t.Fatal("ParseAtom must reject composites")
+	}
+	a, err := ParseAtom("SLARulePriority<3")
+	if err != nil || a.Op != OpLT || a.Attr != "slarulepriority" {
+		t.Fatalf("ParseAtom: %+v, %v", a, err)
+	}
+}
+
+func TestApprox(t *testing.T) {
+	s, e := testEntry(t)
+	f, err := Parse("surName~=JAGADISH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Matches(s, e) {
+		t.Error("~= should be case-insensitive")
+	}
+}
+
+func TestOperatorPrecedenceInAtomText(t *testing.T) {
+	// "<=" must win over "<".
+	a, err := ParseAtom("x<=5")
+	if err != nil || a.Op != OpLE {
+		t.Fatalf("got %v %v", a, err)
+	}
+	a, err = ParseAtom("x>=5")
+	if err != nil || a.Op != OpGE {
+		t.Fatalf("got %v %v", a, err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package ldif reads and writes directory instances in an LDIF-like
+// text format: one block per entry, a "dn:" line followed by one
+// "attribute: value" line per (attribute, value) pair, blocks separated
+// by blank lines. Lines starting with '#' are comments; a line starting
+// with a single space continues the previous line (RFC 2849-style
+// folding). Values are typed by the schema on load.
+package ldif
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ErrFormat reports malformed LDIF input.
+var ErrFormat = errors.New("ldif: format error")
+
+// Write serializes the instance, entries in reverse-DN key order,
+// preceded by a schema header (WriteSchema) so the file is
+// self-describing: Read can load it without knowing the schema.
+func Write(w io.Writer, in *model.Instance) error {
+	bw := bufio.NewWriter(w)
+	if err := WriteSchema(bw, in.Schema()); err != nil {
+		return err
+	}
+	for i, e := range in.Entries() {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "dn: %s\n", e.DN()); err != nil {
+			return err
+		}
+		for _, av := range e.Pairs() {
+			if _, err := fmt.Fprintf(bw, "%s: %s\n", av.Attr, av.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSchema emits the schema as "#schema" comment directives:
+//
+//	#schema attribute <name> <type>
+//	#schema class <name> <allowed-attr> ...
+//
+// Plain-comment readers skip them; Read reconstructs the schema.
+func WriteSchema(w io.Writer, s *model.Schema) error {
+	for _, a := range s.Attrs() {
+		if a == model.ObjectClass {
+			continue // implicit in every schema
+		}
+		t, _ := s.AttrType(a)
+		if _, err := fmt.Fprintf(w, "#schema attribute %s %s\n", a, t); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Classes() {
+		if _, err := fmt.Fprintf(w, "#schema class %s %s\n", c, strings.Join(s.AllowedAttrs(c), " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Read parses an instance. If schema is nil, the file must carry
+// #schema directives (as emitted by Write); otherwise directives refine
+// the given schema. Entries may appear in any order; they are validated
+// and key-sorted on insertion.
+func Read(r io.Reader, schema *model.Schema) (*model.Instance, error) {
+	if schema == nil {
+		schema = model.NewSchema()
+	}
+	var in *model.Instance
+	instance := func() *model.Instance {
+		if in == nil {
+			in = model.NewInstance(schema)
+		}
+		return in
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var lines []string
+	lineNo, blockStart := 0, 0
+	flush := func() error {
+		if len(lines) == 0 {
+			return nil
+		}
+		e, err := parseEntry(schema, lines)
+		if err != nil {
+			return fmt.Errorf("%w (block at line %d): %v", ErrFormat, blockStart, err)
+		}
+		lines = lines[:0]
+		return instance().Add(e)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "#schema "):
+			if in != nil {
+				return nil, fmt.Errorf("%w: line %d: #schema after entries", ErrFormat, lineNo)
+			}
+			if err := parseSchemaDirective(schema, strings.TrimPrefix(line, "#schema ")); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+			}
+		case strings.HasPrefix(line, "#"):
+			continue
+		case strings.TrimSpace(line) == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, " "):
+			if len(lines) == 0 {
+				return nil, fmt.Errorf("%w: line %d: continuation without a line to continue", ErrFormat, lineNo)
+			}
+			lines[len(lines)-1] += line[1:]
+		default:
+			if len(lines) == 0 {
+				blockStart = lineNo
+			}
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return instance(), nil
+}
+
+func parseSchemaDirective(s *model.Schema, text string) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return fmt.Errorf("bad #schema directive %q", text)
+	}
+	switch fields[0] {
+	case "attribute":
+		if len(fields) != 3 {
+			return fmt.Errorf("#schema attribute needs name and type: %q", text)
+		}
+		return s.DefineAttr(fields[1], model.TypeName(fields[2]))
+	case "class":
+		return s.DefineClass(fields[1], fields[2:]...)
+	default:
+		return fmt.Errorf("unknown #schema directive %q", fields[0])
+	}
+}
+
+// MarshalSchema renders a schema as its #schema directives.
+func MarshalSchema(s *model.Schema) string {
+	var b strings.Builder
+	if err := WriteSchema(&b, s); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// UnmarshalSchema reconstructs a schema from #schema directives.
+func UnmarshalSchema(text string) (*model.Schema, error) {
+	s := model.NewSchema()
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasPrefix(line, "#schema ") {
+			continue
+		}
+		if err := parseSchemaDirective(s, strings.TrimPrefix(line, "#schema ")); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, i+1, err)
+		}
+	}
+	return s, nil
+}
+
+// MarshalEntry renders one entry as an LDIF block (no trailing blank
+// line) — the wire format of the distributed directory protocol.
+func MarshalEntry(e *model.Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dn: %s\n", e.DN())
+	for _, av := range e.Pairs() {
+		fmt.Fprintf(&b, "%s: %s\n", av.Attr, av.Value)
+	}
+	return b.String()
+}
+
+// UnmarshalEntry parses one LDIF block into an entry, typing values per
+// the schema. The entry is not instance-validated; callers add it to an
+// instance (which validates) or use it directly.
+func UnmarshalEntry(schema *model.Schema, block string) (*model.Entry, error) {
+	var lines []string
+	for _, line := range strings.Split(block, "\n") {
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, " ") && len(lines) > 0 {
+			lines[len(lines)-1] += line[1:]
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty entry block", ErrFormat)
+	}
+	return parseEntry(schema, lines)
+}
+
+func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
+	attr, val, err := splitLine(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(attr, "dn") {
+		return nil, fmt.Errorf("block must start with dn:, got %q", attr)
+	}
+	dn, err := model.ParseDN(val)
+	if err != nil {
+		return nil, err
+	}
+	e := model.NewEntry(dn)
+	for _, line := range lines[1:] {
+		attr, val, err := splitLine(line)
+		if err != nil {
+			return nil, err
+		}
+		t, ok := schema.AttrType(attr)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q", attr)
+		}
+		v, err := model.ParseValue(t, val)
+		if err != nil {
+			return nil, err
+		}
+		if model.NormalizeAttr(attr) == model.ObjectClass {
+			e.AddClass(v.Str())
+			continue
+		}
+		e.Add(attr, v)
+	}
+	return e, nil
+}
+
+func splitLine(line string) (attr, val string, err error) {
+	i := strings.Index(line, ":")
+	if i <= 0 {
+		return "", "", fmt.Errorf("line %q lacks a colon", line)
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), nil
+}

@@ -1,0 +1,226 @@
+package ldif
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+const sample = `# The TOPS fragment of Figure 11.
+dn: dc=com
+dc: com
+objectClass: dcObject
+
+dn: dc=research, dc=com
+dc: research
+objectClass: dcObject
+
+dn: uid=jag, dc=research, dc=com
+uid: jag
+commonName: h jagadish
+surName: jagadish
+objectClass: inetOrgPerson
+objectClass: TOPSSubscriber
+
+dn: QHPName=weekend, uid=jag, dc=research, dc=com
+QHPName: weekend
+daysOfWeek: 6
+daysOfWeek: 7
+priority: 1
+objectClass: QHP
+`
+
+func TestReadSample(t *testing.T) {
+	in, err := Read(strings.NewReader(sample), model.DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 4 {
+		t.Fatalf("entries = %d", in.Len())
+	}
+	e, ok := in.Get(model.MustParseDN("uid=jag, dc=research, dc=com"))
+	if !ok {
+		t.Fatal("jag missing")
+	}
+	if !e.HasClass("TOPSSubscriber") || !e.HasClass("inetOrgPerson") {
+		t.Error("classes lost")
+	}
+	q, ok := in.Get(model.MustParseDN("QHPName=weekend, uid=jag, dc=research, dc=com"))
+	if !ok {
+		t.Fatal("QHP missing")
+	}
+	days := q.Values("daysOfWeek")
+	if len(days) != 2 || days[0].Int() != 6 || days[1].Int() != 7 {
+		t.Errorf("daysOfWeek = %v", days)
+	}
+	pr, _ := q.First("priority")
+	if pr.Kind() != model.KindInt || pr.Int() != 1 {
+		t.Errorf("priority = %v", pr)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := model.DefaultSchema()
+	in, err := Read(strings.NewReader(sample), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, s)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	if back.Len() != in.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", back.Len(), in.Len())
+	}
+	for _, e := range in.Entries() {
+		g, ok := back.Get(e.DN())
+		if !ok || !g.Equal(e) {
+			t.Errorf("entry %s changed", e.DN())
+		}
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	text := "dn: uid=jag, dc=com\nuid: jag\ncommonName: h jaga\n dish\nobjectClass: inetOrgPerson\n"
+	in, err := Read(strings.NewReader(text), model.DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := in.Get(model.MustParseDN("uid=jag, dc=com"))
+	cn, _ := e.First("commonName")
+	if cn.Str() != "h jagadish" {
+		t.Errorf("folded value = %q", cn.Str())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	s := model.DefaultSchema()
+	cases := []string{
+		"uid: jag\n",                         // no dn first
+		"dn: uid=jag, dc=com\nnosuch: 1\n",   // unknown attribute
+		"dn: uid=jag, dc=com\nbroken line\n", // no colon
+		" leading continuation\n",
+		"dn: uid=jag, dc=com\npriority: notanint\nobjectClass: QHP\n",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), s); err == nil {
+			t.Errorf("Read(%q): expected error", c)
+		}
+	}
+	// Invalid entry (no class) surfaces the model error.
+	_, err := Read(strings.NewReader("dn: uid=jag, dc=com\nuid: jag\n"), s)
+	if !errors.Is(err, model.ErrInvalid) {
+		t.Errorf("classless entry: %v", err)
+	}
+}
+
+func TestSelfDescribingRoundTrip(t *testing.T) {
+	// Write emits #schema directives; Read(nil) reconstructs the schema
+	// and the instance without prior knowledge.
+	s := model.DefaultSchema()
+	in, err := Read(strings.NewReader(sample), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#schema attribute priority int") {
+		t.Fatalf("schema header missing:\n%s", buf.String()[:200])
+	}
+	back, err := Read(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != in.Len() {
+		t.Fatalf("self-describing round trip lost entries: %d vs %d", back.Len(), in.Len())
+	}
+	q, _ := back.Get(model.MustParseDN("QHPName=weekend, uid=jag, dc=research, dc=com"))
+	pr, _ := q.First("priority")
+	if pr.Kind() != model.KindInt {
+		t.Error("schema typing lost through self-describing round trip")
+	}
+}
+
+func TestSchemaDirectiveErrors(t *testing.T) {
+	cases := []string{
+		"#schema attribute onlyname\n",
+		"#schema frobnicate x y\n",
+		"#schema class c undefinedattr\n",
+		"dn: dc=com\ndc: com\nobjectClass: dcObject\n\n#schema attribute late string\n",
+	}
+	s := model.DefaultSchema()
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), s); err == nil {
+			t.Errorf("Read(%q): expected error", c)
+		}
+	}
+}
+
+func TestReadNilSchemaWithoutDirectives(t *testing.T) {
+	// Without directives and without a schema, entries cannot validate.
+	if _, err := Read(strings.NewReader("dn: dc=com\ndc: com\n"), nil); err == nil {
+		t.Error("expected unknown-attribute error")
+	}
+	// But an empty input yields an empty instance.
+	in, err := Read(strings.NewReader(""), nil)
+	if err != nil || in.Len() != 0 {
+		t.Errorf("empty input: %v %v", in, err)
+	}
+}
+
+func TestMarshalUnmarshalEntry(t *testing.T) {
+	s := model.DefaultSchema()
+	e, err := model.NewEntryFromDN(s, model.MustParseDN("uid=jag, dc=com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddClass("TOPSSubscriber")
+	e.Add("surName", model.String("jagadish"))
+	block := MarshalEntry(e)
+	if !strings.HasPrefix(block, "dn: uid=jag, dc=com\n") {
+		t.Fatalf("block = %q", block)
+	}
+	back, err := UnmarshalEntry(s, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(e) {
+		t.Fatalf("round trip changed entry:\n%s\nvs\n%s", back, e)
+	}
+	// Folded continuation inside a block.
+	folded := "dn: uid=jag, dc=com\nsurName: jaga\n dish\nobjectClass: TOPSSubscriber\nuid: jag\n"
+	back, err = UnmarshalEntry(s, folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := back.First("surName")
+	if sn.Str() != "jagadish" {
+		t.Errorf("folded = %q", sn.Str())
+	}
+	if _, err := UnmarshalEntry(s, ""); err == nil {
+		t.Error("empty block accepted")
+	}
+	if _, err := UnmarshalEntry(s, "uid: x\n"); err == nil {
+		t.Error("block without dn accepted")
+	}
+}
+
+func TestCommentsAndBlankRuns(t *testing.T) {
+	text := "# header\n\n\ndn: dc=com\ndc: com\nobjectClass: dcObject\n\n\n# trailing\n"
+	in, err := Read(strings.NewReader(text), model.DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("entries = %d", in.Len())
+	}
+}

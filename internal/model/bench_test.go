@@ -1,0 +1,51 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkParseDN(b *testing.B) {
+	s := "CANumber=9733608751, QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseDN(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNKey(b *testing.B) {
+	dn := MustParseDN("CANumber=9733608751, QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dn.Key()
+	}
+}
+
+func BenchmarkKeyIsAncestor(b *testing.B) {
+	a := MustParseDN("dc=att, dc=com").Key()
+	d := MustParseDN("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com").Key()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !KeyIsAncestor(a, d) {
+			b.Fatal("wrong")
+		}
+	}
+}
+
+func BenchmarkInstanceAdd(b *testing.B) {
+	s := DefaultSchema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInstance(s)
+		for j := 0; j < 100; j++ {
+			e, err := NewEntryFromDN(s, MustParseDN(fmt.Sprintf("uid=u%03d, dc=com", j)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.AddClass("inetOrgPerson")
+			in.MustAdd(e)
+		}
+	}
+}

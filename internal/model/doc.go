@@ -1,0 +1,22 @@
+// Package model implements the core of the network directory data model of
+// "Querying Network Directories" (Jagadish, Lakshmanan, Milo, Srivastava,
+// Vista; SIGMOD 1999), Section 3.
+//
+// A directory schema (Definition 3.1) is a 4-tuple S = (C, A, tau, psi):
+// a finite set of class names, a finite set of attributes containing
+// objectClass, a typing function tau from attributes to types, and a
+// function psi assigning each class its set of allowed attributes.
+//
+// A directory instance (Definition 3.2) is a finite forest of directory
+// entries. Each entry belongs to a non-empty set of classes, holds a
+// multiset of (attribute, value) pairs constrained by its classes, and is
+// keyed by a distinguished name: a sequence of relative distinguished
+// names (RDNs), each an arbitrary non-empty set of (attribute, value)
+// pairs. The DN sequence runs leaf-first: dn(child) = rdn(child), dn(parent).
+//
+// The package also provides the reverse-DN sort key of Section 4.2: the
+// lexicographic ordering on the reverse of the string representation of
+// distinguished names, under which a parent's key is a strict prefix of
+// each of its children's keys. All evaluation algorithms in this
+// repository operate on lists sorted by this key.
+package model

@@ -1,0 +1,316 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func personEntry(t *testing.T, s *Schema, dnText string) *Entry {
+	t.Helper()
+	e, err := NewEntryFromDN(s, MustParseDN(dnText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEntryMultiValued(t *testing.T) {
+	e := NewEntry(MustParseDN("cn=x, dc=com"))
+	e.Add("mail", String("a@x"))
+	e.Add("mail", String("b@x"))
+	e.Add("mail", String("a@x")) // duplicate pair: multiset semantics
+	vals := e.Values("mail")
+	if len(vals) != 3 {
+		t.Fatalf("want 3 mail values, got %d", len(vals))
+	}
+	if !e.HasPair("MAIL", String("b@x")) {
+		t.Error("HasPair should normalize attribute case")
+	}
+	if e.HasPair("mail", String("c@x")) {
+		t.Error("unexpected pair")
+	}
+}
+
+func TestEntryClasses(t *testing.T) {
+	e := NewEntry(MustParseDN("uid=jag, dc=com"))
+	e.AddClass("inetOrgPerson").AddClass("TOPSSubscriber")
+	cs := e.Classes()
+	if len(cs) != 2 || cs[0] != "inetorgperson" || cs[1] != "topssubscriber" {
+		t.Fatalf("Classes() = %v", cs)
+	}
+	if !e.HasClass("InetOrgPerson") {
+		t.Error("HasClass should be case-insensitive")
+	}
+}
+
+func TestEntrySortedPairs(t *testing.T) {
+	e := NewEntry(MustParseDN("cn=x, dc=com"))
+	e.Add("z", String("1"))
+	e.Add("a", String("2"))
+	e.Add("m", Int(5))
+	e.Add("a", String("1"))
+	prev := AV{}
+	for i, av := range e.Pairs() {
+		if i > 0 {
+			if av.Attr < prev.Attr {
+				t.Fatal("pairs not sorted by attr")
+			}
+			if av.Attr == prev.Attr && av.Value.Compare(prev.Value) < 0 {
+				t.Fatal("pairs not sorted by value within attr")
+			}
+		}
+		prev = av
+	}
+}
+
+func TestEntryFirstHas(t *testing.T) {
+	e := NewEntry(MustParseDN("cn=x, dc=com"))
+	e.Add("priority", Int(3)).Add("priority", Int(1))
+	v, ok := e.First("priority")
+	if !ok || v.Int() != 1 {
+		t.Fatalf("First = %v %v, want 1", v, ok)
+	}
+	if !e.Has("priority") || e.Has("absent") {
+		t.Error("Has mismatch")
+	}
+}
+
+func TestEntryCloneEqual(t *testing.T) {
+	e := NewEntry(MustParseDN("cn=x, dc=com")).Add("a", Int(1)).AddClass("c")
+	f := e.Clone()
+	if !e.Equal(f) {
+		t.Fatal("clone not equal")
+	}
+	f.Add("a", Int(2))
+	if e.Equal(f) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if len(e.Values("a")) != 1 {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := NewEntry(MustParseDN("cn=x, dc=com")).AddClass("person").Add("cn", String("x"))
+	s := e.String()
+	if !strings.HasPrefix(s, "dn: cn=x, dc=com") || !strings.Contains(s, "cn: x") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestValueCompareTotal(t *testing.T) {
+	vals := []Value{String("a"), String("b"), Int(-1), Int(7), DNValue(MustParseDN("dc=com")), DNValue(MustParseDN("dc=org"))}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, ba := a.Compare(b), b.Compare(a)
+			if (ab < 0) != (ba > 0) || (ab == 0) != (ba == 0) {
+				t.Errorf("Compare not antisymmetric: %v vs %v", a, b)
+			}
+			if (ab == 0) != a.Equal(b) {
+				t.Errorf("Compare/Equal disagree: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(TypeInt, " 42 ")
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("int: %v %v", v, err)
+	}
+	if _, err := ParseValue(TypeInt, "nan"); err == nil {
+		t.Fatal("expected int parse error")
+	}
+	v, err = ParseValue(TypeDN, "dc=att, dc=com")
+	if err != nil || v.Kind() != KindDN || v.DN().Depth() != 2 {
+		t.Fatalf("dn: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeString, "hello")
+	if err != nil || v.Str() != "hello" {
+		t.Fatalf("string: %v %v", v, err)
+	}
+	v, err = ParseValue("telephoneNumber", "+1 973")
+	if err != nil || v.Kind() != KindString {
+		t.Fatalf("unknown type carries string: %v %v", v, err)
+	}
+}
+
+func TestInstanceAddValidate(t *testing.T) {
+	s := DefaultSchema()
+	in := NewInstance(s)
+
+	ok := personEntry(t, s, "uid=jag, dc=com")
+	ok.AddClass("inetOrgPerson").Add("surName", String("jagadish"))
+	if err := in.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate DN rejected (Def 3.2(d)(i)).
+	dup := personEntry(t, s, "uid=jag, dc=com")
+	dup.AddClass("inetOrgPerson")
+	if err := in.Add(dup); !errors.Is(err, ErrDuplicateDN) {
+		t.Fatalf("duplicate dn: got %v", err)
+	}
+
+	// No class: rejected (Def 3.2(b)).
+	noclass := personEntry(t, s, "uid=x, dc=com")
+	if err := in.Add(noclass); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no class: got %v", err)
+	}
+
+	// Attribute not allowed by any class (Def 3.2(c)1).
+	bad := personEntry(t, s, "dc=y, dc=com")
+	bad.AddClass("dcObject").Add("surName", String("z"))
+	if err := in.Add(bad); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("disallowed attr: got %v", err)
+	}
+
+	// Wrong value kind for typed attribute.
+	wrongKind := personEntry(t, s, "uid=k, dc=com")
+	wrongKind.AddClass("TOPSSubscriber")
+	wrongKind.Add("surName", Int(5))
+	if err := in.Add(wrongKind); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("wrong kind: got %v", err)
+	}
+
+	// Unknown class.
+	uc := personEntry(t, s, "uid=m, dc=com")
+	uc.AddClass("noSuchClass")
+	if err := in.Add(uc); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown class: got %v", err)
+	}
+
+	// rdn(r) must be a subset of val(r): NewEntry without the RDN pair.
+	nordn := NewEntry(MustParseDN("uid=q, dc=com"))
+	nordn.AddClass("inetOrgPerson")
+	if err := in.Add(nordn); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("rdn not in val: got %v", err)
+	}
+}
+
+func TestInstanceHeterogeneity(t *testing.T) {
+	// Section 3.5: entries may mix classes freely; same-class entries may
+	// carry different attribute subsets; attributes may be multi-valued.
+	s := DefaultSchema()
+	in := NewInstance(s)
+
+	a := personEntry(t, s, "uid=a, dc=com")
+	a.AddClass("inetOrgPerson").AddClass("TOPSSubscriber")
+	b := personEntry(t, s, "uid=b, dc=com")
+	b.AddClass("inetOrgPerson").AddClass("ntUser")
+	for _, e := range []*Entry{a, b} {
+		if err := in.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q1 := personEntry(t, s, "QHPName=q1, uid=a, dc=com")
+	q1.AddClass("QHP").Add("startTime", Int(830)).Add("endTime", Int(1730))
+	q2 := personEntry(t, s, "QHPName=q2, uid=a, dc=com")
+	q2.AddClass("QHP").Add("daysOfWeek", Int(6)).Add("daysOfWeek", Int(7))
+	q3 := personEntry(t, s, "QHPName=q3, uid=a, dc=com")
+	q3.AddClass("QHP")
+	for _, e := range []*Entry{q1, q2, q3} {
+		if err := in.Add(e); err != nil {
+			t.Fatalf("%s: %v", e.DN(), err)
+		}
+	}
+	if len(q2.Values("daysOfWeek")) != 2 {
+		t.Error("multi-valued daysOfWeek lost")
+	}
+}
+
+func TestInstanceSortedAndRange(t *testing.T) {
+	s := DefaultSchema()
+	in := NewInstance(s)
+	dns := []string{
+		"dc=com",
+		"dc=att, dc=com",
+		"dc=research, dc=att, dc=com",
+		"ou=userProfiles, dc=research, dc=att, dc=com",
+		"dc=ibm, dc=com",
+	}
+	r := rand.New(rand.NewSource(1))
+	r.Shuffle(len(dns), func(i, j int) { dns[i], dns[j] = dns[j], dns[i] })
+	for _, d := range dns {
+		e, err := NewEntryFromDN(s, MustParseDN(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(d, "ou=") {
+			e.AddClass("organizationalUnit")
+		} else {
+			e.AddClass("dcObject")
+		}
+		if err := in.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := in.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key() >= es[i].Key() {
+			t.Fatal("entries not strictly sorted by key")
+		}
+	}
+
+	att := MustParseDN("dc=att, dc=com")
+	var sub []string
+	in.Range(att.Key(), SubtreeHigh(att.Key()), func(e *Entry) bool {
+		sub = append(sub, e.DN().String())
+		return true
+	})
+	if len(sub) != 3 {
+		t.Fatalf("subtree of att: %v", sub)
+	}
+	if sub[0] != "dc=att, dc=com" {
+		t.Errorf("range must start at root of subtree, got %v", sub)
+	}
+
+	kids := in.Children(att)
+	if len(kids) != 1 || kids[0].DN().String() != "dc=research, dc=att, dc=com" {
+		t.Errorf("Children(att) = %v", kids)
+	}
+	desc := in.Descendants(att)
+	if len(desc) != 2 {
+		t.Errorf("Descendants(att) = %d entries", len(desc))
+	}
+
+	if e, okGet := in.Get(att); !okGet || e.DN().String() != "dc=att, dc=com" {
+		t.Error("Get(att) failed")
+	}
+	if in.Len() != 5 {
+		t.Errorf("Len = %d", in.Len())
+	}
+}
+
+func TestInstanceRemoveAndRoots(t *testing.T) {
+	s := DefaultSchema()
+	in := NewInstance(s)
+	for _, d := range []string{"dc=com", "dc=att, dc=com", "dc=research, dc=att, dc=com"} {
+		e, _ := NewEntryFromDN(s, MustParseDN(d))
+		e.AddClass("dcObject")
+		in.MustAdd(e)
+	}
+	if roots := in.Roots(); len(roots) != 1 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	if !in.Remove(MustParseDN("dc=att, dc=com")) {
+		t.Fatal("remove failed")
+	}
+	if in.Remove(MustParseDN("dc=att, dc=com")) {
+		t.Fatal("double remove succeeded")
+	}
+	// research is now an orphan root: forest property.
+	roots := in.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("after removal roots = %d, want 2 (forest)", len(roots))
+	}
+	if err := in.Validate(false); err != nil {
+		t.Fatalf("lenient validate: %v", err)
+	}
+	if err := in.Validate(true); err == nil {
+		t.Fatal("strict validate should reject orphan")
+	}
+}

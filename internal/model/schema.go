@@ -1,0 +1,242 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ObjectClass is the distinguished attribute every schema must contain
+// (Definition 3.1(b)): the classes an entry belongs to are exactly the
+// values of its objectClass attribute.
+const ObjectClass = "objectclass"
+
+// Schema is a directory schema S = (C, A, tau, psi) per Definition 3.1.
+// Attribute names are stored normalized (lower case); lookups normalize
+// their argument, so callers may use any case.
+type Schema struct {
+	classes map[string]map[string]bool // psi: class -> set of allowed attrs
+	attrs   map[string]TypeName        // tau: attr -> type
+}
+
+// NewSchema returns an empty schema containing only the mandatory
+// objectClass attribute, typed string (Definition 3.1(c)).
+func NewSchema() *Schema {
+	s := &Schema{
+		classes: make(map[string]map[string]bool),
+		attrs:   make(map[string]TypeName),
+	}
+	s.attrs[ObjectClass] = TypeString
+	return s
+}
+
+// ErrSchema reports a schema-level violation.
+var ErrSchema = errors.New("model: schema violation")
+
+// DefineAttr adds attribute a with type t to A. Redefining an attribute
+// with a different type is an error: occurrences of the same attribute in
+// multiple classes all share the same type (Section 3.1).
+func (s *Schema) DefineAttr(a string, t TypeName) error {
+	a = NormalizeAttr(a)
+	if a == "" {
+		return fmt.Errorf("%w: empty attribute name", ErrSchema)
+	}
+	if prev, ok := s.attrs[a]; ok && prev != t {
+		return fmt.Errorf("%w: attribute %q already typed %s, cannot retype to %s", ErrSchema, a, prev, t)
+	}
+	s.attrs[a] = t
+	return nil
+}
+
+// DefineClass adds class c with the given allowed attributes to C. Every
+// allowed attribute must already be defined. objectClass is implicitly
+// allowed for every class (condition (c)2 of Definition 3.2 requires each
+// entry to carry it).
+func (s *Schema) DefineClass(c string, allowed ...string) error {
+	c = NormalizeAttr(c)
+	if c == "" {
+		return fmt.Errorf("%w: empty class name", ErrSchema)
+	}
+	set := s.classes[c]
+	if set == nil {
+		set = make(map[string]bool)
+		s.classes[c] = set
+	}
+	set[ObjectClass] = true
+	for _, a := range allowed {
+		a = NormalizeAttr(a)
+		if _, ok := s.attrs[a]; !ok {
+			return fmt.Errorf("%w: class %q allows undefined attribute %q", ErrSchema, c, a)
+		}
+		set[a] = true
+	}
+	return nil
+}
+
+// MustDefineAttr and MustDefineClass are the panicking forms for
+// statically-known schemas.
+func (s *Schema) MustDefineAttr(a string, t TypeName) {
+	if err := s.DefineAttr(a, t); err != nil {
+		panic(err)
+	}
+}
+
+// MustDefineClass panics if DefineClass fails.
+func (s *Schema) MustDefineClass(c string, allowed ...string) {
+	if err := s.DefineClass(c, allowed...); err != nil {
+		panic(err)
+	}
+}
+
+// HasClass reports whether c is in C.
+func (s *Schema) HasClass(c string) bool {
+	_, ok := s.classes[NormalizeAttr(c)]
+	return ok
+}
+
+// AttrType returns tau(a) and whether a is in A.
+func (s *Schema) AttrType(a string) (TypeName, bool) {
+	t, ok := s.attrs[NormalizeAttr(a)]
+	return t, ok
+}
+
+// Allowed reports whether attribute a is an allowed attribute of class c:
+// a member of psi(c).
+func (s *Schema) Allowed(c, a string) bool {
+	set, ok := s.classes[NormalizeAttr(c)]
+	return ok && set[NormalizeAttr(a)]
+}
+
+// AllowedAttrs returns psi(c) sorted, or nil if c is not a class.
+func (s *Schema) AllowedAttrs(c string) []string {
+	set, ok := s.classes[NormalizeAttr(c)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classes returns C sorted.
+func (s *Schema) Classes() []string {
+	out := make([]string, 0, len(s.classes))
+	for c := range s.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attrs returns A sorted.
+func (s *Schema) Attrs() []string {
+	out := make([]string, 0, len(s.attrs))
+	for a := range s.attrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	out := NewSchema()
+	for a, t := range s.attrs {
+		out.attrs[a] = t
+	}
+	for c, set := range s.classes {
+		cp := make(map[string]bool, len(set))
+		for a := range set {
+			cp[a] = true
+		}
+		out.classes[c] = cp
+	}
+	return out
+}
+
+// DefaultSchema returns the schema used throughout the paper's figures:
+// the DNS-style upper levels (Fig 1), the QoS policy repository (Fig 12,
+// after Chaudhury et al. [11]), and the TOPS application (Fig 11), with
+// class and attribute names taken verbatim from the paper.
+func DefaultSchema() *Schema {
+	s := NewSchema()
+	for _, a := range []struct {
+		name string
+		t    TypeName
+	}{
+		{"dc", TypeString},
+		{"ou", TypeString},
+		{"o", TypeString},
+		{"cn", TypeString},
+		{"commonName", TypeString},
+		{"surName", TypeString},
+		{"uid", TypeString},
+		{"telephoneNumber", TypeString},
+		{"mail", TypeString},
+		{"description", TypeString},
+
+		// TOPS (Fig 11).
+		{"QHPName", TypeString},
+		{"startTime", TypeInt},
+		{"endTime", TypeInt},
+		{"daysOfWeek", TypeInt},
+		{"priority", TypeInt},
+		{"CANumber", TypeString},
+		{"timeOut", TypeInt},
+		{"mediaType", TypeString},
+		{"terminalType", TypeString},
+		{"callerGroup", TypeString},
+
+		// QoS / SLA policies (Fig 12).
+		{"SLAPolicyName", TypeString},
+		{"SLAPolicyScope", TypeString},
+		{"SLARulePriority", TypeInt},
+		{"SLAExceptionRef", TypeDN},
+		{"SLATPRef", TypeDN},
+		{"SLAPVPRef", TypeDN},
+		{"SLADSActRef", TypeDN},
+		{"TPName", TypeString},
+		{"SourceAddress", TypeString},
+		{"DestinationAddress", TypeString},
+		{"sourcePort", TypeInt},
+		{"destinationPort", TypeInt},
+		{"protocolNumber", TypeInt},
+		{"PVPName", TypeString},
+		{"PVStartTime", TypeInt},
+		{"PVEndTime", TypeInt},
+		{"PVDayOfWeek", TypeInt},
+		{"DSActionName", TypeString},
+		{"DSPermission", TypeString},
+		{"DSInProfilePeakRate", TypeInt},
+		{"DSDropPriority", TypeInt},
+	} {
+		s.MustDefineAttr(a.name, a.t)
+	}
+
+	s.MustDefineClass("dcObject", "dc")
+	s.MustDefineClass("domain", "dc", "o", "description")
+	s.MustDefineClass("organizationalUnit", "ou", "description")
+	s.MustDefineClass("inetOrgPerson",
+		"cn", "commonName", "surName", "uid", "telephoneNumber", "mail", "description")
+	s.MustDefineClass("ntUser", "cn", "uid", "description")
+	s.MustDefineClass("TOPSSubscriber",
+		"cn", "commonName", "surName", "uid", "description")
+	s.MustDefineClass("QHP",
+		"QHPName", "startTime", "endTime", "daysOfWeek", "priority", "callerGroup", "mediaType", "description")
+	s.MustDefineClass("callAppearance",
+		"CANumber", "priority", "timeOut", "mediaType", "terminalType", "description")
+	s.MustDefineClass("SLAPolicyRules",
+		"SLAPolicyName", "SLAPolicyScope", "SLARulePriority",
+		"SLAExceptionRef", "SLATPRef", "SLAPVPRef", "SLADSActRef", "description")
+	s.MustDefineClass("trafficProfile",
+		"TPName", "SourceAddress", "DestinationAddress",
+		"sourcePort", "destinationPort", "protocolNumber", "description")
+	s.MustDefineClass("policyValidityPeriod",
+		"PVPName", "PVStartTime", "PVEndTime", "PVDayOfWeek", "description")
+	s.MustDefineClass("SLADSAction",
+		"DSActionName", "DSPermission", "DSInProfilePeakRate", "DSDropPriority", "description")
+	return s
+}

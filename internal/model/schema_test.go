@@ -1,0 +1,126 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSchemaDefine(t *testing.T) {
+	s := NewSchema()
+	if err := s.DefineAttr("cn", TypeString); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineAttr("priority", TypeInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineClass("person", "cn", "priority"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasClass("PERSON") {
+		t.Error("class lookup should be case-insensitive")
+	}
+	if ty, ok := s.AttrType("CN"); !ok || ty != TypeString {
+		t.Errorf("AttrType(CN) = %v, %v", ty, ok)
+	}
+	if !s.Allowed("person", "cn") || !s.Allowed("person", "objectClass") {
+		t.Error("cn and objectClass should be allowed for person")
+	}
+	if s.Allowed("person", "mail") {
+		t.Error("mail not defined, must not be allowed")
+	}
+}
+
+func TestSchemaRetypeRejected(t *testing.T) {
+	s := NewSchema()
+	s.MustDefineAttr("x", TypeInt)
+	if err := s.DefineAttr("x", TypeString); !errors.Is(err, ErrSchema) {
+		t.Fatalf("retype: got %v", err)
+	}
+	// Same type is idempotent.
+	if err := s.DefineAttr("X", TypeInt); err != nil {
+		t.Fatalf("idempotent redefine: %v", err)
+	}
+}
+
+func TestSchemaUndefinedAttrInClass(t *testing.T) {
+	s := NewSchema()
+	if err := s.DefineClass("c", "nosuch"); !errors.Is(err, ErrSchema) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSchemaObjectClassBuiltin(t *testing.T) {
+	s := NewSchema()
+	if ty, ok := s.AttrType("objectClass"); !ok || ty != TypeString {
+		t.Fatalf("objectClass must be predefined as string, got %v %v", ty, ok)
+	}
+}
+
+func TestDefaultSchemaCoversPaperFigures(t *testing.T) {
+	s := DefaultSchema()
+	// Classes named in Figs 1, 11, 12.
+	for _, c := range []string{
+		"dcObject", "domain", "organizationalUnit", "inetOrgPerson", "ntUser",
+		"TOPSSubscriber", "QHP", "callAppearance",
+		"SLAPolicyRules", "trafficProfile", "policyValidityPeriod", "SLADSAction",
+	} {
+		if !s.HasClass(c) {
+			t.Errorf("missing class %q", c)
+		}
+	}
+	// Typing spot checks from the paper's examples.
+	checks := []struct {
+		attr string
+		want TypeName
+	}{
+		{"SLARulePriority", TypeInt}, // "SLARulePriority < 3" (Sect 4.1)
+		{"SLAExceptionRef", TypeDN},  // references are dn-valued (Sect 7)
+		{"SLATPRef", TypeDN},
+		{"SLAPVPRef", TypeDN},
+		{"SLADSActRef", TypeDN},
+		{"sourcePort", TypeInt}, // "sourcePort=25" (Ex 5.3)
+		{"surName", TypeString}, // "surName=jagadish"
+		{"priority", TypeInt},   // QHP priorities (Fig 11)
+		{"PVDayOfWeek", TypeInt},
+	}
+	for _, c := range checks {
+		got, ok := s.AttrType(c.attr)
+		if !ok || got != c.want {
+			t.Errorf("AttrType(%s) = %v,%v want %v", c.attr, got, ok, c.want)
+		}
+	}
+	if !s.Allowed("SLAPolicyRules", "SLAExceptionRef") {
+		t.Error("SLAPolicyRules must allow SLAExceptionRef")
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := DefaultSchema()
+	c := s.Clone()
+	c.MustDefineAttr("extra", TypeInt)
+	if _, ok := s.AttrType("extra"); ok {
+		t.Error("clone must not alias original")
+	}
+	if _, ok := c.AttrType("dc"); !ok {
+		t.Error("clone lost attribute")
+	}
+}
+
+func TestSchemaListings(t *testing.T) {
+	s := NewSchema()
+	s.MustDefineAttr("b", TypeString)
+	s.MustDefineAttr("a", TypeInt)
+	s.MustDefineClass("z")
+	s.MustDefineClass("y", "a")
+	attrs := s.Attrs()
+	if len(attrs) != 3 || attrs[0] != "a" || attrs[1] != "b" || attrs[2] != ObjectClass {
+		t.Errorf("Attrs() = %v", attrs)
+	}
+	classes := s.Classes()
+	if len(classes) != 2 || classes[0] != "y" || classes[1] != "z" {
+		t.Errorf("Classes() = %v", classes)
+	}
+	if got := s.AllowedAttrs("y"); len(got) != 2 || got[0] != "a" || got[1] != ObjectClass {
+		t.Errorf("AllowedAttrs(y) = %v", got)
+	}
+}

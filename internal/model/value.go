@@ -1,0 +1,167 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TypeName identifies an attribute type in the set T of the schema.
+// The model requires at least string, int, and distinguishedName
+// (Section 3.1); additional names may be registered by applications.
+type TypeName string
+
+// The basic types assumed by the paper.
+const (
+	TypeString TypeName = "string"
+	TypeInt    TypeName = "int"
+	TypeDN     TypeName = "distinguishedName"
+)
+
+// Kind discriminates the runtime representation of a Value.
+type Kind uint8
+
+// Value kinds. KindInvalid is the zero value and never appears in a
+// well-formed entry.
+const (
+	KindInvalid Kind = iota
+	KindString
+	KindInt
+	KindDN
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindDN:
+		return "dn"
+	default:
+		return "invalid"
+	}
+}
+
+// TypeKind maps a schema type name to the runtime kind that carries its
+// values. Unknown (application-registered) types are carried as strings.
+func TypeKind(t TypeName) Kind {
+	switch t {
+	case TypeInt:
+		return KindInt
+	case TypeDN:
+		return KindDN
+	default:
+		return KindString
+	}
+}
+
+// Value is a single attribute value: a tagged union over the domains of
+// the basic types. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	dn   DN
+}
+
+// String constructs a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int constructs an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// DNValue constructs a distinguished-name value (an entry reference).
+func DNValue(dn DN) Value { return Value{kind: KindDN, dn: dn} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer payload. It is only meaningful for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// DN returns the distinguished-name payload. It is only meaningful for
+// KindDN.
+func (v Value) DN() DN { return v.dn }
+
+// String renders the value in its directory text form: integers in
+// decimal, DNs in RFC 2253-style comma form, strings verbatim.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindDN:
+		return v.dn.String()
+	default:
+		return ""
+	}
+}
+
+// Equal reports whether two values are identical. String comparison is
+// case-sensitive (values, unlike attribute names, preserve case); DN
+// comparison is by normalized key.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == w.s
+	case KindInt:
+		return v.i == w.i
+	case KindDN:
+		return v.dn.Equal(w.dn)
+	default:
+		return true
+	}
+}
+
+// Compare orders values of the same kind: strings byte-wise, ints
+// numerically, DNs by reverse key. Values of different kinds order by
+// kind. The ordering is total, enabling deterministic output.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		return int(v.kind) - int(w.kind)
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case KindDN:
+		return strings.Compare(v.dn.Key(), w.dn.Key())
+	default:
+		return 0
+	}
+}
+
+// ParseValue interprets text as a value of the given schema type.
+func ParseValue(t TypeName, text string) (Value, error) {
+	switch TypeKind(t) {
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("model: value %q is not an int: %v", text, err)
+		}
+		return Int(i), nil
+	case KindDN:
+		dn, err := ParseDN(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("model: value %q is not a DN: %v", text, err)
+		}
+		return DNValue(dn), nil
+	default:
+		return String(text), nil
+	}
+}

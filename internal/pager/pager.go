@@ -1,0 +1,298 @@
+// Package pager provides the simulated block device on which every
+// disk-resident structure in this repository lives: paged lists, stacks,
+// sort runs, B+trees, and the entry heap file.
+//
+// The theorems of "Querying Network Directories" are stated in counted
+// page I/Os with blocking factor B (entries per page). Counting page
+// reads and writes on this device therefore measures exactly the
+// quantity the paper's proofs bound, independent of hardware. Pages are
+// held in memory; the accounting, not the medium, is the point.
+package pager
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// PageID identifies a page on a Disk. Zero is never a valid page.
+type PageID uint32
+
+// DefaultPageSize is the page size used when NewDisk is given size 0.
+const DefaultPageSize = 4096
+
+// Stats counts page-level I/O. The evaluation algorithms' complexity
+// claims are verified against these counters.
+type Stats struct {
+	Reads  int64 // pages read
+	Writes int64 // pages written
+	Allocs int64 // pages allocated
+	Frees  int64 // pages freed
+}
+
+// Add returns the component-wise sum of two Stats.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{s.Reads + t.Reads, s.Writes + t.Writes, s.Allocs + t.Allocs, s.Frees + t.Frees}
+}
+
+// Sub returns the component-wise difference s - t.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{s.Reads - t.Reads, s.Writes - t.Writes, s.Allocs - t.Allocs, s.Frees - t.Frees}
+}
+
+// IO returns reads + writes, the quantity the paper's theorems bound.
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
+}
+
+// Disk is a simulated block device: fixed-size pages, explicit
+// allocation, counted reads and writes. It is safe for concurrent use.
+type Disk struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte
+	free     []PageID
+	stats    Stats
+	fault    func(op string, id PageID) error
+}
+
+// Disk-level errors.
+var (
+	ErrBadPage  = errors.New("pager: invalid page id")
+	ErrPageSize = errors.New("pager: data exceeds page size")
+)
+
+// NewDisk creates a device with the given page size (DefaultPageSize if
+// 0).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{pageSize: pageSize, pages: make([][]byte, 1)} // slot 0 unused
+}
+
+// PageSize returns the device's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetFault installs a fault injector invoked before each operation
+// ("read", "write", "alloc") with the page involved; a non-nil return is
+// surfaced to the caller. Used by failure-injection tests.
+func (d *Disk) SetFault(f func(op string, id PageID) error) {
+	d.mu.Lock()
+	d.fault = f
+	d.mu.Unlock()
+}
+
+// Alloc reserves a fresh (zeroed) page.
+func (d *Disk) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fault != nil {
+		if err := d.fault("alloc", 0); err != nil {
+			return 0, err
+		}
+	}
+	d.stats.Allocs++
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.pages[id] = nil
+		return id, nil
+	}
+	d.pages = append(d.pages, nil)
+	return PageID(len(d.pages) - 1), nil
+}
+
+// Free releases a page for reuse.
+func (d *Disk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) <= 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	d.stats.Frees++
+	d.pages[id] = nil
+	d.free = append(d.free, id)
+	return nil
+}
+
+// Read copies page id into buf (which must be at least PageSize long)
+// and counts one page read. Unwritten pages read as zeroes.
+func (d *Disk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) <= 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	if d.fault != nil {
+		if err := d.fault("read", id); err != nil {
+			return err
+		}
+	}
+	d.stats.Reads++
+	p := d.pages[id]
+	if p == nil {
+		for i := 0; i < d.pageSize && i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, p)
+	return nil
+}
+
+// Write stores data (at most PageSize bytes) as the new content of page
+// id and counts one page write.
+func (d *Disk) Write(id PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) <= 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	if len(data) > d.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageSize, len(data), d.pageSize)
+	}
+	if d.fault != nil {
+		if err := d.fault("write", id); err != nil {
+			return err
+		}
+	}
+	d.stats.Writes++
+	p := d.pages[id]
+	if p == nil {
+		p = make([]byte, d.pageSize)
+		d.pages[id] = p
+	} else {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	copy(p, data)
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O counters (page contents are unaffected).
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	d.mu.Unlock()
+}
+
+// NumPages returns the number of pages ever allocated and still live.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages) - 1 - len(d.free)
+}
+
+// snapshot format: magic, page size, slot count, free-list, then one
+// presence byte + page image per slot. Snapshot I/O is not counted in
+// Stats — it is backup traffic, not query evaluation.
+var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'D', '1'}
+
+// WriteTo serializes the whole device.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := &countWriter{w: w}
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return bw.n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(d.pages)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.free)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return bw.n, err
+	}
+	var id [4]byte
+	for _, f := range d.free {
+		binary.LittleEndian.PutUint32(id[:], uint32(f))
+		if _, err := bw.Write(id[:]); err != nil {
+			return bw.n, err
+		}
+	}
+	for _, p := range d.pages[1:] {
+		if p == nil {
+			if _, err := bw.Write([]byte{0}); err != nil {
+				return bw.n, err
+			}
+			continue
+		}
+		if _, err := bw.Write([]byte{1}); err != nil {
+			return bw.n, err
+		}
+		if _, err := bw.Write(p); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// ReadDisk deserializes a device previously written with WriteTo.
+func ReadDisk(r io.Reader) (*Disk, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != snapshotMagic {
+		return nil, errors.New("pager: not a disk snapshot")
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	d := NewDisk(int(binary.LittleEndian.Uint32(hdr[0:])))
+	nPages := int(binary.LittleEndian.Uint32(hdr[4:]))
+	nFree := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if nPages < 1 {
+		return nil, errors.New("pager: corrupt snapshot header")
+	}
+	var id [4]byte
+	for i := 0; i < nFree; i++ {
+		if _, err := io.ReadFull(br, id[:]); err != nil {
+			return nil, err
+		}
+		d.free = append(d.free, PageID(binary.LittleEndian.Uint32(id[:])))
+	}
+	d.pages = make([][]byte, nPages)
+	var present [1]byte
+	for i := 1; i < nPages; i++ {
+		if _, err := io.ReadFull(br, present[:]); err != nil {
+			return nil, err
+		}
+		if present[0] == 0 {
+			continue
+		}
+		p := make([]byte, d.pageSize)
+		if _, err := io.ReadFull(br, p); err != nil {
+			return nil, err
+		}
+		d.pages[i] = p
+	}
+	return d, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,63 @@
+package plist
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func BenchmarkRecordEncode(b *testing.B) {
+	r := testRecord(7)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], r)
+	}
+}
+
+func BenchmarkRecordDecode(b *testing.B) {
+	buf := AppendRecord(nil, testRecord(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecord(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListScan(b *testing.B) {
+	d := pager.NewDisk(4096)
+	l, err := Build(d, sortedRecords(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := l.Reader()
+		for {
+			if _, err := rd.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	d := pager.NewDisk(4096)
+	s := NewStack(d, 4)
+	frame := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Push(frame); err != nil {
+			b.Fatal(err)
+		}
+		if i%3 == 2 {
+			if _, err := s.Pop(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

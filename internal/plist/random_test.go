@@ -1,0 +1,130 @@
+package plist
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func TestReaderAtAndOffset(t *testing.T) {
+	d := pager.NewDisk(256)
+	w := NewWriter(d)
+	recs := sortedRecords(120)
+	var offsets []int64
+	for _, r := range recs {
+		offsets = append(offsets, w.Offset())
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() <= 0 {
+		t.Fatal("Size not reported")
+	}
+	if l.Disk() != d {
+		t.Fatal("Disk accessor wrong")
+	}
+	// Start a reader at each recorded offset: it must yield the suffix.
+	for _, i := range []int{0, 1, 60, 119} {
+		rd, err := l.ReaderAt(offsets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < len(recs); j++ {
+			got, err := rd.Next()
+			if err != nil {
+				t.Fatalf("offset %d, record %d: %v", offsets[i], j, err)
+			}
+			if got.Key != recs[j].Key {
+				t.Fatalf("offset %d: record %d = %q, want %q", offsets[i], j, got.Key, recs[j].Key)
+			}
+		}
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+	}
+	// Past-the-end offset: immediate EOF.
+	rd, err := l.ReaderAt(l.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("EOF expected at end offset, got %v", err)
+	}
+}
+
+func TestRandomReaderAscendingAndRepeated(t *testing.T) {
+	d := pager.NewDisk(256)
+	w := NewWriter(d)
+	recs := sortedRecords(80)
+	var offsets []int64
+	for _, r := range recs {
+		offsets = append(offsets, w.Offset())
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := l.RandomReader()
+	d.ResetStats()
+	for i, off := range offsets {
+		rec, next, err := rr.ReadAt(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Key != recs[i].Key {
+			t.Fatalf("record %d mismatch", i)
+		}
+		if i+1 < len(offsets) && next != offsets[i+1] {
+			t.Fatalf("next offset %d, want %d", next, offsets[i+1])
+		}
+	}
+	// Ascending access must cost ~one read per page, not per record.
+	if reads := d.Stats().Reads; reads > int64(l.Pages())+1 {
+		t.Fatalf("ascending RandomReader did %d reads over %d pages", reads, l.Pages())
+	}
+	// Repeated reads cost at most the record's page span each (a record
+	// crossing a page boundary re-reads its first page), never more.
+	d.ResetStats()
+	for i := 0; i < 5; i++ {
+		if _, _, err := rr.ReadAt(offsets[len(offsets)-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reads := d.Stats().Reads; reads > 10 {
+		t.Fatalf("page cache not reused: %d reads for 5 repeats", reads)
+	}
+	// Out-of-range offset errors.
+	if _, _, err := rr.ReadAt(l.Size() + 10); err == nil {
+		t.Fatal("out-of-range ReadAt succeeded")
+	}
+}
+
+func TestMergeUntaggedAndWithLabel(t *testing.T) {
+	r1 := []*Record{{Key: "a", Label: 1}, {Key: "c", Label: 1}}
+	r2 := []*Record{{Key: "b", Label: 2}, {Key: "c", Label: 2}}
+	m := NewMergeUntagged(NewSliceReader(r1), NewSliceReader(r2))
+	got, err := DrainReader(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d", len(got))
+	}
+	// Untagged: positional labels not added, existing ones unioned.
+	if got[0].Label != 1 || got[1].Label != 2 || got[2].Label != 3 {
+		t.Fatalf("labels = %d %d %d", got[0].Label, got[1].Label, got[2].Label)
+	}
+	r := Record{Key: "x"}
+	r2v := r.WithLabel(3)
+	if !r2v.HasLabel(3) || r.Label != 0 {
+		t.Fatal("WithLabel must copy")
+	}
+}

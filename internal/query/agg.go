@@ -1,0 +1,239 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc is one of the aggregate functions of the Fig 9 grammar. All
+// five are "distributive or algebraic" in the sense of Section 6.4, so
+// the stack algorithms compute them incrementally.
+type AggFunc uint8
+
+// The aggregate functions.
+const (
+	AggMin AggFunc = iota
+	AggMax
+	AggCount
+	AggSum
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "average"
+	default:
+		return "?"
+	}
+}
+
+// ParseAggFunc parses an aggregate function name.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "average", "avg":
+		return AggAvg, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %q", s)
+	}
+}
+
+// Var identifies what an entry aggregate ranges over inside a structural
+// aggregate selection (Definition 6.2): the entry itself ($1 — also the
+// implicit target in simple aggregate selection), or its witness set
+// ($2).
+type Var uint8
+
+// Aggregation targets.
+const (
+	VarSelf    Var = iota // agg(a) or agg($1.a): values of a in the entry
+	VarWitness            // agg($2.a): values of a across the witness set
+)
+
+// EntryAgg is an entry aggregate of the Fig 9 grammar: one of
+// agg(attr), agg($1.attr), agg($2.attr), or count($2) (Attr empty,
+// Fn AggCount, Over VarWitness).
+type EntryAgg struct {
+	Fn   AggFunc
+	Over Var
+	Attr string // normalized; empty only for count($2)
+}
+
+func (e EntryAgg) String() string {
+	switch {
+	case e.Attr == "" && e.Over == VarWitness:
+		return "count($2)"
+	case e.Over == VarWitness:
+		return fmt.Sprintf("%s($2.%s)", e.Fn, e.Attr)
+	default:
+		return fmt.Sprintf("%s(%s)", e.Fn, e.Attr)
+	}
+}
+
+// AggAttrKind discriminates AggAttr.
+type AggAttrKind uint8
+
+// Aggregate attribute kinds (Fig 9: AggAttribute := IntConstant |
+// EntryAggAttr | EntrySetAggAttr).
+const (
+	KindConst AggAttrKind = iota
+	KindEntry
+	KindEntrySet
+)
+
+// SetForm discriminates the entry-set aggregate special forms.
+type SetForm uint8
+
+// Entry-set aggregate forms: agg1(ea), count($1), count($$).
+const (
+	SetOfEntry  SetForm = iota // OuterFn(Entry)
+	SetCount1                  // count($1): size of M(Q1)
+	SetCountAll                // count($$): size of M(Q) (simple agg selection)
+)
+
+// AggAttr is an aggregate attribute: an integer constant, an entry
+// aggregate, or an entry-set aggregate.
+type AggAttr struct {
+	Kind    AggAttrKind
+	Const   int64    // KindConst
+	Entry   EntryAgg // KindEntry, or operand of KindEntrySet SetOfEntry
+	OuterFn AggFunc  // KindEntrySet SetOfEntry
+	Form    SetForm  // KindEntrySet
+}
+
+func (a AggAttr) String() string {
+	switch a.Kind {
+	case KindConst:
+		return fmt.Sprint(a.Const)
+	case KindEntry:
+		return a.Entry.String()
+	default:
+		switch a.Form {
+		case SetCount1:
+			return "count($1)"
+		case SetCountAll:
+			return "count($$)"
+		default:
+			return fmt.Sprintf("%s(%s)", a.OuterFn, a.Entry)
+		}
+	}
+}
+
+// ConstAttr builds an integer-constant aggregate attribute.
+func ConstAttr(v int64) AggAttr { return AggAttr{Kind: KindConst, Const: v} }
+
+// EntryAttr builds an entry aggregate attribute.
+func EntryAttr(fn AggFunc, over Var, attr string) AggAttr {
+	return AggAttr{Kind: KindEntry, Entry: EntryAgg{Fn: fn, Over: over, Attr: attr}}
+}
+
+// CountWitness builds count($2).
+func CountWitness() AggAttr { return EntryAttr(AggCount, VarWitness, "") }
+
+// SetAttr builds the entry-set aggregate agg1(ea).
+func SetAttr(outer AggFunc, ea EntryAgg) AggAttr {
+	return AggAttr{Kind: KindEntrySet, OuterFn: outer, Entry: ea, Form: SetOfEntry}
+}
+
+// CmpOp is the integer comparison of an aggregate selection filter.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Compare applies the operator to two int64 operands.
+func (o CmpOp) Compare(a, b int64) bool {
+	switch o {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// AggSel is an aggregate selection filter: an arithmetic condition
+// between two aggregate attributes (Section 6.2).
+type AggSel struct {
+	Left  AggAttr
+	Op    CmpOp
+	Right AggAttr
+}
+
+func (s *AggSel) String() string {
+	return fmt.Sprintf("%s %s %s", s.Left, s.Op, s.Right)
+}
+
+// UsesWitness reports whether either side aggregates over $2 — only
+// meaningful (and only legal) on structural operators.
+func (s *AggSel) UsesWitness() bool {
+	return aggUsesWitness(s.Left) || aggUsesWitness(s.Right)
+}
+
+// UsesEntrySet reports whether either side is an entry-set aggregate,
+// which forces a global pre-pass over the whole operand list.
+func (s *AggSel) UsesEntrySet() bool {
+	return s.Left.Kind == KindEntrySet || s.Right.Kind == KindEntrySet
+}
+
+func aggUsesWitness(a AggAttr) bool {
+	switch a.Kind {
+	case KindEntry:
+		return a.Entry.Over == VarWitness
+	case KindEntrySet:
+		return a.Form == SetOfEntry && a.Entry.Over == VarWitness
+	default:
+		return false
+	}
+}

@@ -1,0 +1,65 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/model"
+)
+
+// CompileLDAP constructively witnesses the LDAP ⊆ L0 inclusion of
+// Theorem 8.1: any LDAP query — one base, one scope, a boolean
+// combination of atomic filters — translates to an equivalent L0 query.
+//
+// Filter-level connectives become set-level operators over atomic
+// queries sharing the LDAP query's base and scope:
+//
+//	(& F1 F2)  ->  (& (B?s?F1) (B?s?F2))
+//	(| F1 F2)  ->  (| (B?s?F1) (B?s?F2))
+//	(! F)      ->  (- (B?s?objectClass=*) (B?s?F))
+//
+// The complement uses the presence filter objectClass=*, which every
+// directory entry satisfies: Definition 3.2(b)+(c)2 force class(r) to be
+// non-empty and stored in objectClass. This is the same observation that
+// makes the Section 8.1 encoding of p through ac work.
+func CompileLDAP(q *LDAP) (Query, error) {
+	return compileFilter(q.Base, q.Scope, q.Filter)
+}
+
+func compileFilter(base model.DN, scope Scope, f filter.Filter) (Query, error) {
+	switch ff := f.(type) {
+	case *filter.Atom:
+		return &Atomic{Base: base, Scope: scope, Filter: ff}, nil
+	case filter.And:
+		return compileFold(base, scope, OpAnd, ff)
+	case filter.Or:
+		return compileFold(base, scope, OpOr, ff)
+	case filter.Not:
+		inner, err := compileFilter(base, scope, ff.F)
+		if err != nil {
+			return nil, err
+		}
+		all := &Atomic{Base: base, Scope: scope, Filter: filter.Present(model.ObjectClass)}
+		return &Bool{Op: OpDiff, Q1: all, Q2: inner}, nil
+	default:
+		return nil, fmt.Errorf("query: cannot compile filter %T", f)
+	}
+}
+
+func compileFold(base model.DN, scope Scope, op BoolOp, fs []filter.Filter) (Query, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("query: empty %s filter", op)
+	}
+	acc, err := compileFilter(base, scope, fs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs[1:] {
+		next, err := compileFilter(base, scope, f)
+		if err != nil {
+			return nil, err
+		}
+		acc = &Bool{Op: op, Q1: acc, Q2: next}
+	}
+	return acc, nil
+}

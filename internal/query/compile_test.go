@@ -1,0 +1,54 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestCompileLDAPShapes(t *testing.T) {
+	cases := []struct {
+		ldap string
+		lang Language
+	}{
+		{"(dc=com ? sub ? surName=jagadish)", LangL0},
+		{"(dc=com ? sub ? (&(surName=jagadish)(priority<3)))", LangL0},
+		{"(dc=com ? one ? (|(a=1)(b=2)(c=3)))", LangL0},
+		{"(dc=com ? sub ? (!(telephoneNumber=*)))", LangL0},
+		{"(dc=com ? base ? (&(|(a=1)(b=2))(!(c=3))))", LangL0},
+	}
+	for _, c := range cases {
+		lq, err := ParseLDAP(c.ldap)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ldap, err)
+		}
+		q, err := CompileLDAP(lq)
+		if err != nil {
+			t.Fatalf("compile %s: %v", c.ldap, err)
+		}
+		if q.Language() != c.lang {
+			t.Errorf("%s compiled into %v", c.ldap, q.Language())
+		}
+		// The compilation must round-trip through the parser.
+		if _, err := Parse(q.String()); err != nil {
+			t.Errorf("%s: compiled query unparseable: %s", c.ldap, q)
+		}
+	}
+}
+
+func TestCompileLDAPNotUsesComplement(t *testing.T) {
+	lq, err := ParseLDAP("(dc=com ? sub ? (!(mail=*)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := CompileLDAP(lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := q.(*Bool)
+	if !ok || b.Op != OpDiff {
+		t.Fatalf("negation compiled to %T %s", q, q)
+	}
+	all, ok := b.Q1.(*Atomic)
+	if !ok || all.Filter.Attr != "objectclass" {
+		t.Fatalf("complement base = %s", b.Q1)
+	}
+}

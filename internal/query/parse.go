@@ -1,0 +1,412 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/model"
+)
+
+// ErrParse reports a malformed query string.
+var ErrParse = errors.New("query: parse error")
+
+// Parse parses a query written in the paper's surface syntax, e.g.
+//
+//	(- (dc=att, dc=com ? sub ? surName=jagadish)
+//	   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))
+//	(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)
+//	   (dc=att, dc=com ? sub ? objectClass=QHP)
+//	   count($2) > 10)
+//	(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+//	    (dc=att, dc=com ? sub ? sourcePort=25)
+//	    SLATPRef)
+//	(g (dc=com ? sub ? objectClass=QHP) count(daysOfWeek) > 1)
+//
+// The grammar is exactly Figures 7–10: boolean operators are binary,
+// hierarchy operators are binary (p, c, a, d) or ternary (ac, dc), all
+// optionally followed by an aggregate selection filter; g takes a query
+// and a filter; vd/dv take two queries, an attribute name, and an
+// optional filter.
+func Parse(s string) (Query, error) {
+	p := &parser{s: s}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("%w: trailing input %q", ErrParse, p.s[p.i:])
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically-known queries; it panics on error.
+func MustParse(s string) Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseLDAP parses an LDAP query "(base ? scope ? filter)" where filter
+// may be a full RFC 2254-style boolean combination of atomic filters —
+// the baseline language of Section 8.
+func ParseLDAP(s string) (*LDAP, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return nil, fmt.Errorf("%w: LDAP query must be parenthesized", ErrParse)
+	}
+	parts := splitTop(s[1:len(s)-1], '?')
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: LDAP query needs base ? scope ? filter", ErrParse)
+	}
+	dn, err := model.ParseDN(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, err
+	}
+	scope, err := ParseScope(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	f, err := filter.Parse(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return nil, err
+	}
+	return &LDAP{Base: dn, Scope: scope, Filter: f}, nil
+}
+
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) skipSpace() {
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) fail(format string, args ...any) error {
+	return fmt.Errorf("%w at offset %d: %s", ErrParse, p.i, fmt.Sprintf(format, args...))
+}
+
+var operators = map[string]bool{
+	"&": true, "|": true, "-": true,
+	"p": true, "c": true, "a": true, "d": true, "ac": true, "dc": true,
+	"g": true, "vd": true, "dv": true,
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != '(' {
+		return nil, p.fail("expected '('")
+	}
+	p.i++ // consume '('
+	p.skipSpace()
+	// Peek the operator token: letters/symbols up to space or '('.
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != ' ' && p.s[p.i] != '\t' && p.s[p.i] != '\n' && p.s[p.i] != '(' && p.s[p.i] != ')' {
+		p.i++
+	}
+	tok := p.s[start:p.i]
+	if operators[tok] {
+		return p.parseOperator(tok)
+	}
+	// Not an operator: atomic query. Rewind and consume to the matching ')'.
+	p.i = start
+	body, err := p.consumeBalanced()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseAtomicBody(body)
+}
+
+// consumeBalanced reads up to (and past) the ')' matching the already-
+// consumed '(' and returns the content in between.
+func (p *parser) consumeBalanced() (string, error) {
+	start := p.i
+	depth := 0
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case '(':
+			depth++
+		case ')':
+			if depth == 0 {
+				body := p.s[start:p.i]
+				p.i++
+				return body, nil
+			}
+			depth--
+		}
+		p.i++
+	}
+	return "", p.fail("unterminated '('")
+}
+
+func (p *parser) parseAtomicBody(body string) (Query, error) {
+	parts := splitTop(body, '?')
+	if len(parts) != 3 {
+		return nil, p.fail("atomic query needs base ? scope ? filter, got %q", body)
+	}
+	dn, err := model.ParseDN(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	scope, err := ParseScope(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	atom, err := filter.ParseAtom(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return &Atomic{Base: dn, Scope: scope, Filter: atom}, nil
+}
+
+func (p *parser) parseOperator(tok string) (Query, error) {
+	switch tok {
+	case "&", "|", "-":
+		q1, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		q2, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectClose(); err != nil {
+			return nil, err
+		}
+		op := map[string]BoolOp{"&": OpAnd, "|": OpOr, "-": OpDiff}[tok]
+		return &Bool{Op: op, Q1: q1, Q2: q2}, nil
+
+	case "p", "c", "a", "d", "ac", "dc":
+		op := map[string]HierOp{
+			"p": OpParents, "c": OpChildren, "a": OpAncestors,
+			"d": OpDescendants, "ac": OpAncestorsC, "dc": OpDescendantsC,
+		}[tok]
+		q1, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		q2, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		h := &Hier{Op: op, Q1: q1, Q2: q2}
+		if op.Ternary() {
+			if h.Q3, err = p.parseQuery(); err != nil {
+				return nil, err
+			}
+		}
+		rest, err := p.consumeBalanced()
+		if err != nil {
+			return nil, err
+		}
+		if rest = strings.TrimSpace(rest); rest != "" {
+			if h.AggSel, err = ParseAggSel(rest); err != nil {
+				return nil, err
+			}
+		}
+		return h, nil
+
+	case "g":
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		rest, err := p.consumeBalanced()
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ParseAggSel(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, err
+		}
+		return &SimpleAgg{Q: q, AggSel: sel}, nil
+
+	case "vd", "dv":
+		op := OpValueDN
+		if tok == "dv" {
+			op = OpDNValue
+		}
+		q1, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		q2, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		rest, err := p.consumeBalanced()
+		if err != nil {
+			return nil, err
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return nil, p.fail("%s needs an attribute name", tok)
+		}
+		attr := rest
+		var sel *AggSel
+		if i := strings.IndexAny(rest, " \t\n"); i >= 0 {
+			attr = rest[:i]
+			selText := strings.TrimSpace(rest[i:])
+			if selText != "" {
+				if sel, err = ParseAggSel(selText); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &EmbedRef{Op: op, Q1: q1, Q2: q2, Attr: model.NormalizeAttr(attr), AggSel: sel}, nil
+	}
+	return nil, p.fail("unknown operator %q", tok)
+}
+
+func (p *parser) expectClose() error {
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != ')' {
+		return p.fail("expected ')'")
+	}
+	p.i++
+	return nil
+}
+
+// splitTop splits s on sep occurring at paren depth zero.
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// ParseAggSel parses an aggregate selection filter such as
+// "count($2) > 10", "count(SLAPVPRef) > 1", or
+// "min(SLARulePriority) = min(min(SLARulePriority))".
+func ParseAggSel(s string) (*AggSel, error) {
+	s = strings.TrimSpace(s)
+	opPos, opLen, op := -1, 0, CmpEQ
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '<', '>', '=', '!':
+			if depth != 0 {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(s[i:], "<="):
+				op, opLen = CmpLE, 2
+			case strings.HasPrefix(s[i:], ">="):
+				op, opLen = CmpGE, 2
+			case strings.HasPrefix(s[i:], "!="):
+				op, opLen = CmpNE, 2
+			case s[i] == '<':
+				op, opLen = CmpLT, 1
+			case s[i] == '>':
+				op, opLen = CmpGT, 1
+			case s[i] == '=':
+				op, opLen = CmpEQ, 1
+			default:
+				continue // lone '!' is not an operator
+			}
+			opPos = i
+		}
+		if opPos >= 0 {
+			break
+		}
+	}
+	if opPos < 0 {
+		return nil, fmt.Errorf("%w: no comparison in aggregate filter %q", ErrParse, s)
+	}
+	left, err := parseAggAttr(strings.TrimSpace(s[:opPos]))
+	if err != nil {
+		return nil, err
+	}
+	right, err := parseAggAttr(strings.TrimSpace(s[opPos+opLen:]))
+	if err != nil {
+		return nil, err
+	}
+	return &AggSel{Left: left, Op: op, Right: right}, nil
+}
+
+func parseAggAttr(s string) (AggAttr, error) {
+	if s == "" {
+		return AggAttr{}, fmt.Errorf("%w: empty aggregate attribute", ErrParse)
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ConstAttr(v), nil
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return AggAttr{}, fmt.Errorf("%w: bad aggregate attribute %q", ErrParse, s)
+	}
+	fn, err := ParseAggFunc(s[:open])
+	if err != nil {
+		return AggAttr{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	switch inner {
+	case "$2":
+		if fn != AggCount {
+			return AggAttr{}, fmt.Errorf("%w: only count($2) is allowed, not %s($2)", ErrParse, fn)
+		}
+		return CountWitness(), nil
+	case "$1":
+		if fn != AggCount {
+			return AggAttr{}, fmt.Errorf("%w: only count($1) is allowed, not %s($1)", ErrParse, fn)
+		}
+		return AggAttr{Kind: KindEntrySet, Form: SetCount1}, nil
+	case "$$":
+		if fn != AggCount {
+			return AggAttr{}, fmt.Errorf("%w: only count($$) is allowed, not %s($$)", ErrParse, fn)
+		}
+		return AggAttr{Kind: KindEntrySet, Form: SetCountAll}, nil
+	}
+	if strings.ContainsRune(inner, '(') {
+		// Entry-set aggregate agg1(entry-agg).
+		ea, err := parseAggAttr(inner)
+		if err != nil {
+			return AggAttr{}, err
+		}
+		if ea.Kind != KindEntry {
+			return AggAttr{}, fmt.Errorf("%w: %q must wrap an entry aggregate", ErrParse, s)
+		}
+		return SetAttr(fn, ea.Entry), nil
+	}
+	over := VarSelf
+	attr := inner
+	switch {
+	case strings.HasPrefix(inner, "$1."):
+		attr = inner[3:]
+	case strings.HasPrefix(inner, "$2."):
+		over, attr = VarWitness, inner[3:]
+	}
+	if attr == "" {
+		return AggAttr{}, fmt.Errorf("%w: missing attribute in %q", ErrParse, s)
+	}
+	return EntryAttr(fn, over, model.NormalizeAttr(attr)), nil
+}

@@ -1,0 +1,346 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The worked queries of the paper, by example number.
+var paperQueries = map[string]struct {
+	text string
+	lang Language
+}{
+	"Ex4.1 difference": {
+		text: `(- (dc=att, dc=com ? sub ? surName=jagadish)
+		          (dc=research, dc=att, dc=com ? sub ? surName=jagadish))`,
+		lang: LangL0,
+	},
+	"Ex5.1 children": {
+		text: `(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)
+		          (dc=att, dc=com ? sub ? surName=jagadish))`,
+		lang: LangL1,
+	},
+	"Ex5.2 ancestors": {
+		text: `(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)
+		          (dc=att, dc=com ? sub ? ou=networkPolicies))`,
+		lang: LangL1,
+	},
+	"Ex5.3 path-constrained descendants": {
+		text: `(dc (dc=att, dc=com ? sub ? objectClass=dcObject)
+		           (& (dc=att, dc=com ? sub ? sourcePort=25)
+		              (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+		           (dc=att, dc=com ? sub ? objectClass=dcObject))`,
+		lang: LangL1,
+	},
+	"Ex6.1 simple aggregate": {
+		text: `(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+		          count(SLAPVPRef) > 1)`,
+		lang: LangL2,
+	},
+	"Ex6.2 structural aggregate": {
+		text: `(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)
+		          (dc=att, dc=com ? sub ? objectClass=QHP)
+		          count($2) > 10)`,
+		lang: LangL2,
+	},
+	"Ex7.1 valueDN": {
+		text: `(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+		           (& (dc=att, dc=com ? sub ? sourcePort=25)
+		              (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+		           SLATPRef)`,
+		lang: LangL3,
+	},
+	"Ex7.1 full dv composition": {
+		text: `(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)
+		           (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+		                  (& (dc=att, dc=com ? sub ? sourcePort=25)
+		                     (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+		                  SLATPRef)
+		              min(SLARulePriority)=min(min(SLARulePriority)))
+		           SLADSActRef)`,
+		lang: LangL3,
+	},
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	s := model.DefaultSchema()
+	for name, c := range paperQueries {
+		q, err := Parse(c.text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := q.Language(); got != c.lang {
+			t.Errorf("%s: language = %v, want %v", name, got, c.lang)
+		}
+		if err := Validate(s, q); err != nil {
+			t.Errorf("%s: validate: %v", name, err)
+		}
+		// Round trip: print and re-parse, structure stable.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("%s: re-parse of %q: %v", name, q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("%s: unstable printing:\n%q\n%q", name, q.String(), q2.String())
+		}
+	}
+}
+
+func TestAtomicParts(t *testing.T) {
+	q, err := Parse("(dc=research, dc=att, dc=com ? one ? SLARulePriority<3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := q.(*Atomic)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if a.Base.String() != "dc=research, dc=att, dc=com" {
+		t.Errorf("base = %q", a.Base)
+	}
+	if a.Scope != ScopeOne {
+		t.Errorf("scope = %v", a.Scope)
+	}
+	if a.Filter.Attr != "slarulepriority" {
+		t.Errorf("filter attr = %q", a.Filter.Attr)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	for _, sc := range []string{"base", "one", "sub"} {
+		q, err := Parse("(dc=com ? " + sc + " ? dc=*)")
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if got := q.(*Atomic).Scope.String(); got != sc {
+			t.Errorf("scope %s round trip = %s", sc, got)
+		}
+	}
+	if _, err := ParseScope("tree"); err == nil {
+		t.Error("bad scope accepted")
+	}
+}
+
+func TestRootBaseDN(t *testing.T) {
+	// The null-dn of Section 8.1: an empty base names the forest root.
+	q, err := Parse("( ? sub ? objectClass=*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.(*Atomic).Base) != 0 {
+		t.Errorf("base = %v, want empty", q.(*Atomic).Base)
+	}
+}
+
+func TestParseAggSelForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"count($2) > 10", "count($2) > 10"},
+		{"count(SLAPVPRef)>1", "count(slapvpref) > 1"},
+		{"min(SLARulePriority)=min(min(SLARulePriority))", "min(slarulepriority) = min(min(slarulepriority))"},
+		{"count($2)=max(count($2))", "count($2) = max(count($2))"},
+		{"count($$) != 0", "count($$) != 0"},
+		{"count($1) >= 5", "count($1) >= 5"},
+		{"sum($2.priority) <= 100", "sum($2.priority) <= 100"},
+		{"average($1.priority) < 3", "average(priority) < 3"},
+		{"7 = count($2)", "7 = count($2)"},
+	}
+	for _, c := range cases {
+		sel, err := ParseAggSel(c.in)
+		if err != nil {
+			t.Fatalf("ParseAggSel(%q): %v", c.in, err)
+		}
+		if sel.String() != c.want {
+			t.Errorf("ParseAggSel(%q) = %q, want %q", c.in, sel, c.want)
+		}
+	}
+}
+
+func TestParseAggSelErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "count($2)", "min($2)", "sum($$)", "max($1) = 3",
+		"frob(x) > 1", "count() > 1", "count($2) >", "min(count(x)) = min(min(min(x)))",
+	} {
+		if _, err := ParseAggSel(bad); err == nil {
+			t.Errorf("ParseAggSel(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"(dc=com ? sub)",             // missing filter
+		"(dc=com ? sub ? a=1 ? b=2)", // too many parts
+		"(& (dc=com ? sub ? a=1))",   // & is binary
+		"(p (dc=com ? sub ? a=1))",   // p is binary
+		"(ac (dc=com ? sub ? a=1) (dc=com ? sub ? a=1))", // ac is ternary
+		"(g (dc=com ? sub ? a=1))",                       // g needs a filter
+		"(vd (dc=com ? sub ? a=1) (dc=com ? sub ? a=1))", // vd needs attr
+		"(dc=com ? tree ? a=1)",                          // bad scope
+		"(& (dc=com ? sub ? a=1) (dc=com ? sub ? a=1)",   // unbalanced
+		"(dc=com ? sub ? a=1) junk",                      // trailing
+		"(zz (dc=com ? sub ? a=1) (dc=com ? sub ? a=1))", // unknown op... parsed as atomic, fails on '?' count
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		} else if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q): error not ErrParse: %v", bad, err)
+		}
+	}
+}
+
+func TestParseLDAP(t *testing.T) {
+	q, err := ParseLDAP("(dc=att, dc=com ? sub ? (&(surName=jagadish)(!(objectClass=ntUser))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Language() != LangLDAP {
+		t.Errorf("language = %v", q.Language())
+	}
+	if q.Scope != ScopeSub || q.Base.Depth() != 2 {
+		t.Errorf("base/scope wrong: %v %v", q.Base, q.Scope)
+	}
+	if _, err := ParseLDAP("no parens"); err == nil {
+		t.Error("bad LDAP accepted")
+	}
+}
+
+func TestLanguageLattice(t *testing.T) {
+	// Nesting an L2 node under a boolean keeps L2; nesting L3 anywhere
+	// yields L3.
+	l2 := `(g (dc=com ? sub ? dc=*) count($$) > 0)`
+	q := MustParse(`(& ` + l2 + ` (dc=com ? sub ? dc=*))`)
+	if q.Language() != LangL2 {
+		t.Errorf("boolean over L2 = %v", q.Language())
+	}
+	l3 := `(vd (dc=com ? sub ? objectClass=*) (dc=com ? sub ? dc=*) SLATPRef)`
+	q = MustParse(`(c ` + l3 + ` (dc=com ? sub ? dc=*))`)
+	if q.Language() != LangL3 {
+		t.Errorf("hier over L3 = %v", q.Language())
+	}
+}
+
+func TestSizeAndWalk(t *testing.T) {
+	q := MustParse(paperQueries["Ex7.1 full dv composition"].text)
+	// dv(atomic, g(vd(atomic, &(atomic, atomic)))) = dv,atomic,g,vd,atomic,&,atomic,atomic = 8
+	if got := Size(q); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+	atoms := 0
+	Walk(q, func(n Query) {
+		if _, ok := n.(*Atomic); ok {
+			atoms++
+		}
+	})
+	if atoms != 4 {
+		t.Errorf("atoms = %d, want 4", atoms)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := model.DefaultSchema()
+	cases := []string{
+		"(dc=com ? sub ? noSuchAttr=1)",
+		"(vd (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*) surName)", // surName not DN-typed
+		"(vd (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*) nosuch)",  // unknown
+		"(g (dc=com ? sub ? dc=*) min(surName) > 1)",               // min on string
+		"(g (dc=com ? sub ? dc=*) count($2) > 1)",                  // $2 outside structural op
+		"(g (dc=com ? sub ? dc=*) count($1) > 1)",                  // $1 outside structural op
+		"(g (dc=com ? sub ? dc=*) sum($2.priority) > 1)",           // $2 outside structural op
+		"(c (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*) min(nosuch) > 1)",
+	}
+	for _, c := range cases {
+		q, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if err := Validate(s, q); !errors.Is(err, ErrValidate) {
+			t.Errorf("Validate(%q) = %v, want ErrValidate", c, err)
+		}
+	}
+	// Structural $2 is fine.
+	ok := MustParse("(c (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*) sum($2.priority) > 1)")
+	if err := Validate(s, ok); err != nil {
+		t.Errorf("structural $2 rejected: %v", err)
+	}
+}
+
+func TestHierOpProperties(t *testing.T) {
+	if OpParents.Ternary() || OpChildren.Ternary() || OpAncestors.Ternary() || OpDescendants.Ternary() {
+		t.Error("binary ops claim ternary")
+	}
+	if !OpAncestorsC.Ternary() || !OpDescendantsC.Ternary() {
+		t.Error("ternary ops claim binary")
+	}
+	ops := []HierOp{OpParents, OpChildren, OpAncestors, OpDescendants, OpAncestorsC, OpDescendantsC}
+	names := []string{"p", "c", "a", "d", "ac", "dc"}
+	for i, op := range ops {
+		if op.String() != names[i] {
+			t.Errorf("op %d string = %q", i, op)
+		}
+	}
+}
+
+func TestCmpOpCompare(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b int64
+		want bool
+	}{
+		{CmpEQ, 3, 3, true}, {CmpEQ, 3, 4, false},
+		{CmpNE, 3, 4, true}, {CmpNE, 3, 3, false},
+		{CmpLT, 2, 3, true}, {CmpLT, 3, 3, false},
+		{CmpLE, 3, 3, true}, {CmpLE, 4, 3, false},
+		{CmpGT, 4, 3, true}, {CmpGT, 3, 3, false},
+		{CmpGE, 3, 3, true}, {CmpGE, 2, 3, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Compare(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v", c.a, c.op, c.b, got)
+		}
+	}
+}
+
+func TestAggSelPredicates(t *testing.T) {
+	sel, _ := ParseAggSel("count($2) = max(count($2))")
+	if !sel.UsesWitness() || !sel.UsesEntrySet() {
+		t.Error("count($2)=max(count($2)) uses both witness and entry-set terms")
+	}
+	sel, _ = ParseAggSel("count(SLAPVPRef) > 1")
+	if sel.UsesWitness() || sel.UsesEntrySet() {
+		t.Error("count(attr) > 1 is purely entry-local")
+	}
+	sel, _ = ParseAggSel("min(priority) = min(min(priority))")
+	if sel.UsesWitness() {
+		t.Error("no $2 here")
+	}
+	if !sel.UsesEntrySet() {
+		t.Error("min(min(..)) is an entry-set aggregate")
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	q, err := Parse("  (\n\t- (dc=com ? sub ? dc=*)\n\t  (dc=org ? sub ? dc=*)\n)  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.(*Bool); !ok {
+		t.Fatalf("got %T", q)
+	}
+}
+
+func TestStringContainsOperands(t *testing.T) {
+	q := MustParse(paperQueries["Ex6.2 structural aggregate"].text)
+	s := q.String()
+	for _, want := range []string{"(c ", "count($2) > 10", "objectclass=topssubscriber", "objectclass=qhp"} {
+		if !strings.Contains(strings.ToLower(s), want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ErrValidate reports a query that is grammatical but ill-formed with
+// respect to a schema or the languages' typing rules.
+var ErrValidate = errors.New("query: validation error")
+
+// Validate checks q against a schema: filter attributes must exist,
+// integer comparisons must target int-typed attributes, vd/dv attributes
+// must be distinguishedName-typed, numeric aggregates (min/max/sum/
+// average) must target int attributes, and witness-relative aggregate
+// terms ($2, $1) may appear only under structural operators.
+func Validate(s *model.Schema, q Query) error {
+	var err error
+	Walk(q, func(node Query) {
+		if err != nil {
+			return
+		}
+		switch n := node.(type) {
+		case *Atomic:
+			err = validateFilterAttr(s, n.Filter.Attr)
+		case *Hier:
+			if n.AggSel != nil {
+				err = validateAggSel(s, n.AggSel, true)
+			}
+		case *SimpleAgg:
+			err = validateAggSel(s, n.AggSel, false)
+		case *EmbedRef:
+			t, ok := s.AttrType(n.Attr)
+			if !ok {
+				err = fmt.Errorf("%w: %s references unknown attribute %q", ErrValidate, n.Op, n.Attr)
+				return
+			}
+			if t != model.TypeDN {
+				err = fmt.Errorf("%w: %s attribute %q has type %s, need %s",
+					ErrValidate, n.Op, n.Attr, t, model.TypeDN)
+				return
+			}
+			if n.AggSel != nil {
+				err = validateAggSel(s, n.AggSel, true)
+			}
+		}
+	})
+	return err
+}
+
+func validateFilterAttr(s *model.Schema, attr string) error {
+	if _, ok := s.AttrType(attr); !ok {
+		return fmt.Errorf("%w: unknown attribute %q in filter", ErrValidate, attr)
+	}
+	return nil
+}
+
+func validateAggSel(s *model.Schema, sel *AggSel, structural bool) error {
+	for _, a := range []AggAttr{sel.Left, sel.Right} {
+		if err := validateAggAttr(s, a, structural); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateAggAttr(s *model.Schema, a AggAttr, structural bool) error {
+	switch a.Kind {
+	case KindConst:
+		return nil
+	case KindEntry:
+		return validateEntryAgg(s, a.Entry, structural)
+	default: // KindEntrySet
+		switch a.Form {
+		case SetCount1:
+			if !structural {
+				return fmt.Errorf("%w: count($1) requires a structural operator", ErrValidate)
+			}
+			return nil
+		case SetCountAll:
+			return nil
+		default:
+			return validateEntryAgg(s, a.Entry, structural)
+		}
+	}
+}
+
+func validateEntryAgg(s *model.Schema, ea EntryAgg, structural bool) error {
+	if ea.Over == VarWitness && !structural {
+		return fmt.Errorf("%w: $2 terms require a structural operator", ErrValidate)
+	}
+	if ea.Attr == "" {
+		return nil // count($2)
+	}
+	t, ok := s.AttrType(ea.Attr)
+	if !ok {
+		return fmt.Errorf("%w: unknown attribute %q in aggregate", ErrValidate, ea.Attr)
+	}
+	if ea.Fn != AggCount && t != model.TypeInt {
+		return fmt.Errorf("%w: %s(%s) needs an int attribute, %q has type %s",
+			ErrValidate, ea.Fn, ea.Attr, ea.Attr, t)
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/extsort"
+	"repro/internal/filter"
+	"repro/internal/model"
+	"repro/internal/plist"
+	"repro/internal/query"
+)
+
+// Eval evaluates an atomic query (Definition 4.1), producing a list of
+// the matching entries sorted by reverse-DN key. When the attribute
+// index is available and the filter is index-supported (equality,
+// presence, integer comparisons, wildcard strings), evaluation uses the
+// B+tree (and, for wildcards, the suffix index); otherwise it scans the
+// scope's contiguous master range.
+func (s *Store) Eval(q *query.Atomic) (*plist.List, error) {
+	if q.Scope == query.ScopeBase {
+		// Base scope names exactly one entry: a DN-index point lookup
+		// beats any attribute-index plan.
+		return s.evalBase(q)
+	}
+	if s.attr != nil && !s.preferScan(q) {
+		l, handled, err := s.indexEval(q)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return l, nil
+		}
+	}
+	return s.EvalScan(q)
+}
+
+func (s *Store) evalBase(q *query.Atomic) (*plist.List, error) {
+	w := plist.NewWriter(s.disk)
+	v, err := s.dn.Get([]byte(q.Base.Key()))
+	if errors.Is(err, btree.ErrNotFound) {
+		return w.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	rr := s.master.RandomReader()
+	rec, _, err := rr.ReadAt(decodeOffset(v))
+	if err != nil {
+		return nil, err
+	}
+	if q.Filter.Matches(s.schema, rec.Entry) {
+		if err := w.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// EvalScan evaluates an atomic query by scanning the scope range,
+// ignoring any indexes — the baseline for experiment E15.
+func (s *Store) EvalScan(q *query.Atomic) (*plist.List, error) {
+	return s.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
+		return q.Filter.Matches(s.schema, e)
+	})
+}
+
+// EvalLDAP evaluates an LDAP query — one base, one scope, a boolean
+// combination of atomic filters — by scanning the scope range. This is
+// the paper's baseline language; its single-scan evaluation is exactly
+// what deployed servers do.
+func (s *Store) EvalLDAP(q *query.LDAP) (*plist.List, error) {
+	return s.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
+		return q.Filter.Matches(s.schema, e)
+	})
+}
+
+// scopeOK reports whether an entry key already known to lie in the
+// subtree range of baseKey satisfies the scope.
+func scopeOK(baseKey string, baseDepth int, scope query.Scope, key string) bool {
+	switch scope {
+	case query.ScopeBase:
+		return key == baseKey
+	case query.ScopeOne:
+		return model.KeyDepth(key)-baseDepth <= 1
+	default:
+		return true
+	}
+}
+
+func (s *Store) scanEval(base model.DN, scope query.Scope, match func(*model.Entry) bool) (*plist.List, error) {
+	k := base.Key()
+	hi := model.SubtreeHigh(k)
+	depth := base.Depth()
+	w := plist.NewWriter(s.disk)
+
+	off, found, err := s.seekOffset(k)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return w.Close()
+	}
+	rd, err := s.master.ReaderAt(off)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Key >= hi {
+			break
+		}
+		if !scopeOK(k, depth, scope, rec.Key) {
+			continue
+		}
+		if !match(rec.Entry) {
+			continue
+		}
+		if err := w.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// indexEval attempts index-supported evaluation. handled reports whether
+// the filter shape was supported; if false the caller falls back to a
+// scan.
+func (s *Store) indexEval(q *query.Atomic) (l *plist.List, handled bool, err error) {
+	attr := q.Filter.Attr
+	t, ok := s.schema.AttrType(attr)
+	if !ok {
+		// Unknown attribute: nothing can match.
+		empty, err := plist.Build(s.disk, nil)
+		return empty, true, err
+	}
+	kind := model.TypeKind(t)
+
+	switch q.Filter.Op {
+	case filter.OpPresent:
+		lo := attrPrefix(attr)
+		return s.collectFetch(q, [][2][]byte{{lo, prefixEnd(lo)}}, false)
+
+	case filter.OpEq:
+		if kind == model.KindString && containsStar(q.Filter.Operand) {
+			sfx := s.suffix[attr]
+			if sfx == nil {
+				empty, err := plist.Build(s.disk, nil)
+				return empty, true, err
+			}
+			var ranges [][2][]byte
+			for _, vi := range sfx.MatchWildcard(q.Filter.Operand) {
+				p := valuePrefix(attr, []byte(sfx.Values()[vi]))
+				ranges = append(ranges, [2][]byte{p, prefixEnd(p)})
+			}
+			return s.collectFetch(q, ranges, len(ranges) <= 1)
+		}
+		v, perr := model.ParseValue(t, q.Filter.Operand)
+		if perr != nil {
+			// E.g. non-numeric operand on an int attribute: no match.
+			empty, err := plist.Build(s.disk, nil)
+			return empty, true, err
+		}
+		p := valuePrefix(attr, ordValue(v))
+		return s.collectFetch(q, [][2][]byte{{p, prefixEnd(p)}}, true)
+
+	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE:
+		if kind != model.KindInt {
+			return nil, false, nil // string order comparisons: scan
+		}
+		v, perr := model.ParseValue(t, q.Filter.Operand)
+		if perr != nil {
+			empty, err := plist.Build(s.disk, nil)
+			return empty, true, err
+		}
+		lo, hi := s.intRange(attr, q.Filter.Op, v.Int())
+		return s.collectFetch(q, [][2][]byte{{lo, hi}}, false)
+
+	default:
+		return nil, false, nil // approx etc.: scan
+	}
+}
+
+func containsStar(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' {
+			return true
+		}
+	}
+	return false
+}
+
+// intRange maps an integer comparison to a composite-key range.
+func (s *Store) intRange(attr string, op filter.Op, v int64) (lo, hi []byte) {
+	ap := attrPrefix(attr)
+	switch op {
+	case filter.OpLT:
+		return ap, valuePrefix(attr, ordInt(v))
+	case filter.OpLE:
+		return ap, prefixEnd(valuePrefix(attr, ordInt(v)))
+	case filter.OpGT:
+		return prefixEnd(valuePrefix(attr, ordInt(v))), prefixEnd(ap)
+	case filter.OpGE:
+		return valuePrefix(attr, ordInt(v)), prefixEnd(ap)
+	}
+	// Unreachable: callers pass only range operators.
+	return ap, ap
+}
+
+// prefixEnd returns the exclusive upper bound of all composite keys
+// extending the given component-terminated prefix: the terminator
+// 0x00 0x01 bumped to 0x00 0x02, which no escaped payload byte reaches.
+func prefixEnd(prefix []byte) []byte {
+	out := append([]byte(nil), prefix...)
+	out[len(out)-1] = 0x02
+	return out
+}
+
+// collectFetch scans the given composite-key ranges, filters hits to the
+// query's scope, and materializes the matching entries in reverse-DN key
+// order. If ordered is true the single range already yields unique hits
+// in key order and entries stream straight out; otherwise hits are
+// spooled, externally sorted, and de-duplicated (an entry matching
+// several values appears once — lists are sets of entries).
+func (s *Store) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bool) (*plist.List, bool, error) {
+	baseKey := q.Base.Key()
+	baseHi := model.SubtreeHigh(baseKey)
+	depth := q.Base.Depth()
+
+	if ordered && len(ranges) <= 1 {
+		w := plist.NewWriter(s.disk)
+		rr := s.master.RandomReader()
+		if len(ranges) == 1 {
+			var inner error
+			err := s.attr.Scan(ranges[0][0], ranges[0][1], func(k, v []byte) bool {
+				rk := splitRevKey(k)
+				if rk < baseKey || rk >= baseHi || !scopeOK(baseKey, depth, q.Scope, rk) {
+					return true
+				}
+				rec, _, rerr := rr.ReadAt(decodeOffset(v))
+				if rerr != nil {
+					inner = rerr
+					return false
+				}
+				if aerr := w.Append(rec); aerr != nil {
+					inner = aerr
+					return false
+				}
+				return true
+			})
+			if err == nil {
+				err = inner
+			}
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		l, err := w.Close()
+		return l, true, err
+	}
+
+	// General path: spool (key, offset) hits, sort, dedupe, fetch.
+	spool := plist.NewWriter(s.disk).Unordered()
+	for _, r := range ranges {
+		var inner error
+		err := s.attr.Scan(r[0], r[1], func(k, v []byte) bool {
+			rk := splitRevKey(k)
+			if rk < baseKey || rk >= baseHi || !scopeOK(baseKey, depth, q.Scope, rk) {
+				return true
+			}
+			if aerr := spool.Append(&plist.Record{Key: rk, A: decodeOffset(v)}); aerr != nil {
+				inner = aerr
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = inner
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	hits, err := spool.Close()
+	if err != nil {
+		return nil, false, err
+	}
+	sorted, err := extsort.Sort(s.disk, hits.Reader(), extsort.Config{})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := hits.Free(); err != nil {
+		return nil, false, err
+	}
+	w := plist.NewWriter(s.disk)
+	rr := s.master.RandomReader()
+	rd := sorted.Reader()
+	last := ""
+	first := true
+	for {
+		hit, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if !first && hit.Key == last {
+			continue // entry matched several values
+		}
+		first, last = false, hit.Key
+		rec, _, err := rr.ReadAt(hit.A)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := w.Append(rec); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := sorted.Free(); err != nil {
+		return nil, false, err
+	}
+	l, err := w.Close()
+	return l, true, err
+}
+
+// EvalString parses and evaluates an atomic query given in surface
+// syntax; a convenience for tools and tests.
+func (s *Store) EvalString(text string) (*plist.List, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := q.(*query.Atomic)
+	if !ok {
+		return nil, fmt.Errorf("store: %q is not atomic; use the engine for composite queries", text)
+	}
+	return s.Eval(a)
+}

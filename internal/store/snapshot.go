@@ -1,0 +1,112 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/plist"
+	"repro/internal/strindex"
+)
+
+// Manifest locates the store's structures on a snapshotted disk. The
+// in-memory indexes (trie, suffix array, catalog statistics) are not
+// serialized: Reopen rebuilds them in one scan of the master list, the
+// same pass Build uses.
+type Manifest struct {
+	Count       int            `json:"count"`
+	MasterPages []pager.PageID `json:"masterPages"`
+	MasterSize  int64          `json:"masterSize"`
+	MasterCount int64          `json:"masterCount"`
+	DNRoot      pager.PageID   `json:"dnRoot"`
+	DNLen       int            `json:"dnLen"`
+	AttrRoot    pager.PageID   `json:"attrRoot,omitempty"` // 0 when unindexed
+	AttrLen     int            `json:"attrLen,omitempty"`
+	PoolPages   int            `json:"poolPages"`
+}
+
+// Manifest returns the JSON manifest describing this store's on-disk
+// layout. The store's trees must be flushed first (Build leaves them
+// flushed; call after any direct manipulation).
+func (s *Store) Manifest() ([]byte, error) {
+	m := Manifest{
+		Count:       s.count,
+		MasterPages: s.master.PageIDs(),
+		MasterSize:  s.master.Size(),
+		MasterCount: s.master.Count(),
+		DNRoot:      s.dn.Root(),
+		DNLen:       s.dn.Len(),
+		PoolPages:   64,
+	}
+	if s.attr != nil {
+		m.AttrRoot = s.attr.Root()
+		m.AttrLen = s.attr.Len()
+	}
+	return json.Marshal(m)
+}
+
+// Reopen attaches a Store to a snapshotted disk using its manifest,
+// rebuilding the in-memory indexes from the master list.
+func Reopen(disk *pager.Disk, schema *model.Schema, manifest []byte) (*Store, error) {
+	var m Manifest
+	if err := json.Unmarshal(manifest, &m); err != nil {
+		return nil, fmt.Errorf("store: bad manifest: %w", err)
+	}
+	if m.PoolPages <= 0 {
+		m.PoolPages = 64
+	}
+	s := &Store{
+		disk:   disk,
+		schema: schema,
+		master: plist.Restore(disk, m.MasterPages, m.MasterSize, m.MasterCount),
+		dn:     btree.Open(disk, m.PoolPages, m.DNRoot, m.DNLen),
+		count:  m.Count,
+	}
+	if m.AttrRoot == 0 {
+		return s, nil
+	}
+	s.attr = btree.Open(disk, m.PoolPages, m.AttrRoot, m.AttrLen)
+	s.suffix = make(map[string]*strindex.SuffixIndex)
+	s.trie = make(map[string]*strindex.Trie)
+	s.stats = newCatalog()
+
+	strVals := make(map[string]map[string]bool)
+	rd := s.master.Reader()
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, av := range rec.Entry.Pairs() {
+			s.stats.observe(av.Attr, av.Value)
+			if av.Value.Kind() == model.KindString {
+				set := strVals[av.Attr]
+				if set == nil {
+					set = make(map[string]bool)
+					strVals[av.Attr] = set
+				}
+				set[av.Value.Str()] = true
+			}
+		}
+	}
+	s.stats.finish(s.master.Size(), s.master.Count())
+	for attr, set := range strVals {
+		vals := make([]string, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		s.suffix[attr] = strindex.BuildSuffix(vals)
+		tr := strindex.NewTrie()
+		for _, v := range vals {
+			tr.Insert(v)
+		}
+		s.trie[attr] = tr
+	}
+	return s, nil
+}

@@ -1,0 +1,180 @@
+// Package store binds the data model to the external-memory substrate:
+// a disk-resident directory instance with the indexes Section 4.1 of
+// "Querying Network Directories" assumes, and the atomic-query
+// evaluation that feeds the algebraic operators of internal/engine.
+//
+// Layout:
+//
+//   - a master list: every entry, serialized in reverse-DN key order.
+//     Because an ancestor's key is a prefix of its descendants', the
+//     subtree of any entry is one contiguous byte range of this list —
+//     the sub scope is a single sequential scan;
+//   - a DN B+tree: reverse key -> master stream offset;
+//   - optionally, an attribute B+tree over composite (attr, value,
+//     reverse-key) keys, plus in-memory trie and suffix-array indexes
+//     over each string attribute's distinct values for wildcard filters.
+//
+// Atomic queries evaluate to plist lists sorted by reverse-DN key, the
+// invariant every downstream operator relies on (Section 4.2).
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/plist"
+	"repro/internal/strindex"
+)
+
+// Options configures Build.
+type Options struct {
+	// AttrIndex builds the attribute B+tree and the string indexes.
+	// Without it every atomic query is a scope scan.
+	AttrIndex bool
+	// PoolPages is the buffer-pool capacity for each B+tree (default 64).
+	PoolPages int
+}
+
+// Store is a disk-resident directory instance.
+type Store struct {
+	disk   *pager.Disk
+	schema *model.Schema
+	master *plist.List
+	dn     *btree.Tree
+	attr   *btree.Tree // nil without AttrIndex
+	suffix map[string]*strindex.SuffixIndex
+	trie   map[string]*strindex.Trie
+	stats  *catalog // nil without AttrIndex
+	count  int
+}
+
+// Build writes the instance to disk and constructs the indexes.
+func Build(disk *pager.Disk, in *model.Instance, opts Options) (*Store, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 64
+	}
+	s := &Store{disk: disk, schema: in.Schema()}
+	var err error
+	if s.dn, err = btree.New(disk, opts.PoolPages); err != nil {
+		return nil, err
+	}
+	if opts.AttrIndex {
+		if s.attr, err = btree.New(disk, opts.PoolPages); err != nil {
+			return nil, err
+		}
+		s.suffix = make(map[string]*strindex.SuffixIndex)
+		s.trie = make(map[string]*strindex.Trie)
+		s.stats = newCatalog()
+	}
+
+	w := plist.NewWriter(disk)
+	strVals := make(map[string]map[string]bool) // attr -> distinct string values
+	for _, e := range in.Entries() {
+		off := w.Offset()
+		if err := w.Append(plist.FromEntry(e)); err != nil {
+			return nil, err
+		}
+		if err := s.dn.Insert([]byte(e.Key()), offsetValue(off)); err != nil {
+			return nil, err
+		}
+		if s.attr == nil {
+			continue
+		}
+		for _, av := range e.Pairs() {
+			ov := ordValue(av.Value)
+			if err := s.attr.Insert(compositeKey(av.Attr, ov, e.Key()), offsetValue(off)); err != nil {
+				return nil, err
+			}
+			s.stats.observe(av.Attr, av.Value)
+			if av.Value.Kind() == model.KindString {
+				set := strVals[av.Attr]
+				if set == nil {
+					set = make(map[string]bool)
+					strVals[av.Attr] = set
+				}
+				set[av.Value.Str()] = true
+			}
+		}
+	}
+	if s.master, err = w.Close(); err != nil {
+		return nil, err
+	}
+	if err := s.dn.Flush(); err != nil {
+		return nil, err
+	}
+	if s.attr != nil {
+		if err := s.attr.Flush(); err != nil {
+			return nil, err
+		}
+		s.stats.finish(s.master.Size(), s.master.Count())
+		for attr, set := range strVals {
+			vals := make([]string, 0, len(set))
+			for v := range set {
+				vals = append(vals, v)
+			}
+			s.suffix[attr] = strindex.BuildSuffix(vals)
+			tr := strindex.NewTrie()
+			for _, v := range vals {
+				tr.Insert(v)
+			}
+			s.trie[attr] = tr
+		}
+	}
+	s.count = in.Len()
+	return s, nil
+}
+
+// Disk returns the underlying device (for I/O statistics and for
+// allocating operator intermediates alongside the data).
+func (s *Store) Disk() *pager.Disk { return s.disk }
+
+// Schema returns the instance's schema.
+func (s *Store) Schema() *model.Schema { return s.schema }
+
+// Count returns the number of entries.
+func (s *Store) Count() int { return s.count }
+
+// MasterPages returns the size of the master list in pages — the |I|/B
+// of the whole instance.
+func (s *Store) MasterPages() int { return s.master.Pages() }
+
+// Indexed reports whether the attribute index was built.
+func (s *Store) Indexed() bool { return s.attr != nil }
+
+// ErrNoEntry is returned by Get for absent DNs.
+var ErrNoEntry = errors.New("store: no such entry")
+
+// Get fetches a single entry by DN.
+func (s *Store) Get(dn model.DN) (*model.Entry, error) {
+	v, err := s.dn.Get([]byte(dn.Key()))
+	if errors.Is(err, btree.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntry, dn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rr := s.master.RandomReader()
+	rec, _, err := rr.ReadAt(decodeOffset(v))
+	if err != nil {
+		return nil, err
+	}
+	return rec.Entry, nil
+}
+
+func (s *Store) masterBytes() int64 { return s.master.Size() }
+
+// seekOffset returns the master stream offset of the first entry whose
+// key is >= lo, or (0, false) if none.
+func (s *Store) seekOffset(lo string) (int64, bool, error) {
+	var off int64
+	found := false
+	err := s.dn.Scan([]byte(lo), nil, func(_, v []byte) bool {
+		off = decodeOffset(v)
+		found = true
+		return false
+	})
+	return off, found, err
+}

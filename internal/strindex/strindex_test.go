@@ -1,0 +1,157 @@
+package strindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieBasics(t *testing.T) {
+	tr := NewTrie()
+	words := []string{"jag", "jagadish", "jaguar", "milo", "srivastava", ""}
+	for _, w := range words {
+		tr.Insert(w)
+	}
+	tr.Insert("jag") // duplicate
+	if tr.Len() != len(words) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(words))
+	}
+	for _, w := range words {
+		if !tr.Contains(w) {
+			t.Errorf("Contains(%q) = false", w)
+		}
+	}
+	if tr.Contains("jaga") {
+		t.Error("prefix must not count as member")
+	}
+}
+
+func TestTrieWalkPrefix(t *testing.T) {
+	tr := NewTrie()
+	for _, w := range []string{"jag", "jagadish", "jaguar", "jz", "milo"} {
+		tr.Insert(w)
+	}
+	var got []string
+	tr.WalkPrefix("jag", func(s string) bool {
+		got = append(got, s)
+		return true
+	})
+	want := []string{"jag", "jagadish", "jaguar"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("WalkPrefix = %v, want %v (must be sorted)", got, want)
+	}
+	// Early termination.
+	n := 0
+	tr.WalkPrefix("", func(string) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Missing prefix.
+	tr.WalkPrefix("zzz", func(string) bool { t.Fatal("should not visit"); return true })
+}
+
+func TestSuffixContaining(t *testing.T) {
+	vals := []string{"h jagadish", "lakshmanan", "milo", "srivastava", "vista"}
+	x := BuildSuffix(vals)
+	cases := []struct {
+		sub  string
+		want []int
+	}{
+		{"jag", []int{0}},
+		{"a", []int{0, 1, 3, 4}},
+		{"sta", []int{3, 4}},
+		{"ish", []int{0}},
+		{"zzz", nil},
+		{"", []int{0, 1, 2, 3, 4}},
+		{"milo", []int{2}},
+	}
+	for _, c := range cases {
+		got := x.Containing(c.sub)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("Containing(%q) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestSuffixMatchWildcard(t *testing.T) {
+	vals := []string{"h jagadish", "jaguar", "dish", "jag"}
+	x := BuildSuffix(vals)
+	cases := []struct {
+		pat  string
+		want []int
+	}{
+		{"*jag*", []int{0, 1, 3}},
+		{"jag*", []int{1, 3}},
+		{"*dish", []int{0, 2}},
+		{"jag", []int{3}},
+		{"*", []int{0, 1, 2, 3}},
+		{"h*dish", []int{0}},
+		{"h*x*", nil},
+	}
+	for _, c := range cases {
+		got := x.MatchWildcard(c.pat)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("MatchWildcard(%q) = %v, want %v", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestQuickSuffixAgainstStringsContains(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	randWord := func(n int) string {
+		b := make([]byte, 1+r.Intn(n))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return string(b)
+	}
+	f := func() bool {
+		nvals := 1 + r.Intn(12)
+		seen := map[string]bool{}
+		var vals []string
+		for len(vals) < nvals {
+			w := randWord(10)
+			if !seen[w] {
+				seen[w] = true
+				vals = append(vals, w)
+			}
+		}
+		x := BuildSuffix(vals)
+		sub := randWord(4)
+		got := x.Containing(sub)
+		var want []int
+		for i, v := range vals {
+			if strings.Contains(v, sub) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTrieAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	tr := NewTrie()
+	oracle := map[string]bool{}
+	f := func() bool {
+		w := fmt.Sprintf("%c%c%c", 'a'+r.Intn(3), 'a'+r.Intn(3), 'a'+r.Intn(3))[:1+r.Intn(3)]
+		if r.Intn(2) == 0 {
+			tr.Insert(w)
+			oracle[w] = true
+		}
+		if tr.Contains(w) != oracle[w] {
+			return false
+		}
+		return tr.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package strindex provides the string-value indexes Section 4.1 of
+// "Querying Network Directories" assumes for wildcard filters: "trie and
+// suffix tree indices [23] for string filters". A Trie answers prefix
+// queries (patterns like jag*); a SuffixIndex — a suffix array, the
+// compact modern stand-in for McCreight's suffix trees — answers
+// substring queries (patterns like *jag*). Both index the distinct
+// values of one attribute; the directory store maps the surviving values
+// back to entries through its B+tree attribute index.
+package strindex
+
+// Trie is a byte-wise trie over a set of strings, supporting exact
+// membership and prefix enumeration.
+type Trie struct {
+	root trieNode
+	n    int
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	terminal bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie { return &Trie{} }
+
+// Len returns the number of distinct strings inserted.
+func (t *Trie) Len() int { return t.n }
+
+// Insert adds s to the set. Duplicate inserts are no-ops.
+func (t *Trie) Insert(s string) {
+	nd := &t.root
+	for i := 0; i < len(s); i++ {
+		if nd.children == nil {
+			nd.children = make(map[byte]*trieNode)
+		}
+		next := nd.children[s[i]]
+		if next == nil {
+			next = &trieNode{}
+			nd.children[s[i]] = next
+		}
+		nd = next
+	}
+	if !nd.terminal {
+		nd.terminal = true
+		t.n++
+	}
+}
+
+// Contains reports exact membership of s.
+func (t *Trie) Contains(s string) bool {
+	nd := t.descend(s)
+	return nd != nil && nd.terminal
+}
+
+func (t *Trie) descend(s string) *trieNode {
+	nd := &t.root
+	for i := 0; i < len(s); i++ {
+		next := nd.children[s[i]]
+		if next == nil {
+			return nil
+		}
+		nd = next
+	}
+	return nd
+}
+
+// WalkPrefix calls fn for every stored string beginning with prefix, in
+// lexicographic order, stopping early if fn returns false.
+func (t *Trie) WalkPrefix(prefix string, fn func(s string) bool) {
+	nd := t.descend(prefix)
+	if nd == nil {
+		return
+	}
+	walk(nd, []byte(prefix), fn)
+}
+
+func walk(nd *trieNode, acc []byte, fn func(string) bool) bool {
+	if nd.terminal {
+		if !fn(string(acc)) {
+			return false
+		}
+	}
+	// Children visited in byte order for deterministic output.
+	for c := 0; c < 256; c++ {
+		next := nd.children[byte(c)]
+		if next == nil {
+			continue
+		}
+		if !walk(next, append(acc, byte(c)), fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+// Package workload builds the directory instances the paper's figures
+// show — the DNS-style upper levels of Figure 1, the TOPS fragment of
+// Figure 11, and the QoS policy fragment of Figure 12 — plus synthetic
+// generators that scale those shapes to arbitrary sizes for the
+// experiments. All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+func mustEntry(in *model.Instance, dn string, classes []string, avs ...[2]string) *model.Entry {
+	s := in.Schema()
+	e, err := model.NewEntryFromDN(s, model.MustParseDN(dn))
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range classes {
+		e.AddClass(c)
+	}
+	for _, av := range avs {
+		t, ok := s.AttrType(av[0])
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown attribute %q", av[0]))
+		}
+		v, err := model.ParseValue(t, av[1])
+		if err != nil {
+			panic(err)
+		}
+		e.Add(av[0], v)
+	}
+	in.MustAdd(e)
+	return e
+}
+
+// Fig1 adds the higher levels of the network directory information
+// forest shown in Figure 1: dc=com and the att/research/corona chain.
+func Fig1(in *model.Instance) {
+	mustEntry(in, "dc=com", []string{"dcObject"})
+	mustEntry(in, "dc=att, dc=com", []string{"dcObject", "domain"})
+	mustEntry(in, "dc=research, dc=att, dc=com", []string{"dcObject"})
+	mustEntry(in, "dc=corona, dc=research, dc=att, dc=com", []string{"dcObject"})
+}
+
+// Fig11 adds the TOPS fragment of Figure 11: Jagadish's subscriber
+// entry under ou=userProfiles, his weekend and working-hours query
+// handling profiles, and the two call appearances of the working-hours
+// QHP. It assumes Fig1 (or at least dc=research, dc=att, dc=com) is
+// present.
+func Fig11(in *model.Instance) {
+	mustEntry(in, "ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"organizationalUnit"})
+	mustEntry(in, "uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"inetOrgPerson", "TOPSSubscriber"},
+		[2]string{"commonName", "h jagadish"},
+		[2]string{"surName", "jagadish"})
+	mustEntry(in, "QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"QHP"},
+		[2]string{"startTime", "830"},
+		[2]string{"endTime", "1730"},
+		[2]string{"priority", "2"})
+	mustEntry(in, "QHPName=weekend, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"QHP"},
+		[2]string{"daysOfWeek", "6"},
+		[2]string{"daysOfWeek", "7"},
+		[2]string{"priority", "1"})
+	mustEntry(in, "CANumber=9733608750, QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"callAppearance"},
+		[2]string{"priority", "1"},
+		[2]string{"timeOut", "30"})
+	mustEntry(in, "CANumber=9733608751, QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"callAppearance"},
+		[2]string{"priority", "2"},
+		[2]string{"timeOut", "20"},
+		[2]string{"description", "secretary"})
+	// The weekend QHP's voice-mail appearance, which the prose mentions
+	// ("his voice messaging mailbox may be the only call appearance
+	// specified corresponding to his weekend QHP").
+	mustEntry(in, "CANumber=vm-jag, QHPName=weekend, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com",
+		[]string{"callAppearance"},
+		[2]string{"priority", "1"},
+		[2]string{"timeOut", "60"},
+		[2]string{"description", "voice mail"})
+}
+
+// Fig12 adds the QoS policy fragment of Figure 12: the networkPolicies
+// organizational units and the dso policy with its traffic profile,
+// validity period and action. It assumes dc=research, dc=att, dc=com is
+// present.
+func Fig12(in *model.Instance) {
+	base := "ou=networkPolicies, dc=research, dc=att, dc=com"
+	mustEntry(in, base, []string{"organizationalUnit"})
+	for _, ou := range []string{"SLAPolicyRules", "trafficProfile", "policyValidityPeriod", "SLADSAction"} {
+		mustEntry(in, "ou="+ou+", "+base, []string{"organizationalUnit"})
+	}
+	mustEntry(in, "TPName=lsplitOff, ou=trafficProfile, "+base,
+		[]string{"trafficProfile"},
+		[2]string{"SourceAddress", "204.178.16.*"})
+	mustEntry(in, "TPName=csplitOff, ou=trafficProfile, "+base,
+		[]string{"trafficProfile"},
+		[2]string{"SourceAddress", "207.140.*.*"})
+	mustEntry(in, "PVPName=1998weekend, ou=policyValidityPeriod, "+base,
+		[]string{"policyValidityPeriod"},
+		[2]string{"PVStartTime", "19980101060000"},
+		[2]string{"PVEndTime", "19981231180000"},
+		[2]string{"PVDayOfWeek", "6"},
+		[2]string{"PVDayOfWeek", "7"})
+	mustEntry(in, "PVPName=1998thanksgiving, ou=policyValidityPeriod, "+base,
+		[]string{"policyValidityPeriod"},
+		[2]string{"PVStartTime", "19981126000000"},
+		[2]string{"PVEndTime", "19981126235959"})
+	mustEntry(in, "DSActionName=denyAll, ou=SLADSAction, "+base,
+		[]string{"SLADSAction"},
+		[2]string{"DSPermission", "Deny"},
+		[2]string{"DSInProfilePeakRate", "20"},
+		[2]string{"DSDropPriority", "2"})
+	mustEntry(in, "SLAPolicyName=dso, ou=SLAPolicyRules, "+base,
+		[]string{"SLAPolicyRules"},
+		[2]string{"SLAPolicyScope", "DataTraffic"},
+		[2]string{"SLARulePriority", "2"},
+		[2]string{"SLATPRef", "TPName=lsplitOff, ou=trafficProfile, " + base},
+		[2]string{"SLATPRef", "TPName=csplitOff, ou=trafficProfile, " + base},
+		[2]string{"SLAPVPRef", "PVPName=1998weekend, ou=policyValidityPeriod, " + base},
+		[2]string{"SLAPVPRef", "PVPName=1998thanksgiving, ou=policyValidityPeriod, " + base},
+		[2]string{"SLADSActRef", "DSActionName=denyAll, ou=SLADSAction, " + base},
+		[2]string{"SLAExceptionRef", "SLAPolicyName=fatt, ou=SLAPolicyRules, " + base},
+		[2]string{"SLAExceptionRef", "SLAPolicyName=mail, ou=SLAPolicyRules, " + base})
+	// The two exception policies the prose mentions ("each of which is
+	// itself a policy below ou=SLAPolicyRules ... not shown in the figure
+	// for lack of space"): fatt lets file transfers from the lsplitOff
+	// range through; mail lets SMTP through.
+	mustEntry(in, "TPName=ftpFromL, ou=trafficProfile, "+base,
+		[]string{"trafficProfile"},
+		[2]string{"SourceAddress", "204.178.16.*"},
+		[2]string{"destinationPort", "21"})
+	mustEntry(in, "TPName=smtpFromL, ou=trafficProfile, "+base,
+		[]string{"trafficProfile"},
+		[2]string{"SourceAddress", "204.178.16.*"},
+		[2]string{"destinationPort", "25"})
+	mustEntry(in, "DSActionName=bestEffort, ou=SLADSAction, "+base,
+		[]string{"SLADSAction"},
+		[2]string{"DSPermission", "Permit"},
+		[2]string{"DSInProfilePeakRate", "5"},
+		[2]string{"DSDropPriority", "9"})
+	mustEntry(in, "SLAPolicyName=fatt, ou=SLAPolicyRules, "+base,
+		[]string{"SLAPolicyRules"},
+		[2]string{"SLAPolicyScope", "DataTraffic"},
+		[2]string{"SLARulePriority", "2"},
+		[2]string{"SLATPRef", "TPName=ftpFromL, ou=trafficProfile, " + base},
+		[2]string{"SLADSActRef", "DSActionName=bestEffort, ou=SLADSAction, " + base})
+	mustEntry(in, "SLAPolicyName=mail, ou=SLAPolicyRules, "+base,
+		[]string{"SLAPolicyRules"},
+		[2]string{"SLAPolicyScope", "DataTraffic"},
+		[2]string{"SLARulePriority", "2"},
+		[2]string{"SLATPRef", "TPName=smtpFromL, ou=trafficProfile, " + base},
+		[2]string{"SLADSActRef", "DSActionName=bestEffort, ou=SLADSAction, " + base})
+}
+
+// PaperInstance builds the complete sample directory of the paper:
+// Figures 1, 11 and 12 in one instance.
+func PaperInstance() *model.Instance {
+	in := model.NewInstance(model.DefaultSchema())
+	Fig1(in)
+	Fig11(in)
+	Fig12(in)
+	return in
+}

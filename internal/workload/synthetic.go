@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// ForestConfig parameterizes the generic random forest generator used by
+// the algorithm experiments.
+type ForestConfig struct {
+	// N is the target number of entries.
+	N int
+	// MaxDepth caps tree depth (default 8).
+	MaxDepth int
+	// Tags is the number of distinct tag values (default 3).
+	Tags int
+	// MaxVals is the maximum number of val attributes per entry
+	// (default 3; values uniform in [0, ValRange)).
+	MaxVals  int
+	ValRange int
+	// RefsPerEntry is the maximum number of DN references per entry
+	// (default 2).
+	RefsPerEntry int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.Tags <= 0 {
+		c.Tags = 3
+	}
+	if c.MaxVals <= 0 {
+		c.MaxVals = 3
+	}
+	if c.ValRange <= 0 {
+		c.ValRange = 8
+	}
+	if c.RefsPerEntry < 0 {
+		c.RefsPerEntry = 0
+	} else if c.RefsPerEntry == 0 {
+		c.RefsPerEntry = 2
+	}
+	return c
+}
+
+// ForestSchema returns the schema random forests use: node entries with
+// a name (n), a categorical tag, multi-valued ints (val) and DN
+// references (ref).
+func ForestSchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustDefineAttr("n", model.TypeString)
+	s.MustDefineAttr("tag", model.TypeString)
+	s.MustDefineAttr("val", model.TypeInt)
+	s.MustDefineAttr("ref", model.TypeDN)
+	s.MustDefineClass("node", "n", "tag", "val", "ref")
+	return s
+}
+
+// RandomForest generates a random directory forest per the config.
+func RandomForest(cfg ForestConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := model.NewInstance(ForestSchema())
+	dns := []model.DN{nil}
+	for i := 0; i < cfg.N; i++ {
+		parent := dns[r.Intn(len(dns))]
+		if len(parent) >= cfg.MaxDepth {
+			parent = nil
+		}
+		dn := parent.Child(model.RDN{{Attr: "n", Value: fmt.Sprintf("e%d", i)}})
+		e, err := model.NewEntryFromDN(in.Schema(), dn)
+		if err != nil {
+			panic(err)
+		}
+		e.AddClass("node")
+		e.Add("tag", model.String(string(rune('a'+r.Intn(cfg.Tags)))))
+		for j := r.Intn(cfg.MaxVals + 1); j > 0; j-- {
+			e.Add("val", model.Int(int64(r.Intn(cfg.ValRange))))
+		}
+		in.MustAdd(e)
+		dns = append(dns, dn)
+	}
+	if cfg.RefsPerEntry > 0 {
+		es := in.Entries()
+		for _, e := range es {
+			for j := r.Intn(cfg.RefsPerEntry + 1); j > 0; j-- {
+				e.Add("ref", model.DNValue(es[r.Intn(len(es))].DN()))
+			}
+		}
+	}
+	return in
+}
+
+// QoSConfig parameterizes the QoS policy repository generator (the
+// Figure 12 schema at scale).
+type QoSConfig struct {
+	// Domains is the number of subnets, each with its own
+	// ou=networkPolicies subtree under dc=domN, dc=att, dc=com.
+	Domains int
+	// PoliciesPerDomain is the number of SLAPolicyRules per domain.
+	PoliciesPerDomain int
+	// ProfilesPerDomain / PeriodsPerDomain / ActionsPerDomain size the
+	// referenced pools (defaults scale with policies).
+	ProfilesPerDomain int
+	PeriodsPerDomain  int
+	ActionsPerDomain  int
+	// ExceptionFraction is the per-policy probability (in percent) of
+	// carrying an exception reference to another policy.
+	ExceptionFraction int
+	Seed              int64
+}
+
+func (c QoSConfig) withDefaults() QoSConfig {
+	if c.Domains <= 0 {
+		c.Domains = 1
+	}
+	if c.PoliciesPerDomain <= 0 {
+		c.PoliciesPerDomain = 20
+	}
+	if c.ProfilesPerDomain <= 0 {
+		c.ProfilesPerDomain = c.PoliciesPerDomain
+	}
+	if c.PeriodsPerDomain <= 0 {
+		c.PeriodsPerDomain = (c.PoliciesPerDomain + 1) / 2
+	}
+	if c.ActionsPerDomain <= 0 {
+		c.ActionsPerDomain = 4
+	}
+	if c.ExceptionFraction < 0 {
+		c.ExceptionFraction = 0
+	} else if c.ExceptionFraction == 0 {
+		c.ExceptionFraction = 25
+	}
+	return c
+}
+
+// GenQoS builds a QoS policy repository: per domain, pools of traffic
+// profiles, validity periods and actions, plus policies referencing
+// them, following the namespace layout of Figure 12 ("partitioned based
+// on functionality").
+func GenQoS(cfg QoSConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := model.NewInstance(model.DefaultSchema())
+	mustEntry(in, "dc=com", []string{"dcObject"})
+	mustEntry(in, "dc=att, dc=com", []string{"dcObject", "domain"})
+	perms := []string{"Deny", "Permit", "Shape"}
+	for d := 0; d < cfg.Domains; d++ {
+		dom := fmt.Sprintf("dc=dom%d, dc=att, dc=com", d)
+		mustEntry(in, dom, []string{"dcObject"})
+		base := "ou=networkPolicies, " + dom
+		mustEntry(in, base, []string{"organizationalUnit"})
+		for _, ou := range []string{"SLAPolicyRules", "trafficProfile", "policyValidityPeriod", "SLADSAction"} {
+			mustEntry(in, "ou="+ou+", "+base, []string{"organizationalUnit"})
+		}
+		for i := 0; i < cfg.ProfilesPerDomain; i++ {
+			avs := [][2]string{
+				{"SourceAddress", fmt.Sprintf("204.%d.%d.*", r.Intn(32), r.Intn(32))},
+			}
+			if r.Intn(2) == 0 {
+				avs = append(avs, [2]string{"sourcePort", fmt.Sprint([]int{21, 22, 25, 80, 443}[r.Intn(5)])})
+			}
+			mustEntry(in, fmt.Sprintf("TPName=tp%d, ou=trafficProfile, %s", i, base),
+				[]string{"trafficProfile"}, avs...)
+		}
+		for i := 0; i < cfg.PeriodsPerDomain; i++ {
+			start := 19980101000000 + int64(r.Intn(300))*1000000
+			avs := [][2]string{
+				{"PVStartTime", fmt.Sprint(start)},
+				{"PVEndTime", fmt.Sprint(start + int64(1+r.Intn(60))*1000000)},
+			}
+			for day := 1; day <= 7; day++ {
+				if r.Intn(3) == 0 {
+					avs = append(avs, [2]string{"PVDayOfWeek", fmt.Sprint(day)})
+				}
+			}
+			mustEntry(in, fmt.Sprintf("PVPName=pvp%d, ou=policyValidityPeriod, %s", i, base),
+				[]string{"policyValidityPeriod"}, avs...)
+		}
+		for i := 0; i < cfg.ActionsPerDomain; i++ {
+			mustEntry(in, fmt.Sprintf("DSActionName=act%d, ou=SLADSAction, %s", i, base),
+				[]string{"SLADSAction"},
+				[2]string{"DSPermission", perms[r.Intn(len(perms))]},
+				[2]string{"DSInProfilePeakRate", fmt.Sprint(1 + r.Intn(100))},
+				[2]string{"DSDropPriority", fmt.Sprint(r.Intn(10))})
+		}
+		for i := 0; i < cfg.PoliciesPerDomain; i++ {
+			avs := [][2]string{
+				{"SLAPolicyScope", "DataTraffic"},
+				{"SLARulePriority", fmt.Sprint(1 + r.Intn(5))},
+				{"SLADSActRef", fmt.Sprintf("DSActionName=act%d, ou=SLADSAction, %s", r.Intn(cfg.ActionsPerDomain), base)},
+			}
+			for k := 1 + r.Intn(2); k > 0; k-- {
+				avs = append(avs, [2]string{"SLATPRef",
+					fmt.Sprintf("TPName=tp%d, ou=trafficProfile, %s", r.Intn(cfg.ProfilesPerDomain), base)})
+			}
+			for k := r.Intn(3); k > 0; k-- {
+				avs = append(avs, [2]string{"SLAPVPRef",
+					fmt.Sprintf("PVPName=pvp%d, ou=policyValidityPeriod, %s", r.Intn(cfg.PeriodsPerDomain), base)})
+			}
+			if i > 0 && r.Intn(100) < cfg.ExceptionFraction {
+				avs = append(avs, [2]string{"SLAExceptionRef",
+					fmt.Sprintf("SLAPolicyName=pol%d, ou=SLAPolicyRules, %s", r.Intn(i), base)})
+			}
+			mustEntry(in, fmt.Sprintf("SLAPolicyName=pol%d, ou=SLAPolicyRules, %s", i, base),
+				[]string{"SLAPolicyRules"}, avs...)
+		}
+	}
+	return in
+}
+
+// TOPSConfig parameterizes the TOPS subscriber directory generator (the
+// Figure 11 shape at scale: namespace "partitioned by subscriber").
+type TOPSConfig struct {
+	Subscribers int
+	// MaxQHPs is the maximum query handling profiles per subscriber.
+	MaxQHPs int
+	// MaxCAs is the maximum call appearances per QHP.
+	MaxCAs int
+	Seed   int64
+}
+
+func (c TOPSConfig) withDefaults() TOPSConfig {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 50
+	}
+	if c.MaxQHPs <= 0 {
+		c.MaxQHPs = 4
+	}
+	if c.MaxCAs <= 0 {
+		c.MaxCAs = 3
+	}
+	return c
+}
+
+// GenTOPS builds a TOPS subscriber directory under
+// ou=userProfiles, dc=research, dc=att, dc=com.
+func GenTOPS(cfg TOPSConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := model.NewInstance(model.DefaultSchema())
+	Fig1(in)
+	base := "ou=userProfiles, dc=research, dc=att, dc=com"
+	mustEntry(in, base, []string{"organizationalUnit"})
+	surnames := []string{"jagadish", "lakshmanan", "milo", "srivastava", "vista"}
+	for s := 0; s < cfg.Subscribers; s++ {
+		uid := fmt.Sprintf("sub%04d", s)
+		subDN := fmt.Sprintf("uid=%s, %s", uid, base)
+		mustEntry(in, subDN, []string{"inetOrgPerson", "TOPSSubscriber"},
+			[2]string{"surName", surnames[r.Intn(len(surnames))]},
+			[2]string{"commonName", "user " + uid})
+		nq := 1 + r.Intn(cfg.MaxQHPs)
+		for q := 0; q < nq; q++ {
+			qDN := fmt.Sprintf("QHPName=qhp%d, %s", q, subDN)
+			avs := [][2]string{{"priority", fmt.Sprint(q + 1)}}
+			switch r.Intn(3) {
+			case 0:
+				start := 600 + r.Intn(600)
+				avs = append(avs,
+					[2]string{"startTime", fmt.Sprint(start)},
+					[2]string{"endTime", fmt.Sprint(start + 300 + r.Intn(600))})
+			case 1:
+				avs = append(avs,
+					[2]string{"daysOfWeek", fmt.Sprint(1 + r.Intn(7))},
+					[2]string{"daysOfWeek", fmt.Sprint(1 + r.Intn(7))})
+			}
+			mustEntry(in, qDN, []string{"QHP"}, avs...)
+			nc := 1 + r.Intn(cfg.MaxCAs)
+			for c := 0; c < nc; c++ {
+				mustEntry(in, fmt.Sprintf("CANumber=973%07d, %s", s*100+q*10+c, qDN),
+					[]string{"callAppearance"},
+					[2]string{"priority", fmt.Sprint(c + 1)},
+					[2]string{"timeOut", fmt.Sprint(10 + r.Intn(50))})
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestPaperInstanceValid(t *testing.T) {
+	in := PaperInstance()
+	if err := in.Validate(true); err != nil {
+		t.Fatalf("paper instance invalid (strict forest): %v", err)
+	}
+	// The figures' headline entries exist with the attributes the prose
+	// describes.
+	jag, ok := in.Get(model.MustParseDN("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"))
+	if !ok {
+		t.Fatal("Fig 11: jag missing")
+	}
+	if !jag.HasClass("inetOrgPerson") || !jag.HasClass("TOPSSubscriber") {
+		t.Error("Fig 11: jag classes wrong")
+	}
+	weekend, ok := in.Get(model.MustParseDN("QHPName=weekend, uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"))
+	if !ok {
+		t.Fatal("Fig 11: weekend QHP missing")
+	}
+	if len(weekend.Values("daysOfWeek")) != 2 {
+		t.Error("Fig 11: weekend daysOfWeek multi-value lost")
+	}
+	dso, ok := in.Get(model.MustParseDN("SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, dc=research, dc=att, dc=com"))
+	if !ok {
+		t.Fatal("Fig 12: dso policy missing")
+	}
+	if len(dso.Values("SLATPRef")) != 2 || len(dso.Values("SLAPVPRef")) != 2 || len(dso.Values("SLAExceptionRef")) != 2 {
+		t.Error("Fig 12: dso references wrong")
+	}
+	pr, _ := dso.First("SLARulePriority")
+	if pr.Int() != 2 {
+		t.Error("Fig 12: dso priority wrong")
+	}
+}
+
+func TestPaperWorkedQueries(t *testing.T) {
+	// E13: the worked queries of Examples 5.2, 5.3, 6.1 and 7.1 return
+	// exactly the entries the prose names, on the figures' data.
+	dir, err := core.Open(PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ex 5.2: traffic profiles used in network policies.
+	res, err := dir.Search(`(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)
+	                           (dc=att, dc=com ? sub ? ou=networkPolicies))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 { // lsplitOff, csplitOff, ftpFromL, smtpFromL
+		t.Errorf("Ex 5.2: %v", res.DNs())
+	}
+
+	// Ex 5.3: subnets with profiles governing SMTP traffic. The figure's
+	// profile smtpFromL has destinationPort=25; the closest dcObject
+	// ancestor is dc=research.
+	res, err = dir.Search(`(dc (dc=att, dc=com ? sub ? objectClass=dcObject)
+	                           (& (dc=att, dc=com ? sub ? destinationPort=25)
+	                              (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+	                           (dc=att, dc=com ? sub ? objectClass=dcObject))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.DNs()[0] != "dc=research, dc=att, dc=com" {
+		t.Errorf("Ex 5.3: %v", res.DNs())
+	}
+
+	// Ex 6.1: policies with more than one validity period — only dso.
+	res, err = dir.Search(`(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                          count(SLAPVPRef) > 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].DN().RDN().String() != "SLAPolicyName=dso" {
+		t.Errorf("Ex 6.1: %v", res.DNs())
+	}
+
+	// Ex 7.1 (first query): policies whose profiles govern SMTP traffic
+	// (port 25) — only the mail policy references smtpFromL.
+	res, err = dir.Search(`(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                           (& (dc=att, dc=com ? sub ? destinationPort=25)
+	                              (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+	                           SLATPRef)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].DN().RDN().String() != "SLAPolicyName=mail" {
+		t.Errorf("Ex 7.1 vd: %v", res.DNs())
+	}
+
+	// Ex 7.1 (full composition): the action of the highest-priority such
+	// policy — bestEffort.
+	res, err = dir.Search(`(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)
+	                           (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+	                                  (& (dc=att, dc=com ? sub ? destinationPort=25)
+	                                     (dc=att, dc=com ? sub ? objectClass=trafficProfile))
+	                                  SLATPRef)
+	                              min(SLARulePriority)=min(min(SLARulePriority)))
+	                           SLADSActRef)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].DN().RDN().String() != "DSActionName=bestEffort" {
+		t.Errorf("Ex 7.1 full: %v", res.DNs())
+	}
+}
+
+func TestRandomForestDeterministic(t *testing.T) {
+	a := RandomForest(ForestConfig{N: 200, Seed: 5})
+	b := RandomForest(ForestConfig{N: 200, Seed: 5})
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	ea, eb := a.Entries(), b.Entries()
+	for i := range ea {
+		if !ea[i].Equal(eb[i]) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c := RandomForest(ForestConfig{N: 200, Seed: 6})
+	same := true
+	for i, e := range c.Entries() {
+		if i >= len(ea) || !e.Equal(ea[i]) {
+			same = false
+			break
+		}
+	}
+	if same && c.Len() == a.Len() {
+		t.Error("different seeds produced identical forests")
+	}
+}
+
+func TestRandomForestValid(t *testing.T) {
+	in := RandomForest(ForestConfig{N: 300, Seed: 9})
+	if in.Len() != 300 {
+		t.Fatalf("len = %d", in.Len())
+	}
+	if err := in.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenQoSShape(t *testing.T) {
+	in := GenQoS(QoSConfig{Domains: 3, PoliciesPerDomain: 10, Seed: 2})
+	if err := in.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dir.Search("(dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 30 {
+		t.Fatalf("policies = %d, want 30", len(res.Entries))
+	}
+	// Every policy's action reference resolves.
+	for _, pol := range res.Entries {
+		for _, ref := range pol.Values("SLADSActRef") {
+			if _, err := dir.Get(ref.DN().String()); err != nil {
+				t.Fatalf("dangling action ref %s", ref.DN())
+			}
+		}
+	}
+}
+
+func TestGenTOPSShape(t *testing.T) {
+	in := GenTOPS(TOPSConfig{Subscribers: 20, Seed: 3})
+	if err := in.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := core.Open(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dir.Search("(dc=com ? sub ? objectClass=TOPSSubscriber)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 20 {
+		t.Fatalf("subscribers = %d", len(res.Entries))
+	}
+	// Each subscriber has at least one QHP; each QHP has at least one CA.
+	res, err = dir.Search(`(c (dc=com ? sub ? objectClass=TOPSSubscriber)
+	                          (dc=com ? sub ? objectClass=QHP))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 20 {
+		t.Fatalf("subscribers with QHPs = %d", len(res.Entries))
+	}
+	res, err = dir.Search(`(- (dc=com ? sub ? objectClass=QHP)
+	                          (c (dc=com ? sub ? objectClass=QHP)
+	                             (dc=com ? sub ? objectClass=callAppearance)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 {
+		t.Fatalf("%d QHPs lack call appearances", len(res.Entries))
+	}
+}
