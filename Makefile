@@ -1,0 +1,23 @@
+# Repo verification pipeline. `make check` is the full gate every
+# change must pass; the individual targets exist for quick iteration.
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive layers run under the race detector:
+# the distributed evaluation substrate (pooled client, breakers,
+# chaos failover) and the serialized-evaluation core.
+race:
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/

@@ -8,17 +8,26 @@
 //	dirq -gen paper -q '(dc=att, dc=com ? sub ? objectClass=trafficProfile)'
 //	dirq -ldif dir.ldif -q '(c (dc=com ? sub ? objectClass=TOPSSubscriber) (dc=com ? sub ? objectClass=QHP))'
 //	dirq -gen tops -n 100 -ldap '(dc=com ? sub ? (&(objectClass=QHP)(priority<=1)))'
+//
+// With -server the query is shipped to a running dirserve instance
+// over the line protocol instead of evaluating locally; -timeout and
+// -retries tune the pooled client's deadline and retry budget:
+//
+//	dirq -server 127.0.0.1:7001 -timeout 2s -retries 1 -q '(dc=com ? sub ? objectClass=dcObject)'
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/apps/qos"
 	"repro/internal/core"
+	"repro/internal/dirserver"
 	"repro/internal/ldif"
 	"repro/internal/model"
 	"repro/internal/query"
@@ -41,8 +50,16 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "print only the count and I/O statistics")
 		openSnap    = flag.String("open", "", "open a directory snapshot instead of generating/loading")
 		saveSnap    = flag.String("save", "", "save the directory as a snapshot to this path")
+		server      = flag.String("server", "", "evaluate at this remote dirserve address instead of locally (-gen/-ldif still select the schema)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request deadline for -server calls")
+		retries     = flag.Int("retries", 2, "transient-failure retries for -server calls")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		runRemote(*server, *timeout, *retries, *ldifPath, *gen, *n, *seed, *queryStr, *ldapStr)
+		return
+	}
 
 	var dir *core.Directory
 	if *openSnap != "" {
@@ -118,6 +135,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runRemote ships one query to a dirserve instance through the pooled
+// retrying client. The local instance (default: the paper's) supplies
+// only the schema for decoding the wire entries.
+func runRemote(addr string, timeout time.Duration, retries int, ldifPath, gen string, n int, seed int64, queryStr, ldapStr string) {
+	kind, text := "query", queryStr
+	if text == "" {
+		kind, text = "ldap", ldapStr
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "dirq: -server needs -q or -ldap")
+		os.Exit(2)
+	}
+	in, err := loadInstance(ldifPath, gen, n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	attempts := retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	if retries <= 0 {
+		retries = -1 // ClientConfig: negative disables, zero means default
+	}
+	cl := dirserver.NewClient(in.Schema(), dirserver.ClientConfig{
+		RequestTimeout: timeout,
+		MaxRetries:     retries,
+	})
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(attempts)*(timeout+time.Second))
+	defer cancel()
+	start := time.Now()
+	entries, err := cl.Call(ctx, addr, kind, text)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Println(e)
+		fmt.Println()
+	}
+	st := cl.Stats()
+	fmt.Printf("%d entries from %s in %v (retries: %d)\n", len(entries), addr, time.Since(start).Round(time.Millisecond), st.Retries)
 }
 
 func runQuery(dir *core.Directory, text string, asLDAP, quiet bool) {

@@ -13,12 +13,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dirserver"
 	"repro/internal/ldif"
 	"repro/internal/model"
 	"repro/internal/workload"
+)
+
+var (
+	idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "close client connections idle longer than this (0 = never)")
+	writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
+	grace        = flag.Duration("grace", 5*time.Second, "drain in-flight connections this long on shutdown before force-closing")
 )
 
 func main() {
@@ -80,17 +88,24 @@ func main() {
 }
 
 func serve(dir *core.Directory, addr string) {
-	srv, err := dirserver.Serve(dir, addr)
+	srv, err := dirserver.ServeWith(dir, addr, dirserver.ServerConfig{
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		Grace:        *grace,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("dirserve: %d entries on %s\n", dir.Count(), srv.Addr())
 
+	// SIGINT for interactive use, SIGTERM for process managers: both
+	// drain in-flight connections for up to -grace, then force-close.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("dirserve: shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("dirserve: %v — draining for up to %v\n", s, *grace)
 	_ = srv.Close()
+	fmt.Println("dirserve: shut down")
 }
 
 func fatal(err error) {

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dirserver"
@@ -52,20 +54,42 @@ func main() {
 		log.Fatal(err)
 	}
 	defer polSrv.Close()
+	// A second replica of the policies subtree — the paper's footnote 4
+	// secondary server ("one unreachable network will not necessarily
+	// cut off network directory service").
+	polDir2, err := core.Open(polIn, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	polSrv2, err := dirserver.Serve(polDir2, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer polSrv2.Close()
 	fmt.Printf("server A (%d entries, upper levels + userProfiles): %s\n", upperDir.Count(), upperSrv.Addr())
 	fmt.Printf("server B (%d entries, networkPolicies subtree):     %s\n", polDir.Count(), polSrv.Addr())
+	fmt.Printf("server B' (%d entries, secondary replica of B):     %s\n", polDir2.Count(), polSrv2.Addr())
 
-	// DNS-style delegation registry.
+	// DNS-style delegation registry: primary first, secondary after.
 	var reg dirserver.Registry
 	reg.Register(model.MustParseDN("dc=com"), upperSrv.Addr())
-	reg.Register(polRoot, polSrv.Addr())
+	reg.Register(polRoot, polSrv.Addr(), polSrv2.Addr())
 	for _, z := range reg.Zones() {
 		fmt.Println("delegation:", z)
 	}
 	fmt.Println()
 
-	// Pose federated queries at server A.
-	coord := dirserver.NewCoordinator(upperDir, &reg, upperSrv.Addr())
+	// Pose federated queries at server A. The coordinator's pooled
+	// client enforces deadlines and retries transient failures; tight
+	// timeouts keep the failover demo below snappy.
+	coord := dirserver.NewCoordinatorWith(upperDir, &reg, upperSrv.Addr(), dirserver.CoordinatorConfig{
+		Client: dirserver.ClientConfig{
+			DialTimeout:    500 * time.Millisecond,
+			RequestTimeout: time.Second,
+			MaxRetries:     1,
+		},
+	})
+	defer coord.Close()
 	queries := []string{
 		// Entirely remote: policies live on server B.
 		`(g (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
@@ -79,8 +103,9 @@ func main() {
 		     (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? destinationPort=25)
 		     SLATPRef)`,
 	}
+	ctx := context.Background()
 	for _, q := range queries {
-		entries, err := coord.Search(q)
+		entries, err := coord.Search(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,5 +115,19 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("atomic sub-queries shipped to remote servers: %d\n", coord.RemoteAtomics())
+
+	// Footnote 4 in action: kill the primary policies server and pose
+	// the same federated query — the coordinator's failover serves it
+	// from the secondary replica.
+	fmt.Println("killing the primary policies server...")
+	_ = polSrv.Close()
+	entries, err := coord.Search(ctx, queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query after primary loss still answered (%d entries) via the secondary\n\n", len(entries))
+
+	st := coord.Stats()
+	fmt.Printf("remote atomics: %d  retries: %d  failovers: %d  breaker trips: %d\n",
+		st.RemoteAtomics, st.Retries, st.Failovers, st.BreakerTrips)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,7 +93,7 @@ func E14Distributed(subscribers []int) *Table {
 			if err != nil {
 				panic(err)
 			}
-			got, err := coord.Search(qs)
+			got, err := coord.Search(context.Background(), qs)
 			if err != nil {
 				panic(err)
 			}
@@ -108,6 +109,7 @@ func E14Distributed(subscribers []int) *Table {
 			shipped += len(got)
 		}
 		t.AddRow(n, 2, coord.RemoteAtomics(), shipped, equal)
+		_ = coord.Close()
 		_ = srvA.Close()
 		_ = srvB.Close()
 	}

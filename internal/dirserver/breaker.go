@@ -1,0 +1,154 @@
+package dirserver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerConfig tunes the per-address circuit breaker the Coordinator
+// consults before dialing a replica. A breaker keeps the footnote-4
+// failover from hammering a dead primary on every query: after
+// Threshold consecutive transport failures the address is skipped
+// (queries go straight to a secondary) until Cooldown elapses, at
+// which point a single probe is let through (half-open). A successful
+// probe closes the breaker; a failed one re-opens it for another
+// cooldown.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transport failures that
+	// trips the breaker (default 3). Terminal ErrRemote answers do not
+	// count: a server that answers with a query error is healthy.
+	Threshold int
+	// Cooldown is how long a tripped address is skipped before a
+	// half-open probe is allowed (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// addrHealth is the breaker for one server address.
+type addrHealth struct {
+	failures int // consecutive transport failures
+	state    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// health tracks breakers for every address the coordinator has talked
+// to. All methods are safe for concurrent use.
+type health struct {
+	cfg   BreakerConfig
+	now   func() time.Time // injectable clock for tests
+	trips atomic.Int64
+
+	mu sync.Mutex
+	m  map[string]*addrHealth
+}
+
+func newHealth(cfg BreakerConfig) *health {
+	return &health{cfg: cfg.withDefaults(), now: time.Now, m: make(map[string]*addrHealth)}
+}
+
+func (h *health) get(addr string) *addrHealth {
+	a := h.m[addr]
+	if a == nil {
+		a = &addrHealth{}
+		h.m[addr] = a
+	}
+	return a
+}
+
+// allow reports whether a request may be sent to addr right now.
+// Closed breakers always allow; open breakers allow one half-open
+// probe once the cooldown has elapsed.
+func (h *health) allow(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a := h.get(addr)
+	switch a.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if h.now().Sub(a.openedAt) < h.cfg.Cooldown {
+			return false
+		}
+		a.state = stateHalfOpen
+		a.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if a.probing {
+			return false
+		}
+		a.probing = true
+		return true
+	}
+}
+
+// success records a completed request: the address is healthy, the
+// breaker closes.
+func (h *health) success(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a := h.get(addr)
+	a.failures = 0
+	a.state = stateClosed
+	a.probing = false
+}
+
+// failure records a transport failure and reports whether this one
+// tripped the breaker open.
+func (h *health) failure(addr string) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a := h.get(addr)
+	a.failures++
+	switch a.state {
+	case stateHalfOpen:
+		// Failed probe: straight back to open for another cooldown.
+		a.state = stateOpen
+		a.openedAt = h.now()
+		a.probing = false
+	case stateClosed:
+		if a.failures >= h.cfg.Threshold {
+			a.state = stateOpen
+			a.openedAt = h.now()
+			h.trips.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the state name of addr's breaker (for stats and
+// tools).
+func (h *health) snapshot(addr string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.m[addr]
+	if !ok {
+		return "closed"
+	}
+	switch a.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

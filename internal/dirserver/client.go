@@ -1,0 +1,315 @@
+package dirserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ldif"
+	"repro/internal/model"
+)
+
+// Client errors.
+var (
+	// ErrRemote marks terminal answers: the server was reached and
+	// replied with a query error. Retrying or failing over cannot
+	// change the outcome.
+	ErrRemote = errors.New("dirserver: remote error")
+	// ErrUnavailable marks transport failure after the retry budget is
+	// spent: dial refused, request timed out, connection reset, or the
+	// response was garbled on the wire.
+	ErrUnavailable = errors.New("dirserver: server unavailable")
+	// ErrClientClosed is returned by calls on a closed Client.
+	ErrClientClosed = errors.New("dirserver: client closed")
+)
+
+// ClientConfig tunes the pooled client's timeouts and retry policy.
+// The zero value gets production-ish defaults; tests and chaos
+// harnesses shrink them.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip on the
+	// wire, enforced with SetDeadline (default 10s). A context with an
+	// earlier deadline tightens it further.
+	RequestTimeout time.Duration
+	// MaxRetries is the number of extra attempts after the first, for
+	// transient transport errors only (default 2; negative disables
+	// retries). ErrRemote answers are never retried.
+	MaxRetries int
+	// BackoffBase is the first retry's backoff (default 25ms); each
+	// further retry doubles it, capped at BackoffMax (default 1s), with
+	// jitter so synchronized clients do not stampede a recovering
+	// server.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxIdlePerAddr caps pooled idle connections per address
+	// (default 4; negative disables pooling).
+	MaxIdlePerAddr int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.MaxIdlePerAddr == 0 {
+		c.MaxIdlePerAddr = 4
+	}
+	return c
+}
+
+// ClientStats is a point-in-time snapshot of a Client's counters.
+type ClientStats struct {
+	Calls   int64 // Call invocations
+	Dials   int64 // fresh TCP connections established
+	Reuses  int64 // calls served from a pooled connection
+	Retries int64 // backoff retries after transient failures
+}
+
+// Client is a pooled directory-protocol client: connections are reused
+// per address (the protocol pipelines request/response pairs on one
+// TCP stream), every round trip runs under a deadline, and transient
+// transport failures are retried with capped exponential backoff plus
+// jitter. It is safe for concurrent use.
+type Client struct {
+	schema *model.Schema
+	cfg    ClientConfig
+
+	calls, dials, reuses, retries atomic.Int64
+
+	mu     sync.Mutex
+	idle   map[string][]*poolConn
+	closed bool
+	rng    *rand.Rand // jitter source; guarded by mu
+}
+
+// poolConn is one pooled connection. The decoder persists across calls:
+// the stream carries exactly one JSON response per request, so the
+// decoder never buffers past the reply it is reading.
+type poolConn struct {
+	c   net.Conn
+	dec *json.Decoder
+}
+
+// NewClient creates a pooled client decoding entries against schema.
+func NewClient(schema *model.Schema, cfg ClientConfig) *Client {
+	return &Client{
+		schema: schema,
+		cfg:    cfg.withDefaults(),
+		idle:   make(map[string][]*poolConn),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// Stats snapshots the client's counters.
+func (cl *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:   cl.calls.Load(),
+		Dials:   cl.dials.Load(),
+		Reuses:  cl.reuses.Load(),
+		Retries: cl.retries.Load(),
+	}
+}
+
+// Close drops all pooled connections. In-flight calls finish; new
+// calls fail with ErrClientClosed.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for _, conns := range cl.idle {
+		for _, pc := range conns {
+			_ = pc.c.Close()
+		}
+	}
+	cl.idle = make(map[string][]*poolConn)
+	return nil
+}
+
+// Call sends one request to addr and decodes the sorted entries,
+// retrying transient transport failures. A reused pooled connection
+// that turns out to have died idle gets one free redial that does not
+// consume the retry budget.
+func (cl *Client) Call(ctx context.Context, addr, kind, queryText string) ([]*model.Entry, error) {
+	cl.calls.Add(1)
+	b, err := json.Marshal(request{Kind: kind, Query: queryText})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	freeRedial := true
+	for attempt := 0; ; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pc, reused, err := cl.get(ctx, addr)
+		if err == nil {
+			var entries []*model.Entry
+			entries, err = cl.roundTrip(ctx, pc, b)
+			if err == nil {
+				cl.put(addr, pc)
+				return entries, nil
+			}
+			if errors.Is(err, ErrRemote) {
+				// A protocol-clean error reply: the stream is still
+				// framed correctly, so the connection stays pooled.
+				cl.put(addr, pc)
+				return nil, err
+			}
+			_ = pc.c.Close()
+			if reused && freeRedial {
+				// The pooled connection was stale (closed server-side
+				// while idle); redial immediately.
+				freeRedial = false
+				continue
+			}
+		}
+		if errors.Is(err, ErrClientClosed) || ctx.Err() != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
+			}
+			return nil, err
+		}
+		lastErr = err
+		attempt++
+		if attempt > cl.cfg.MaxRetries {
+			break
+		}
+		cl.retries.Add(1)
+		if err := sleepCtx(ctx, cl.backoff(attempt)); err != nil {
+			return nil, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnavailable, addr, cl.cfg.MaxRetries+1, lastErr)
+}
+
+// roundTrip runs one request/response exchange on pc under the
+// configured deadline (tightened by the context's, if earlier).
+func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*model.Entry, error) {
+	dl := time.Now().Add(cl.cfg.RequestTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	if err := pc.c.SetDeadline(dl); err != nil {
+		return nil, err
+	}
+	// Cancellation mid-read: expire the deadline immediately.
+	stop := context.AfterFunc(ctx, func() { _ = pc.c.SetDeadline(time.Now()) })
+	defer stop()
+
+	if _, err := pc.c.Write(append(req, '\n')); err != nil {
+		return nil, err
+	}
+	var res response
+	if err := pc.dec.Decode(&res); err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		if derr := pc.c.SetDeadline(time.Time{}); derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, res.Err)
+	}
+	out := make([]*model.Entry, len(res.Entries))
+	for i, block := range res.Entries {
+		var err error
+		if out[i], err = ldif.UnmarshalEntry(cl.schema, block); err != nil {
+			// Undecodable payload: treat as wire corruption (retryable),
+			// not a terminal remote answer.
+			return nil, fmt.Errorf("dirserver: garbled entry from server: %v", err)
+		}
+	}
+	if err := pc.c.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// get pops a pooled connection for addr or dials a fresh one.
+func (cl *Client) get(ctx context.Context, addr string) (pc *poolConn, reused bool, err error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if l := cl.idle[addr]; len(l) > 0 {
+		pc = l[len(l)-1]
+		cl.idle[addr] = l[:len(l)-1]
+		cl.mu.Unlock()
+		cl.reuses.Add(1)
+		return pc, true, nil
+	}
+	cl.mu.Unlock()
+	d := net.Dialer{Timeout: cl.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, false, err
+	}
+	cl.dials.Add(1)
+	return &poolConn{c: conn, dec: json.NewDecoder(conn)}, false, nil
+}
+
+// put returns a healthy connection to the pool.
+func (cl *Client) put(addr string, pc *poolConn) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed || cl.cfg.MaxIdlePerAddr < 0 || len(cl.idle[addr]) >= cl.cfg.MaxIdlePerAddr {
+		_ = pc.c.Close()
+		return
+	}
+	cl.idle[addr] = append(cl.idle[addr], pc)
+}
+
+// backoff computes the sleep before retry n (1-based): exponential in
+// n, capped, with jitter in [1/2, 1) of the nominal value.
+func (cl *Client) backoff(n int) time.Duration {
+	d := cl.cfg.BackoffBase << (n - 1)
+	if d > cl.cfg.BackoffMax || d <= 0 {
+		d = cl.cfg.BackoffMax
+	}
+	cl.mu.Lock()
+	f := 0.5 + 0.5*cl.rng.Float64()
+	cl.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Call sends one request to a server and decodes the entries: the
+// single-shot, unpooled form (one attempt, no retries) used by tools
+// and tests. The context carries the caller's deadline.
+func Call(ctx context.Context, addr string, schema *model.Schema, kind, queryText string) ([]*model.Entry, error) {
+	cl := NewClient(schema, ClientConfig{MaxRetries: -1, MaxIdlePerAddr: -1})
+	defer cl.Close()
+	return cl.Call(ctx, addr, kind, queryText)
+}

@@ -1,0 +1,222 @@
+package dirserver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClientPoolsConnections(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := ServeWith(whole, "127.0.0.1:0", ServerConfig{Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(whole.Schema(), ClientConfig{})
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		entries, err := cl.Call(context.Background(), srv.Addr(), "query",
+			"(dc=com ? sub ? objectClass=dcObject)")
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(entries) != 4 {
+			t.Fatalf("call %d: %d entries", i, len(entries))
+		}
+	}
+	st := cl.Stats()
+	if st.Dials != 1 {
+		t.Errorf("5 sequential calls dialed %d times, want 1 (pooling broken)", st.Dials)
+	}
+	if st.Reuses != 4 {
+		t.Errorf("reuses = %d, want 4", st.Reuses)
+	}
+	if st.Retries != 0 {
+		t.Errorf("retries = %d on a healthy server", st.Retries)
+	}
+}
+
+// TestClientStalePooledConnRedials covers the idle-death path: the
+// server closes a pooled connection (idle timeout), and the next call
+// must transparently redial instead of failing.
+func TestClientStalePooledConnRedials(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := ServeWith(whole, "127.0.0.1:0", ServerConfig{
+		IdleTimeout: 50 * time.Millisecond,
+		Grace:       100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(whole.Schema(), ClientConfig{MaxRetries: -1}) // no retry budget: the redial must be free
+	defer cl.Close()
+	q := "(dc=com ? sub ? objectClass=dcObject)"
+	if _, err := cl.Call(context.Background(), srv.Addr(), "query", q); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // server reaps the idle pooled conn
+	entries, err := cl.Call(context.Background(), srv.Addr(), "query", q)
+	if err != nil {
+		t.Fatalf("call on stale pooled connection: %v", err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if st := cl.Stats(); st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (one fresh, one redial)", st.Dials)
+	}
+}
+
+func TestClientRemoteErrorIsTerminal(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := ServeWith(whole, "127.0.0.1:0", ServerConfig{Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(whole.Schema(), ClientConfig{MaxRetries: 3})
+	defer cl.Close()
+	_, err = cl.Call(context.Background(), srv.Addr(), "query", "(((")
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if st := cl.Stats(); st.Retries != 0 {
+		t.Errorf("a terminal remote error consumed %d retries", st.Retries)
+	}
+}
+
+func TestClientRetriesExhaustToUnavailable(t *testing.T) {
+	// An address nobody listens on: every attempt is a transport
+	// failure, and the final error wraps ErrUnavailable.
+	cl := NewClient(nil, ClientConfig{
+		DialTimeout:    100 * time.Millisecond,
+		RequestTimeout: 100 * time.Millisecond,
+		MaxRetries:     2,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	})
+	defer cl.Close()
+	_, err := cl.Call(context.Background(), "127.0.0.1:1", "query", "(dc=com ? sub ? dc=*)")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if st := cl.Stats(); st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestClientHonorsContextDeadline(t *testing.T) {
+	cl := NewClient(nil, ClientConfig{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 2 * time.Second,
+		MaxRetries:     5,
+		BackoffBase:    50 * time.Millisecond,
+	})
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Call(ctx, "127.0.0.1:1", "query", "(dc=com ? sub ? dc=*)")
+	if err == nil {
+		t.Fatal("call to a dead address succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want context.DeadlineExceeded in the chain, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("call overstayed its deadline by %v", elapsed-80*time.Millisecond)
+	}
+}
+
+func TestClientClosedIsTerminal(t *testing.T) {
+	cl := NewClient(nil, ClientConfig{})
+	_ = cl.Close()
+	if _, err := cl.Call(context.Background(), "127.0.0.1:1", "query", "x"); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("want ErrClientClosed, got %v", err)
+	}
+}
+
+func TestClientBackoffGrowsAndCaps(t *testing.T) {
+	cl := NewClient(nil, ClientConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
+	prevMax := time.Duration(0)
+	for n := 1; n <= 8; n++ {
+		nominal := cl.cfg.BackoffBase << (n - 1)
+		if nominal > cl.cfg.BackoffMax || nominal <= 0 {
+			nominal = cl.cfg.BackoffMax
+		}
+		for i := 0; i < 20; i++ {
+			d := cl.backoff(n)
+			if d < nominal/2 || d >= nominal {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v)", n, d, nominal/2, nominal)
+			}
+			if d > prevMax {
+				prevMax = d
+			}
+		}
+	}
+	if prevMax >= cl.cfg.BackoffMax {
+		t.Errorf("jittered backoff %v reached the uncapped nominal", prevMax)
+	}
+}
+
+// TestServerReportsOversizedRequest covers the scanner-error path: a
+// request line over the 4 MiB cap must come back as a response{Err},
+// not a silent hangup.
+func TestServerReportsOversizedRequest(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := ServeWith(whole, "127.0.0.1:0", ServerConfig{Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	huge := make([]byte, maxRequestBytes+1024)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	cl := NewClient(whole.Schema(), ClientConfig{MaxRetries: -1, RequestTimeout: 5 * time.Second})
+	defer cl.Close()
+	_, err = cl.Call(context.Background(), srv.Addr(), "query", string(huge))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("oversized request: want ErrRemote reply, got %v", err)
+	}
+}
+
+// TestServerSurvivesMalformedLinesOnPooledConn asserts one bad line
+// does not kill the connection: good requests keep working after it.
+func TestServerSurvivesMalformedLinesOnPooledConn(t *testing.T) {
+	whole, _, _ := splitPaperDirectory(t)
+	srv, err := ServeWith(whole, "127.0.0.1:0", ServerConfig{Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(whole.Schema(), ClientConfig{MaxRetries: -1})
+	defer cl.Close()
+	q := "(dc=com ? sub ? objectClass=dcObject)"
+	// Interleave malformed "queries" (valid JSON requests carrying an
+	// unparsable query — answered with response{Err}) with good ones on
+	// the same pooled connection.
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Call(context.Background(), srv.Addr(), "query", "((("); !errors.Is(err, ErrRemote) {
+			t.Fatalf("round %d: want ErrRemote, got %v", i, err)
+		}
+		entries, err := cl.Call(context.Background(), srv.Addr(), "query", q)
+		if err != nil {
+			t.Fatalf("round %d: good query after bad: %v", i, err)
+		}
+		if len(entries) != 4 {
+			t.Fatalf("round %d: %d entries", i, len(entries))
+		}
+	}
+	if st := cl.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want 1: error replies must not kill the pooled connection", st.Dials)
+	}
+}

@@ -6,21 +6,34 @@
 // another server is shipped to that server; the sorted result lists
 // come back to the queried server, which runs the operator pipeline
 // locally.
+//
+// The layer is hardened for real networks: every round trip runs under
+// a deadline, the pooled Client retries transient transport failures
+// with capped backoff, and the Coordinator's per-address circuit
+// breakers skip unhealthy primaries in favor of secondaries (the
+// paper's footnote 4: "one unreachable network will not necessarily
+// cut off network directory service").
 package dirserver
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"encoding/json"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ldif"
 	"repro/internal/model"
+	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/query"
 )
@@ -107,22 +120,74 @@ type response struct {
 	Err     string   `json:"err,omitempty"`
 }
 
+// maxRequestBytes caps one request line on the wire.
+const maxRequestBytes = 1 << 22
+
+// ServerConfig tunes a server's per-connection robustness knobs. The
+// zero value means: no idle or write deadlines (trusted-network
+// behavior), a 1s drain grace on Close, and hang-up after 8
+// consecutive malformed request lines.
+type ServerConfig struct {
+	// IdleTimeout is the read deadline between requests on one
+	// connection; idle connections past it are closed (0 = no limit).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response (0 = no limit).
+	WriteTimeout time.Duration
+	// Grace bounds how long Close waits for in-flight connections to
+	// drain before force-closing them (default 1s).
+	Grace time.Duration
+	// MaxBadRequests is the number of consecutive malformed request
+	// lines tolerated on one connection before the server hangs up
+	// (default 8). Each one is answered with a response{Err: ...}
+	// first, so a single bad line never silently kills a pooled
+	// connection.
+	MaxBadRequests int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Grace <= 0 {
+		c.Grace = time.Second
+	}
+	if c.MaxBadRequests <= 0 {
+		c.MaxBadRequests = 8
+	}
+	return c
+}
+
 // Server serves a namespace subtree from a core.Directory over TCP.
 type Server struct {
 	dir  *core.Directory
 	ln   net.Listener
+	cfg  ServerConfig
 	wg   sync.WaitGroup
 	done chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral
-// port) for the given directory.
+// port) with default robustness settings.
 func Serve(dir *core.Directory, addr string) (*Server, error) {
+	return ServeWith(dir, addr, ServerConfig{})
+}
+
+// ServeWith starts a server with explicit timeouts and drain behavior.
+func ServeWith(dir *core.Directory, addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{dir: dir, ln: ln, done: make(chan struct{})}
+	s := &Server{
+		dir:   dir,
+		ln:    ln,
+		cfg:   cfg.withDefaults(),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -131,12 +196,39 @@ func Serve(dir *core.Directory, addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for in-flight connections.
+// Close stops accepting, then drains in-flight connections for at most
+// the configured grace period before force-closing the stragglers. It
+// is idempotent and safe to call concurrently.
 func (s *Server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.ln.Close()
+		// Let in-flight requests finish, but bound idle connections:
+		// an expiring read deadline unblocks their next Scan.
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.SetReadDeadline(time.Now().Add(s.cfg.Grace))
+		}
+		s.mu.Unlock()
+		drained := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(drained)
+		}()
+		t := time.NewTimer(s.cfg.Grace + s.cfg.Grace/2 + 100*time.Millisecond)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			s.mu.Lock()
+			for c := range s.conns {
+				_ = c.Close()
+			}
+			s.mu.Unlock()
+			<-drained
+		}
+	})
+	return s.closeErr
 }
 
 func (s *Server) acceptLoop() {
@@ -151,10 +243,18 @@ func (s *Server) acceptLoop() {
 				continue
 			}
 		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				_ = conn.Close()
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -162,16 +262,91 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	sc.Buffer(make([]byte, 1<<20), maxRequestBytes)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		var req request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			_ = enc.Encode(response{Err: "bad request: " + err.Error()})
+	bad := 0
+	for {
+		select {
+		case <-s.done:
+			return // draining: don't extend the grace deadline
+		default:
+		}
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !sc.Scan() {
+			// A scanner-level failure that is not a timeout or hangup —
+			// e.g. a request over the buffer cap — is reported to the
+			// client before closing, not silently dropped. The rest of
+			// the oversized line is drained first: closing with unread
+			// bytes in the receive queue would RST the connection and
+			// destroy the reply in flight.
+			if err := sc.Err(); err != nil && !isNetShutdown(err) {
+				if s.reply(conn, enc, response{Err: "bad request: " + err.Error()}) {
+					s.drainLine(conn)
+				}
+			}
 			return
 		}
-		_ = enc.Encode(s.serveOne(req))
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			// One malformed line answers with an error but keeps the
+			// (possibly pooled) connection alive; a stream of them
+			// hangs up.
+			bad++
+			if !s.reply(conn, enc, response{Err: "bad request: " + err.Error()}) || bad >= s.cfg.MaxBadRequests {
+				return
+			}
+			continue
+		}
+		bad = 0
+		if !s.reply(conn, enc, s.serveOne(req)) {
+			return
+		}
 	}
+}
+
+// drainLine swallows the remainder of an oversized request line (up to
+// a hard cap, under a deadline) so the subsequent close is a graceful
+// FIN rather than an RST that could race ahead of the error reply.
+func (s *Server) drainLine(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16*1024)
+	var drained int64
+	for drained < 16*maxRequestBytes {
+		n, err := conn.Read(buf)
+		for i := 0; i < n; i++ {
+			if buf[i] == '\n' {
+				return
+			}
+		}
+		drained += int64(n)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// reply writes one response under the write deadline; false means the
+// connection is unusable.
+func (s *Server) reply(conn net.Conn, enc *json.Encoder, res response) bool {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return enc.Encode(res) == nil
+}
+
+// isNetShutdown reports errors that need no client-visible reply: the
+// peer went away or a deadline expired.
+func isNetShutdown(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, net.ErrClosed)
 }
 
 func (s *Server) serveOne(req request) response {
@@ -206,98 +381,159 @@ func (s *Server) serveOne(req request) response {
 	return out
 }
 
-// Client errors.
-var ErrRemote = errors.New("dirserver: remote error")
+// CoordinatorConfig tunes the coordinator's client and failover
+// behavior; the zero value uses the ClientConfig and BreakerConfig
+// defaults.
+type CoordinatorConfig struct {
+	Client  ClientConfig
+	Breaker BreakerConfig
+}
 
-// Call sends one request to a server and decodes the entries.
-func Call(addr string, schema *model.Schema, kind, queryText string) ([]*model.Entry, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	b, err := json.Marshal(request{Kind: kind, Query: queryText})
-	if err != nil {
-		return nil, err
-	}
-	if _, err := conn.Write(append(b, '\n')); err != nil {
-		return nil, err
-	}
-	dec := json.NewDecoder(conn)
-	var res response
-	if err := dec.Decode(&res); err != nil {
-		return nil, err
-	}
-	if res.Err != "" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, res.Err)
-	}
-	out := make([]*model.Entry, len(res.Entries))
-	for i, block := range res.Entries {
-		if out[i], err = ldif.UnmarshalEntry(schema, block); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// CoordinatorStats is a concurrency-safe snapshot of a coordinator's
+// distributed-evaluation counters.
+type CoordinatorStats struct {
+	RemoteAtomics int64 // atomic sub-queries shipped to other servers
+	LocalAtomics  int64 // delegated atomics that resolved to this server
+	Retries       int64 // transport retries performed by the pooled client
+	Failovers     int64 // atomics that fell over to a later replica
+	BreakerTrips  int64 // breakers tripped open
+	BreakerSkips  int64 // replicas skipped because their breaker was open
 }
 
 // Coordinator evaluates full query trees the Section 8.3 way: atomic
 // sub-queries owned by other servers are shipped to them; their sorted
 // results are materialized locally and fed into this server's operator
-// pipeline.
+// pipeline. Remote calls run under the caller's context through the
+// pooled retrying Client, and per-address breakers steer around
+// unhealthy replicas.
+//
+// Like core.Directory, one coordinator serializes pipeline evaluation
+// internally (the engine mutates shared scratch state), so Search is
+// safe to call from many goroutines. A coordinator wraps the
+// directory's engine as built; directories mutated with Update need a
+// fresh coordinator.
 type Coordinator struct {
-	dir *core.Directory
-	reg *Registry
-	// selfAddr marks which delegations resolve to this server's own
-	// directory (evaluated locally without a network hop).
+	dir      *core.Directory
+	eng      *engine.Engine
+	disk     *pager.Disk
+	reg      *Registry
 	selfAddr string
-	// remoteAtomics counts atomic sub-queries shipped elsewhere.
-	remoteAtomics int
+	client   *Client
+	health   *health
+
+	evalMu sync.Mutex // one pipeline evaluation at a time
+
+	remoteAtomics atomic.Int64
+	localAtomics  atomic.Int64
+	failovers     atomic.Int64
+	breakerSkips  atomic.Int64
 }
 
-// NewCoordinator wraps a local directory. reg maps namespace subtrees
-// to server addresses; selfAddr identifies the local server in reg.
+// NewCoordinator wraps a local directory with default client and
+// breaker settings. reg maps namespace subtrees to server addresses;
+// selfAddr identifies the local server in reg.
 func NewCoordinator(dir *core.Directory, reg *Registry, selfAddr string) *Coordinator {
-	c := &Coordinator{dir: dir, reg: reg, selfAddr: selfAddr}
-	dir.Engine().SetResolver(c.resolveAtomic)
+	return NewCoordinatorWith(dir, reg, selfAddr, CoordinatorConfig{})
+}
+
+// NewCoordinatorWith wraps a local directory with explicit timeouts,
+// retry policy, and breaker thresholds.
+func NewCoordinatorWith(dir *core.Directory, reg *Registry, selfAddr string, cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		dir:      dir,
+		eng:      dir.Engine(),
+		disk:     dir.Disk(),
+		reg:      reg,
+		selfAddr: selfAddr,
+		client:   NewClient(dir.Schema(), cfg.Client),
+		health:   newHealth(cfg.Breaker),
+	}
+	c.eng.SetResolver(c.resolveAtomic)
 	return c
+}
+
+// Close releases the coordinator's pooled connections.
+func (c *Coordinator) Close() error { return c.client.Close() }
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		RemoteAtomics: c.remoteAtomics.Load(),
+		LocalAtomics:  c.localAtomics.Load(),
+		Retries:       c.client.retries.Load(),
+		Failovers:     c.failovers.Load(),
+		BreakerTrips:  c.health.trips.Load(),
+		BreakerSkips:  c.breakerSkips.Load(),
+	}
 }
 
 // RemoteAtomics reports how many atomic sub-queries were shipped to
 // other servers since creation.
-func (c *Coordinator) RemoteAtomics() int { return c.remoteAtomics }
+func (c *Coordinator) RemoteAtomics() int { return int(c.remoteAtomics.Load()) }
 
-func (c *Coordinator) resolveAtomic(q *query.Atomic) (*plist.List, error) {
+// BreakerState reports addr's breaker state ("closed", "open",
+// "half-open") for tools and tests.
+func (c *Coordinator) BreakerState(addr string) string { return c.health.snapshot(addr) }
+
+func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plist.List, error) {
 	addrs, ok := c.reg.LookupAll(q.Base)
 	if !ok {
-		return c.dir.Engine().Store().Eval(q)
+		return c.eng.Store().Eval(q)
 	}
 	for _, a := range addrs {
 		if a == c.selfAddr {
-			return c.dir.Engine().Store().Eval(q)
+			c.localAtomics.Add(1)
+			return c.eng.Store().Eval(q)
 		}
 	}
-	c.remoteAtomics++
-	// Try the primary, then each secondary (footnote 4 failover).
-	var entries []*model.Entry
-	var err error
+	c.remoteAtomics.Add(1)
+
+	// Health-aware footnote-4 failover: replicas whose breaker is open
+	// are skipped in favor of later ones; if every breaker is open the
+	// full list is tried anyway (a last resort beats failing fast on
+	// stale health).
+	candidates := make([]string, 0, len(addrs))
 	for _, addr := range addrs {
-		entries, err = Call(addr, c.dir.Schema(), "atomic", q.String())
+		if c.health.allow(addr) {
+			candidates = append(candidates, addr)
+		} else {
+			c.breakerSkips.Add(1)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = addrs
+	}
+
+	var lastErr error
+	for i, addr := range candidates {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		entries, err := c.client.Call(ctx, addr, "atomic", q.String())
 		if err == nil {
-			break
+			c.health.success(addr)
+			return c.materialize(entries)
 		}
 		if errors.Is(err, ErrRemote) {
-			// The server answered with an error: failing over will not
-			// change the outcome.
+			// The server answered with an error: it is healthy, and
+			// failing over will not change the outcome.
+			c.health.success(addr)
 			return nil, err
 		}
+		c.health.failure(addr)
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("dirserver: resolving %q: %w (last transport error: %v)", q.Base, cerr, err)
+		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("dirserver: all servers for %q unreachable: %w", q.Base, err)
-	}
-	// Results arrive in reverse-DN order (every server's evaluation
-	// preserves it); materialize them on the local disk for the
-	// pipeline.
-	w := plist.NewWriter(c.dir.Disk())
+	return nil, fmt.Errorf("%w: all servers for %q unreachable: %v", ErrUnavailable, q.Base, lastErr)
+}
+
+// materialize writes remote results to the local disk for the
+// pipeline. Results arrive in reverse-DN order (every server's
+// evaluation preserves it).
+func (c *Coordinator) materialize(entries []*model.Entry) (*plist.List, error) {
+	w := plist.NewWriter(c.disk)
 	for _, e := range entries {
 		if err := w.Append(plist.FromEntry(e)); err != nil {
 			return nil, err
@@ -306,8 +542,10 @@ func (c *Coordinator) resolveAtomic(q *query.Atomic) (*plist.List, error) {
 	return w.Close()
 }
 
-// Search evaluates a query string, distributing atomics as needed.
-func (c *Coordinator) Search(text string) ([]*model.Entry, error) {
+// Search evaluates a query string under ctx, distributing atomics as
+// needed. The context's deadline bounds the whole evaluation,
+// including every remote hop.
+func (c *Coordinator) Search(ctx context.Context, text string) ([]*model.Entry, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
@@ -315,7 +553,9 @@ func (c *Coordinator) Search(text string) ([]*model.Entry, error) {
 	if err := query.Validate(c.dir.Schema(), q); err != nil {
 		return nil, err
 	}
-	l, err := c.dir.Engine().Eval(q)
+	c.evalMu.Lock()
+	defer c.evalMu.Unlock()
+	l, err := c.eng.EvalContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package dirserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -81,7 +82,7 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 	defer srv.Close()
 
-	entries, err := Call(srv.Addr(), whole.Schema(), "query",
+	entries, err := Call(context.Background(), srv.Addr(), whole.Schema(), "query",
 		"(dc=com ? sub ? objectClass=dcObject)")
 	if err != nil {
 		t.Fatal(err)
@@ -97,13 +98,13 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 
 	// Atomic kind rejects composites.
-	if _, err := Call(srv.Addr(), whole.Schema(), "atomic",
+	if _, err := Call(context.Background(), srv.Addr(), whole.Schema(), "atomic",
 		"(& (dc=com ? sub ? dc=*) (dc=com ? sub ? dc=*))"); !errors.Is(err, ErrRemote) {
 		t.Errorf("composite as atomic: %v", err)
 	}
 
 	// LDAP kind.
-	entries, err = Call(srv.Addr(), whole.Schema(), "ldap",
+	entries, err = Call(context.Background(), srv.Addr(), whole.Schema(), "ldap",
 		"(dc=com ? sub ? (&(objectClass=QHP)(priority<=1)))")
 	if err != nil {
 		t.Fatal(err)
@@ -113,10 +114,10 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 
 	// Errors propagate.
-	if _, err := Call(srv.Addr(), whole.Schema(), "query", "((("); !errors.Is(err, ErrRemote) {
+	if _, err := Call(context.Background(), srv.Addr(), whole.Schema(), "query", "((("); !errors.Is(err, ErrRemote) {
 		t.Errorf("parse error: %v", err)
 	}
-	if _, err := Call(srv.Addr(), whole.Schema(), "bogus", "x"); !errors.Is(err, ErrRemote) {
+	if _, err := Call(context.Background(), srv.Addr(), whole.Schema(), "bogus", "x"); !errors.Is(err, ErrRemote) {
 		t.Errorf("bad kind: %v", err)
 	}
 }
@@ -143,6 +144,7 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 
 	// Coordinate from the "upper" server's point of view.
 	coord := NewCoordinator(upper, &reg, upSrv.Addr())
+	defer coord.Close()
 
 	queries := []string{
 		// Purely local.
@@ -166,7 +168,7 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("central %s: %v", qs, err)
 		}
-		got, err := coord.Search(qs)
+		got, err := coord.Search(context.Background(), qs)
 		if err != nil {
 			t.Fatalf("distributed %s: %v", qs, err)
 		}
@@ -216,9 +218,10 @@ func TestSecondaryFailover(t *testing.T) {
 	reg.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"),
 		deadAddr, polSrv.Addr()) // dead primary, live secondary
 
-	coord := NewCoordinator(upper, &reg, localSrv.Addr())
+	coord := NewCoordinatorWith(upper, &reg, localSrv.Addr(), fastCoordConfig())
+	defer coord.Close()
 	q := "(ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
-	got, err := coord.Search(q)
+	got, err := coord.Search(context.Background(), q)
 	if err != nil {
 		t.Fatalf("failover did not save the query: %v", err)
 	}
@@ -234,8 +237,9 @@ func TestSecondaryFailover(t *testing.T) {
 	var reg2 Registry
 	reg2.Register(model.MustParseDN("dc=com"), localSrv.Addr())
 	reg2.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), deadAddr)
-	coord2 := NewCoordinator(upper, &reg2, localSrv.Addr())
-	if _, err := coord2.Search(q); err == nil {
+	coord2 := NewCoordinatorWith(upper, &reg2, localSrv.Addr(), fastCoordConfig())
+	defer coord2.Close()
+	if _, err := coord2.Search(context.Background(), q); err == nil {
 		t.Fatal("query against only-dead servers succeeded")
 	}
 }
@@ -252,7 +256,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(i int) {
 			q := fmt.Sprintf("(dc=com ? sub ? objectClass=%s)",
 				[]string{"dcObject", "QHP", "trafficProfile", "SLADSAction"}[i%4])
-			entries, err := Call(srv.Addr(), whole.Schema(), "query", q)
+			entries, err := Call(context.Background(), srv.Addr(), whole.Schema(), "query", q)
 			if err == nil && len(entries) == 0 {
 				err = fmt.Errorf("empty result for %s", q)
 			}
@@ -302,7 +306,7 @@ func TestProtocolRobustness(t *testing.T) {
 	conn.Close()
 
 	// The server still answers new clients.
-	entries, err := Call(srv.Addr(), whole.Schema(), "query", "(dc=com ? sub ? objectClass=dcObject)")
+	entries, err := Call(context.Background(), srv.Addr(), whole.Schema(), "query", "(dc=com ? sub ? objectClass=dcObject)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +348,7 @@ func TestEntryWireFidelity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	entries, err := Call(srv.Addr(), whole.Schema(), "query",
+	entries, err := Call(context.Background(), srv.Addr(), whole.Schema(), "query",
 		"(dc=com ? sub ? SLAPolicyName=dso)")
 	if err != nil {
 		t.Fatal(err)

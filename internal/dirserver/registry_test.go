@@ -1,0 +1,104 @@
+package dirserver
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestRegistryDeepestPrefixPrecedence pins down delegation precedence:
+// the deepest registered zone wins regardless of registration order,
+// and equal-depth zones keep first-registered precedence (stable
+// sort).
+func TestRegistryDeepestPrefixPrecedence(t *testing.T) {
+	var r Registry
+	// Register shallow-to-deep and deep-to-shallow interleaved.
+	r.Register(model.MustParseDN("dc=research, dc=att, dc=com"), "MID")
+	r.Register(model.MustParseDN("dc=com"), "TOP")
+	r.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), "DEEP")
+	r.Register(model.MustParseDN("dc=att, dc=com"), "ATT")
+
+	cases := []struct {
+		dn   string
+		want string
+	}{
+		{"dc=com", "TOP"},
+		{"dc=ibm, dc=com", "TOP"},
+		{"dc=att, dc=com", "ATT"},
+		{"ou=people, dc=att, dc=com", "ATT"},
+		{"dc=research, dc=att, dc=com", "MID"},
+		{"uid=j, dc=research, dc=att, dc=com", "MID"},
+		{"ou=networkPolicies, dc=research, dc=att, dc=com", "DEEP"},
+		{"TPName=x, ou=trafficProfile, ou=networkPolicies, dc=research, dc=att, dc=com", "DEEP"},
+	}
+	for _, c := range cases {
+		got, ok := r.Lookup(model.MustParseDN(c.dn))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q", c.dn, got, ok, c.want)
+		}
+	}
+}
+
+// TestRegistryLookupAllOrdering asserts LookupAll preserves replica
+// order: primary first, then secondaries exactly as registered —
+// that order IS the failover policy.
+func TestRegistryLookupAllOrdering(t *testing.T) {
+	var r Registry
+	r.Register(model.MustParseDN("dc=com"), "primary", "sec1", "sec2", "sec3")
+	addrs, ok := r.LookupAll(model.MustParseDN("dc=att, dc=com"))
+	if !ok {
+		t.Fatal("zone not found")
+	}
+	want := []string{"primary", "sec1", "sec2", "sec3"}
+	if !reflect.DeepEqual(addrs, want) {
+		t.Errorf("LookupAll = %v, want %v", addrs, want)
+	}
+	// An addr-less registration is a no-op, not an empty zone.
+	r.Register(model.MustParseDN("dc=org"))
+	if _, ok := r.LookupAll(model.MustParseDN("dc=org")); ok {
+		t.Error("empty registration created a zone")
+	}
+}
+
+// TestRegistryConcurrent hammers Register, Lookup, LookupAll, and
+// Zones from many goroutines (run under -race).
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	r.Register(model.MustParseDN("dc=com"), "seed")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					dn := model.MustParseDN(fmt.Sprintf("dc=z%d-%d, dc=com", g, i))
+					r.Register(dn, fmt.Sprintf("addr-%d-%d", g, i), "backup")
+				case 1:
+					if _, ok := r.Lookup(model.MustParseDN("dc=x, dc=com")); !ok {
+						t.Error("dc=com zone lost")
+						return
+					}
+				default:
+					_, _ = r.LookupAll(model.MustParseDN("dc=att, dc=com"))
+					_ = r.Zones()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every registered zone must now resolve to its own address.
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 50; i += 3 {
+			dn := model.MustParseDN(fmt.Sprintf("dc=z%d-%d, dc=com", g, i))
+			got, ok := r.Lookup(dn)
+			if !ok || got != fmt.Sprintf("addr-%d-%d", g, i) {
+				t.Fatalf("zone dc=z%d-%d lost after concurrent registration: %q,%v", g, i, got, ok)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -48,14 +49,18 @@ func (c Config) withDefaults() Config {
 type Engine struct {
 	st       *store.Store
 	cfg      Config
-	resolver func(*query.Atomic) (*plist.List, error)
+	resolver func(context.Context, *query.Atomic) (*plist.List, error)
 }
 
 // SetResolver installs an atomic-query resolver consulted instead of the
 // local store. The distributed evaluator of Section 8.3 uses this to
 // ship atomic sub-queries to the directory server owning their base DN
 // and feed the returned sorted lists into the local operator pipeline.
-func (e *Engine) SetResolver(r func(*query.Atomic) (*plist.List, error)) { e.resolver = r }
+// The context passed to EvalContext flows through unchanged, so remote
+// resolution honors the caller's deadline and cancellation.
+func (e *Engine) SetResolver(r func(context.Context, *query.Atomic) (*plist.List, error)) {
+	e.resolver = r
+}
 
 // New creates an engine over a store.
 func New(st *store.Store, cfg Config) *Engine {
@@ -74,10 +79,22 @@ func (e *Engine) sortCfg() extsort.Config {
 // Eval evaluates a query tree and returns the result list, sorted by
 // reverse-DN key. Intermediate lists are freed as they are consumed.
 func (e *Engine) Eval(q query.Query) (*plist.List, error) {
+	return e.EvalContext(context.Background(), q)
+}
+
+// EvalContext is Eval with deadline and cancellation propagation: the
+// context is checked before each operator and handed to the atomic
+// resolver, so a distributed evaluation stops promptly when the caller
+// gives up (Section 8.3 queries must fail cleanly, never hang, when
+// remote servers are unreachable).
+func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch n := q.(type) {
 	case *query.Atomic:
 		if e.resolver != nil {
-			return e.resolver(n)
+			return e.resolver(ctx, n)
 		}
 		return e.st.Eval(n)
 
@@ -85,11 +102,11 @@ func (e *Engine) Eval(q query.Query) (*plist.List, error) {
 		return e.st.EvalLDAP(n)
 
 	case *query.Bool:
-		l1, err := e.Eval(n.Q1)
+		l1, err := e.EvalContext(ctx, n.Q1)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := e.Eval(n.Q2)
+		l2, err := e.EvalContext(ctx, n.Q2)
 		if err != nil {
 			return nil, err
 		}
@@ -100,17 +117,17 @@ func (e *Engine) Eval(q query.Query) (*plist.List, error) {
 		return e.EvalBool(n.Op, l1, l2)
 
 	case *query.Hier:
-		l1, err := e.Eval(n.Q1)
+		l1, err := e.EvalContext(ctx, n.Q1)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := e.Eval(n.Q2)
+		l2, err := e.EvalContext(ctx, n.Q2)
 		if err != nil {
 			return nil, err
 		}
 		var l3 *plist.List
 		if n.Q3 != nil {
-			if l3, err = e.Eval(n.Q3); err != nil {
+			if l3, err = e.EvalContext(ctx, n.Q3); err != nil {
 				return nil, err
 			}
 		}
@@ -121,7 +138,7 @@ func (e *Engine) Eval(q query.Query) (*plist.List, error) {
 		return e.EvalHier(n.Op, l1, l2, l3, n.AggSel)
 
 	case *query.SimpleAgg:
-		l1, err := e.Eval(n.Q)
+		l1, err := e.EvalContext(ctx, n.Q)
 		if err != nil {
 			return nil, err
 		}
@@ -129,11 +146,11 @@ func (e *Engine) Eval(q query.Query) (*plist.List, error) {
 		return e.EvalSimpleAgg(l1, n.AggSel)
 
 	case *query.EmbedRef:
-		l1, err := e.Eval(n.Q1)
+		l1, err := e.EvalContext(ctx, n.Q1)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := e.Eval(n.Q2)
+		l2, err := e.EvalContext(ctx, n.Q2)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,281 @@
+// Package faultnet is a TCP fault-injection harness: a proxy that sits
+// between a client and a backend and injects the failures real
+// networks produce — refused connections, partitions that black-hole
+// traffic, added latency, mid-stream connection resets, and garbled
+// response bytes. It extends the discipline of the engine's disk
+// fault-injection tests ("never a panic, never a silent wrong answer")
+// to the network layer: chaos tests route a directory server behind a
+// Proxy and assert that distributed queries either fail over cleanly
+// or return a clean, prompt error.
+//
+// Fault modes apply to new connections, and SetMode severs the
+// connections already in flight — flipping the switch is the moment
+// the network "breaks", exactly like a pulled cable. All goroutines a
+// Proxy starts are joined by Close, so leak-checking tests stay quiet.
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the injected fault.
+type Mode int32
+
+const (
+	// Pass forwards traffic faithfully.
+	Pass Mode = iota
+	// Refuse accepts and immediately closes connections: the fast
+	// failure of a down service behind a live host.
+	Refuse
+	// BlackHole accepts connections and swallows all bytes without
+	// ever answering: the slow failure of a partitioned network, only
+	// a deadline gets the client out.
+	BlackHole
+	// Reset forwards the request but cuts the connection (RST) after
+	// ResetAfter response bytes: a mid-stream failure that can leave a
+	// syntactically truncated response at the client.
+	Reset
+	// Garble forwards the full exchange but corrupts response bytes: a
+	// misbehaving middlebox or damaged stream.
+	Garble
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Refuse:
+		return "refuse"
+	case BlackHole:
+		return "blackhole"
+	case Reset:
+		return "reset"
+	case Garble:
+		return "garble"
+	default:
+		return "unknown"
+	}
+}
+
+// Proxy is a fault-injecting TCP proxy in front of one backend
+// address. All methods are safe for concurrent use.
+type Proxy struct {
+	ln         net.Listener
+	backend    string
+	mode       atomic.Int32
+	latency    atomic.Int64 // ns added before relaying each response chunk
+	resetAfter atomic.Int64 // response bytes forwarded before the cut in Reset mode
+	accepted   atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New starts a proxy on an ephemeral 127.0.0.1 port forwarding to
+// backend, in Pass mode.
+func New(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:      ln,
+		backend: backend,
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.resetAfter.Store(16)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Mode returns the current fault mode.
+func (p *Proxy) Mode() Mode { return Mode(p.mode.Load()) }
+
+// SetMode switches the injected fault for new connections and severs
+// every connection currently relaying (the network just changed).
+func (p *Proxy) SetMode(m Mode) {
+	p.mode.Store(int32(m))
+	p.mu.Lock()
+	for c := range p.conns {
+		abort(c)
+	}
+	p.mu.Unlock()
+}
+
+// SetLatency adds a delay before each relayed response chunk (applies
+// in Pass, Reset, and Garble modes).
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetResetAfter sets how many response bytes Reset mode forwards
+// before cutting the connection.
+func (p *Proxy) SetResetAfter(n int64) { p.resetAfter.Store(n) }
+
+// Accepted reports how many client connections the proxy has accepted
+// — chaos tests use the delta to prove a tripped breaker stopped
+// dialing a dead primary.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// Close stops the proxy, severs every connection, and joins all relay
+// goroutines.
+func (p *Proxy) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.closeErr = p.ln.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			_ = c.Close()
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
+	return p.closeErr
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+				continue
+			}
+		}
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+// track registers c for severing on SetMode/Close; the returned func
+// forgets it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+// abort closes a TCP connection with linger 0 so the peer sees a hard
+// RST rather than a graceful EOF.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+func (p *Proxy) serveConn(client net.Conn) {
+	mode := p.Mode()
+	switch mode {
+	case Refuse:
+		abort(client)
+		return
+	case BlackHole:
+		defer p.track(client)()
+		defer client.Close()
+		_, _ = io.Copy(io.Discard, client) // swallow forever; Close severs
+		return
+	}
+
+	backend, err := net.DialTimeout("tcp", p.backend, 2*time.Second)
+	if err != nil {
+		abort(client)
+		return
+	}
+	defer p.track(client)()
+	defer p.track(backend)()
+
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			abort(client)
+			abort(backend)
+		})
+	}
+
+	p.wg.Add(1)
+	go func() { // client -> backend: requests pass untouched
+		defer p.wg.Done()
+		_, _ = io.Copy(backend, client)
+		closeBoth()
+	}()
+
+	// backend -> client: the faulty direction.
+	p.relayResponses(mode, backend, client)
+	closeBoth()
+}
+
+// relayResponses copies backend response bytes to the client, applying
+// latency, garbling, or a mid-stream reset per mode.
+func (p *Proxy) relayResponses(mode Mode, backend, client net.Conn) {
+	buf := make([]byte, 4096)
+	var forwarded int64
+	for {
+		n, err := backend.Read(buf)
+		if n > 0 {
+			if d := time.Duration(p.latency.Load()); d > 0 {
+				if !p.sleep(d) {
+					return
+				}
+			}
+			chunk := buf[:n]
+			if mode == Garble {
+				for i := range chunk {
+					chunk[i] ^= 0x5a
+				}
+			}
+			if mode == Reset {
+				if limit := p.resetAfter.Load(); forwarded+int64(n) >= limit {
+					if keep := limit - forwarded; keep > 0 {
+						_, _ = client.Write(chunk[:keep])
+					}
+					return // caller aborts both sides: RST mid-stream
+				}
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			forwarded += int64(n)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// sleep waits d unless the proxy closes first; false means shutting
+// down.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,228 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers each line with "echo: <line>\n".
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					fmt.Fprintf(conn, "echo: %s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { close(done); ln.Close() }
+}
+
+func roundTrip(t *testing.T, addr, msg string, timeout time.Duration) (string, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	return strings.TrimSuffix(line, "\n"), err
+}
+
+func TestProxyModes(t *testing.T) {
+	backend, closeBackend := echoServer(t)
+	defer closeBackend()
+	p, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Pass: faithful relay.
+	got, err := roundTrip(t, p.Addr(), "hello", time.Second)
+	if err != nil || got != "echo: hello" {
+		t.Fatalf("pass mode: %q, %v", got, err)
+	}
+
+	// Refuse: prompt failure, no hang.
+	p.SetMode(Refuse)
+	start := time.Now()
+	if _, err := roundTrip(t, p.Addr(), "hello", time.Second); err == nil {
+		t.Fatal("refuse mode answered")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("refuse mode was slow — it must fail fast")
+	}
+
+	// BlackHole: nothing comes back until the deadline.
+	p.SetMode(BlackHole)
+	start = time.Now()
+	if _, err := roundTrip(t, p.Addr(), "hello", 200*time.Millisecond); err == nil {
+		t.Fatal("blackhole mode answered")
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("blackhole failed after only %v — it must hang until the deadline", d)
+	}
+
+	// Reset: a truncated answer then a cut, never the full line.
+	p.SetMode(Reset)
+	p.SetResetAfter(3)
+	got, err = roundTrip(t, p.Addr(), "hello", time.Second)
+	if err == nil && got == "echo: hello" {
+		t.Fatal("reset mode delivered the full response")
+	}
+	if len(got) > 3 {
+		t.Fatalf("reset mode forwarded %d bytes, cap 3", len(got))
+	}
+
+	// Garble: the bytes arrive, but corrupted.
+	p.SetMode(Garble)
+	got, err = roundTrip(t, p.Addr(), "hello", time.Second)
+	if err != nil && got == "" {
+		// Corruption may break line framing entirely; either way is a
+		// visible failure, which is the point.
+		return
+	}
+	if got == "echo: hello" {
+		t.Fatal("garble mode delivered an intact response")
+	}
+}
+
+// TestProxySetModeSeversLiveConns: flipping the fault mode must cut
+// connections opened under the old mode — a pooled client cannot keep
+// tunneling through a "partitioned" network.
+func TestProxySetModeSeversLiveConns(t *testing.T) {
+	backend, closeBackend := echoServer(t)
+	defer closeBackend()
+	p, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "one\n"); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if line, err := r.ReadString('\n'); err != nil || line != "echo: one\n" {
+		t.Fatalf("healthy round trip: %q, %v", line, err)
+	}
+
+	p.SetMode(BlackHole)
+	// The established tunnel must die: either the write or the read
+	// fails now.
+	_, werr := fmt.Fprintf(conn, "two\n")
+	var rerr error
+	if werr == nil {
+		_, rerr = r.ReadString('\n')
+	}
+	if werr == nil && rerr == nil {
+		t.Fatal("connection survived the partition")
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	backend, closeBackend := echoServer(t)
+	defer closeBackend()
+	p, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLatency(100 * time.Millisecond)
+	start := time.Now()
+	got, err := roundTrip(t, p.Addr(), "slow", time.Second)
+	if err != nil || got != "echo: slow" {
+		t.Fatalf("latency mode: %q, %v", got, err)
+	}
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("response arrived in %v despite 100ms injected latency", d)
+	}
+}
+
+// TestProxyCloseJoinsGoroutines: Close must reap every relay
+// goroutine, even with connections parked in a black hole.
+func TestProxyCloseJoinsGoroutines(t *testing.T) {
+	backend, closeBackend := echoServer(t)
+	defer closeBackend()
+	before := runtime.NumGoroutine()
+
+	p, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(BlackHole)
+	conns := make([]net.Conn, 0, 4)
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(c, "swallowed\n")
+		conns = append(conns, c)
+	}
+	time.Sleep(50 * time.Millisecond) // let the proxy park them
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		// The severed client side: reads must fail promptly.
+		_ = c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		if _, err := io.ReadAll(c); err == nil {
+			c.Close()
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("proxy goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Pass: "pass", Refuse: "refuse", BlackHole: "blackhole",
+		Reset: "reset", Garble: "garble", Mode(99): "unknown",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
