@@ -30,6 +30,8 @@ var tiny = bench.Preset{
 	IndexN:   200,
 	AppScale: 40,
 	StackN:   120,
+	CacheN:   800,
+	CacheOps: 200,
 }
 
 func runSpec(b *testing.B, id string) {
@@ -66,6 +68,7 @@ func BenchmarkE14Distributed(b *testing.B)  { runSpec(b, "E14") }
 func BenchmarkE15AtomicIndex(b *testing.B)  { runSpec(b, "E15") }
 func BenchmarkE16Apps(b *testing.B)         { runSpec(b, "E16") }
 func BenchmarkE17Operators(b *testing.B)    { runSpec(b, "E17") }
+func BenchmarkE18CacheZipf(b *testing.B)    { runSpec(b, "E18") }
 
 func BenchmarkAblationStackWindow(b *testing.B) { runSpec(b, "A1") }
 func BenchmarkAblationBlockSize(b *testing.B)   { runSpec(b, "A2") }

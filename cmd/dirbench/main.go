@@ -8,9 +8,11 @@
 //	dirbench            # full preset
 //	dirbench -quick     # CI-sized preset
 //	dirbench -only E10  # a single experiment
+//	dirbench -json      # machine-readable tables on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +24,9 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run the CI-sized preset")
-		only  = flag.String("only", "", "run a single experiment (e.g. E7, A2)")
+		quick  = flag.Bool("quick", false, "run the CI-sized preset")
+		only   = flag.String("only", "", "run a single experiment (e.g. E7, A2)")
+		asJSON = flag.Bool("json", false, "emit the tables as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -33,19 +36,33 @@ func main() {
 		preset = bench.Quick
 		name = "quick"
 	}
-	fmt.Printf("dirbench: preset %s, started %s\n\n", name, time.Now().Format(time.RFC3339))
+	if !*asJSON {
+		fmt.Printf("dirbench: preset %s, started %s\n\n", name, time.Now().Format(time.RFC3339))
+	}
 	start := time.Now()
-	shown := 0
+	var tables []*bench.Table
 	for _, spec := range bench.Specs {
 		if *only != "" && !strings.EqualFold(spec.ID, *only) {
 			continue
 		}
-		spec.Run(preset).Fprint(os.Stdout)
-		shown++
+		t := spec.Run(preset)
+		if !*asJSON {
+			t.Fprint(os.Stdout)
+		}
+		tables = append(tables, t)
 	}
-	if shown == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "dirbench: no experiment matches %q\n", *only)
 		os.Exit(2)
 	}
-	fmt.Printf("dirbench: %d tables in %s\n", shown, time.Since(start).Round(time.Millisecond))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "dirbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("dirbench: %d tables in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
 }

@@ -43,6 +43,7 @@ func main() {
 		queryStr    = flag.String("q", "", "L0..L3 query to evaluate")
 		ldapStr     = flag.String("ldap", "", "LDAP baseline query to evaluate")
 		noIndex     = flag.Bool("noindex", false, "disable attribute indexes (scan-only atomic evaluation)")
+		cacheBytes  = flag.Int64("cache", 0, "enable the query-result cache with this byte budget (0 = off)")
 		optimize    = flag.Bool("optimize", false, "run the algebraic planner before evaluation")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 		explain     = flag.Bool("explain", false, "print the query plan (language, rewrites, access paths) before evaluating")
@@ -67,7 +68,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err = core.OpenSnapshot(f, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize})
+		dir, err = core.OpenSnapshot(f, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes})
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -77,7 +78,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err = core.Open(in, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize})
+		dir, err = core.Open(in, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes})
 		if err != nil {
 			fatal(err)
 		}
@@ -134,6 +135,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dirq: provide -q, -ldap, or -i")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cacheBytes > 0 {
+		st := dir.CacheStats()
+		fmt.Printf("cache: %d entries (%d/%d bytes), hits %d, misses %d, hit rate %.2f\n",
+			st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, st.HitRate())
 	}
 }
 

@@ -12,6 +12,8 @@ type Preset struct {
 	IndexN   int   // directory size for E15
 	AppScale int   // scale for E16
 	StackN   int   // chain length for ablation A1
+	CacheN   int   // directory size for E18 (0 = default)
+	CacheOps int   // Zipf draws for E18 (0 = default)
 }
 
 // Quick is sized for CI and go test; Full for cmd/dirbench reports.
@@ -25,6 +27,8 @@ var (
 		IndexN:   400,
 		AppScale: 60,
 		StackN:   120,
+		CacheN:   1500,
+		CacheOps: 400,
 	}
 	Full = Preset{
 		Linear:   []int{2000, 4000, 8000, 16000, 32000},
@@ -35,6 +39,8 @@ var (
 		IndexN:   2000,
 		AppScale: 150,
 		StackN:   120,
+		CacheN:   4000,
+		CacheOps: 1200,
 	}
 )
 
@@ -62,6 +68,7 @@ var Specs = []Spec{
 	{"E15", func(p Preset) *Table { return E15AtomicIndex(p.IndexN) }},
 	{"E16", func(p Preset) *Table { return E16Apps(p.AppScale) }},
 	{"E17", func(Preset) *Table { return E17Operators([]int{3, 4, 5, 6, 8}) }},
+	{"E18", func(p Preset) *Table { return E18CacheZipf(p.CacheN, p.CacheOps) }},
 	{"A1", func(p Preset) *Table { return AblationStackWindow(p.StackN, []int{2, 4, 16, 64}) }},
 	{"A2", func(Preset) *Table { return AblationBlockSize(4000, []int{1024, 2048, 4096, 8192}) }},
 	{"A3", func(Preset) *Table { return AblationResort(4000) }},

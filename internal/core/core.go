@@ -21,12 +21,14 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/planner"
 	"repro/internal/plist"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -44,6 +46,14 @@ type Options struct {
 	Optimize bool
 	// Engine tunes the evaluation engine (stack window etc.).
 	Engine engine.Config
+	// CacheBytes, when positive, enables the query-result cache: up to
+	// this many bytes of materialized results, keyed by (canonical
+	// query, generation) with single-flight deduplication. A cache hit
+	// performs zero page I/O; every Update invalidates all cached
+	// results by bumping the generation (see internal/qcache and
+	// DESIGN.md §7). Entries of cached results are shared between hits
+	// and must be treated as read-only.
+	CacheBytes int64
 }
 
 // Builder accumulates entries for a Directory.
@@ -123,6 +133,9 @@ func (b *Builder) Build(opts Options) (*Directory, error) {
 // Open builds a Directory from an existing instance.
 func Open(inst *model.Instance, opts Options) (*Directory, error) {
 	d := &Directory{inst: inst, opts: opts}
+	if opts.CacheBytes > 0 {
+		d.cache = qcache.New(opts.CacheBytes)
+	}
 	if err := d.rebuild(); err != nil {
 		return nil, err
 	}
@@ -142,6 +155,13 @@ type Directory struct {
 	st     *store.Store
 	eng    *engine.Engine
 	strict bool // parent-closed forest (enables the ac/dc collapse)
+
+	// gen is the store generation: a monotonic counter bumped by every
+	// rebuild (Build, Update, snapshot restore). Cache keys embed it,
+	// so one Update invalidates every cached result with a single
+	// integer bump — no tracking of which entries changed.
+	gen   atomic.Int64
+	cache *qcache.Cache // nil unless Options.CacheBytes > 0
 }
 
 // rebuild lays the current instance out on a fresh disk. The store is
@@ -158,6 +178,13 @@ func (d *Directory) rebuild() error {
 	d.st = st
 	d.eng = engine.New(st, d.opts.Engine)
 	d.strict = d.inst.Validate(true) == nil
+	d.gen.Add(1)
+	if d.cache != nil {
+		// Every cached result is stale now (its key embeds the old
+		// generation); reclaim the budget eagerly rather than letting
+		// dead entries age out of the LRU.
+		d.cache.Clear()
+	}
 	return nil
 }
 
@@ -255,6 +282,22 @@ func (d *Directory) Get(dn string) (*model.Entry, error) {
 	return d.st.Get(parsed)
 }
 
+// Generation returns the store generation: it starts at 1 and
+// increments on every Update (and is fresh after a snapshot restore).
+// Equal generations imply identical store contents, which is what
+// makes it a one-integer cache-invalidation token — locally and echoed
+// over the wire to remote coordinators (internal/dirserver).
+func (d *Directory) Generation() int64 { return d.gen.Load() }
+
+// CacheStats snapshots the query-result cache's counters (zero when
+// caching is disabled).
+func (d *Directory) CacheStats() qcache.Stats {
+	if d.cache == nil {
+		return qcache.Stats{}
+	}
+	return d.cache.Stats()
+}
+
 // Search parses, validates, and evaluates a query in the paper's
 // surface syntax, materializing the result.
 func (d *Directory) Search(text string) (*Result, error) {
@@ -265,9 +308,13 @@ func (d *Directory) Search(text string) (*Result, error) {
 	return d.SearchQuery(q)
 }
 
-// SearchQuery evaluates a parsed query tree.
+// SearchQuery evaluates a parsed query tree, consulting the result
+// cache first when one is configured: semantically identical queries
+// (same canonical form, internal/query.Canonical) at the same store
+// generation share one cached answer, and concurrent identical misses
+// evaluate once. A cache hit performs zero page I/O.
 func (d *Directory) SearchQuery(q query.Query) (*Result, error) {
-	return d.evalLocked(q, true)
+	return d.searchCached("", q, true)
 }
 
 // SearchLDAP evaluates an LDAP baseline query: a single base and scope
@@ -277,15 +324,48 @@ func (d *Directory) SearchLDAP(text string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.evalLocked(q, false)
+	// LDAP evaluation skips L0-level validation, so its slots are kept
+	// apart from Search's even when the printed forms coincide.
+	return d.searchCached("ldap|", q, false)
 }
 
-func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, error) {
+func (d *Directory) searchCached(keyPrefix string, q query.Query, validate bool) (*Result, error) {
+	if d.cache == nil {
+		res, _, err := d.evalLocked(q, validate)
+		return res, err
+	}
+	// The generation is read before evaluation; an Update racing this
+	// search serializes against it on d.mu either way, so a result
+	// stored under the older key is at worst promptly unreachable.
+	key := fmt.Sprintf("%sg%d|%s", keyPrefix, d.gen.Load(), query.Canonical(q))
+	v, hit, err := d.cache.Do(key, func() (any, int64, error) {
+		res, size, err := d.evalLocked(q, validate)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, size, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*Result)
+	if hit {
+		// Fresh header, shared (read-only) entries: a hit re-executes
+		// no I/O, and the Result must say so.
+		return &Result{Entries: res.Entries}, nil
+	}
+	return res, nil
+}
+
+// evalLocked evaluates q under the directory lock and returns the
+// materialized result plus its size in list-stream bytes (the result
+// cache's cost measure).
+func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if validate {
 		if err := query.Validate(d.st.Schema(), q); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if d.opts.Optimize {
 			q = planner.Optimize(q, planner.Info{StrictForest: d.strict}).Query
@@ -295,18 +375,19 @@ func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, error) {
 	before := disk.Stats()
 	l, err := d.eng.Eval(q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	size := l.Size()
 	recs, err := plist.Drain(l)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	res := &Result{IO: disk.Stats().Sub(before)}
 	res.Entries = make([]*model.Entry, len(recs))
 	for i, r := range recs {
 		res.Entries[i] = r.Entry
 	}
-	return res, l.Free()
+	return res, size, l.Free()
 }
 
 // Language classifies a query string into the paper's hierarchy.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/plist"
+	"repro/internal/qcache"
 	"repro/internal/store"
 )
 
@@ -89,6 +90,13 @@ func OpenSnapshot(r io.Reader, opts Options) (*Directory, error) {
 	d := &Directory{inst: inst, opts: opts, st: st}
 	d.eng = engine.New(st, opts.Engine)
 	d.strict = inst.Validate(true) == nil
+	// A restore is a generation bump like any other store swap: the
+	// restored Directory starts a fresh generation with an empty cache,
+	// so nothing cached against other contents can ever match.
+	d.gen.Add(1)
+	if opts.CacheBytes > 0 {
+		d.cache = qcache.New(opts.CacheBytes)
+	}
 	return d, nil
 }
 

@@ -1,0 +1,221 @@
+package dirserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/model"
+)
+
+func cachedCoordConfig(ttl time.Duration) CoordinatorConfig {
+	cfg := fastCoordConfig()
+	cfg.CacheBytes = 1 << 20
+	cfg.CacheTTL = ttl
+	return cfg
+}
+
+// TestCoordinatorCacheSavesRoundTrips: within the TTL, a repeated
+// remote atomic is answered from the coordinator's cache without
+// touching the network.
+func TestCoordinatorCacheSavesRoundTrips(t *testing.T) {
+	cl := newChaosClusterCfg(t, cachedCoordConfig(time.Minute))
+	cl.assertCorrect(t, context.Background())
+	calls := cl.coord.client.Stats().Calls
+	if calls == 0 {
+		t.Fatal("warm-up query made no remote calls")
+	}
+	cl.assertCorrect(t, context.Background())
+	cl.assertCorrect(t, context.Background())
+	if got := cl.coord.client.Stats().Calls; got != calls {
+		t.Errorf("cached repeats still made %d remote calls", got-calls)
+	}
+	st := cl.coord.Stats()
+	if st.CacheHits != 2 {
+		t.Errorf("CacheHits = %d, want 2", st.CacheHits)
+	}
+	if cs := cl.coord.CacheStats(); cs.Entries == 0 || cs.Bytes == 0 {
+		t.Errorf("cache claims no resident entries: %+v", cs)
+	}
+}
+
+// TestCoordinatorCacheSharesEquivalentSpellings: semantically identical
+// atomics (differing in whitespace and attribute case) share one cache
+// slot via canonicalization.
+func TestCoordinatorCacheSharesEquivalentSpellings(t *testing.T) {
+	cl := newChaosClusterCfg(t, cachedCoordConfig(time.Minute))
+	variant := "(OU=networkPolicies,    DC=research, dc=att, dc=com ? sub ?  objectclass=SLAPolicyRules)"
+	cl.assertCorrect(t, context.Background())
+	want := cl.wantPolicies(t)
+	got, err := cl.coord.Search(context.Background(), variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("variant spelling: %d entries, want %d", len(got), len(want))
+	}
+	if st := cl.coord.Stats(); st.CacheHits != 1 {
+		t.Errorf("variant spelling missed the cache: %+v", st)
+	}
+}
+
+// TestChaosCacheMasksOutageAndGenerationDropsIt is the full lifecycle
+// of the outage-masking path, against a zone whose only replica sits
+// behind the fault proxy:
+//
+//  1. a warm answer outlives its TTL, the replica's network dies, and
+//     the coordinator serves the cached answer instead of failing;
+//  2. the breaker trips open and the cached answer keeps serving;
+//  3. the network heals, the remote store takes an Update (generation
+//     bump), and the next query learns the new generation and answer;
+//  4. the network dies again and the masked answer is the NEW one —
+//     the generation bump made every older cached answer unreachable.
+func TestChaosCacheMasksOutageAndGenerationDropsIt(t *testing.T) {
+	whole, upper, policies := splitPaperDirectory(t)
+	grace := ServerConfig{Grace: 100 * time.Millisecond}
+	priSrv, err := ServeWith(policies, "127.0.0.1:0", grace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer priSrv.Close()
+	localSrv, err := ServeWith(upper, "127.0.0.1:0", grace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer localSrv.Close()
+	proxy, err := faultnet.New(priSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var reg Registry
+	reg.Register(model.MustParseDN("dc=com"), localSrv.Addr())
+	// The zone's only replica is the proxied one: no failover possible.
+	reg.Register(model.MustParseDN("ou=networkPolicies, dc=research, dc=att, dc=com"), proxy.Addr())
+
+	const ttl = 60 * time.Millisecond
+	coord := NewCoordinatorWith(upper, &reg, localSrv.Addr(), cachedCoordConfig(ttl))
+	defer coord.Close()
+
+	search := func() ([]*model.Entry, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return coord.Search(ctx, polQuery)
+	}
+	want, err := whole.Search(polQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Warm the cache, let the TTL lapse, kill the network.
+	got, err := search()
+	if err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if len(got) != len(want.Entries) {
+		t.Fatalf("warm-up: %d entries, want %d", len(got), len(want.Entries))
+	}
+	time.Sleep(2 * ttl)
+	proxy.SetMode(faultnet.Refuse)
+
+	got, err = search()
+	if err != nil {
+		t.Fatalf("outage was not masked by the cache: %v", err)
+	}
+	if len(got) != len(want.Entries) {
+		t.Fatalf("masked answer: %d entries, want %d", len(got), len(want.Entries))
+	}
+	if st := coord.Stats(); st.CacheMasked == 0 {
+		t.Fatalf("no CacheMasked recorded: %+v", st)
+	}
+
+	// 2. Keep querying until the breaker opens; the cache must still
+	// answer with the breaker-open primary out of the picture.
+	if _, err := search(); err != nil {
+		t.Fatalf("masked serve during breaker warm-up: %v", err)
+	}
+	if got := coord.BreakerState(proxy.Addr()); got != "open" {
+		t.Fatalf("primary breaker state = %s, want open", got)
+	}
+	got, err = search()
+	if err != nil {
+		t.Fatalf("breaker-open primary was not served from cache: %v", err)
+	}
+	if len(got) != len(want.Entries) {
+		t.Fatalf("breaker-open masked answer: %d entries, want %d", len(got), len(want.Entries))
+	}
+
+	// 3. Heal, mutate the remote store (generation bump), wait out the
+	// breaker cooldown and the TTL: the next query must fetch the new
+	// answer and learn the new generation.
+	proxy.SetMode(faultnet.Pass)
+	newDN := "SLAPolicyName=chaosFresh, ou=SLAPolicyRules, ou=networkPolicies, dc=research, dc=att, dc=com"
+	if err := policies.Update(func(in *model.Instance) error {
+		e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN(newDN))
+		if err != nil {
+			return err
+		}
+		e.AddClass("SLAPolicyRules")
+		e.Add("SLAPolicyScope", model.String("DataTraffic"))
+		return in.Add(e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // > breaker cooldown and > TTL
+	got, err = search()
+	if err != nil {
+		t.Fatalf("post-heal query: %v", err)
+	}
+	if len(got) != len(want.Entries)+1 {
+		t.Fatalf("post-update answer: %d entries, want %d", len(got), len(want.Entries)+1)
+	}
+
+	// 4. Outage again: the masked answer must be the post-update one.
+	// Serving the pre-update answer here would mean the generation bump
+	// failed to invalidate.
+	time.Sleep(2 * ttl)
+	proxy.SetMode(faultnet.Refuse)
+	masked := coord.Stats().CacheMasked
+	got, err = search()
+	if err != nil {
+		t.Fatalf("second outage was not masked: %v", err)
+	}
+	if coord.Stats().CacheMasked == masked {
+		t.Fatal("second outage did not use the masked path")
+	}
+	if len(got) != len(want.Entries)+1 {
+		t.Fatalf("masked answer after generation bump: %d entries, want %d (stale generation served?)",
+			len(got), len(want.Entries)+1)
+	}
+	found := false
+	for _, e := range got {
+		if strings.EqualFold(e.DN().String(), newDN) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("masked answer is missing the post-update entry %s", newDN)
+	}
+}
+
+// TestCoordinatorCacheDisabledByDefault: the zero config has no cache —
+// every repeat pays a round trip and stats stay zero.
+func TestCoordinatorCacheDisabledByDefault(t *testing.T) {
+	cl := newChaosCluster(t)
+	cl.assertCorrect(t, context.Background())
+	cl.assertCorrect(t, context.Background())
+	st := cl.coord.Stats()
+	if st.CacheHits != 0 || st.CacheMasked != 0 {
+		t.Errorf("cache activity without CacheBytes: %+v", st)
+	}
+	if got := cl.coord.client.Stats().Calls; got < 2 {
+		t.Errorf("uncached repeats made only %d remote calls", got)
+	}
+	var zero = cl.coord.CacheStats()
+	if zero.Entries != 0 || zero.MaxBytes != 0 {
+		t.Errorf("CacheStats on a disabled cache: %+v", zero)
+	}
+}

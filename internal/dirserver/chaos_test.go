@@ -59,6 +59,10 @@ func (cl *chaosCluster) shutdown() {
 const polQuery = "(ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
 
 func newChaosCluster(t *testing.T) *chaosCluster {
+	return newChaosClusterCfg(t, fastCoordConfig())
+}
+
+func newChaosClusterCfg(t *testing.T, cfg CoordinatorConfig) *chaosCluster {
 	t.Helper()
 	whole, upper, policies := splitPaperDirectory(t)
 	grace := ServerConfig{Grace: 100 * time.Millisecond}
@@ -92,7 +96,7 @@ func newChaosCluster(t *testing.T) *chaosCluster {
 
 	cl := &chaosCluster{
 		whole:    whole,
-		coord:    NewCoordinatorWith(upper, &reg, localSrv.Addr(), fastCoordConfig()),
+		coord:    NewCoordinatorWith(upper, &reg, localSrv.Addr(), cfg),
 		proxy:    proxy,
 		localSrv: localSrv,
 		priSrv:   priSrv,

@@ -152,30 +152,39 @@ func (cl *Client) Close() error {
 // that turns out to have died idle gets one free redial that does not
 // consume the retry budget.
 func (cl *Client) Call(ctx context.Context, addr, kind, queryText string) ([]*model.Entry, error) {
+	entries, _, err := cl.CallWithGen(ctx, addr, kind, queryText)
+	return entries, err
+}
+
+// CallWithGen is Call plus the server's store generation echoed in the
+// reply — the invalidation token for result caches layered above
+// (zero when talking to a server predating the gen field).
+func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string) ([]*model.Entry, int64, error) {
 	cl.calls.Add(1)
 	b, err := json.Marshal(request{Kind: kind, Query: queryText})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var lastErr error
 	freeRedial := true
 	for attempt := 0; ; {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		pc, reused, err := cl.get(ctx, addr)
 		if err == nil {
 			var entries []*model.Entry
-			entries, err = cl.roundTrip(ctx, pc, b)
+			var gen int64
+			entries, gen, err = cl.roundTrip(ctx, pc, b)
 			if err == nil {
 				cl.put(addr, pc)
-				return entries, nil
+				return entries, gen, nil
 			}
 			if errors.Is(err, ErrRemote) {
 				// A protocol-clean error reply: the stream is still
 				// framed correctly, so the connection stays pooled.
 				cl.put(addr, pc)
-				return nil, err
+				return nil, 0, err
 			}
 			_ = pc.c.Close()
 			if reused && freeRedial {
@@ -187,9 +196,9 @@ func (cl *Client) Call(ctx context.Context, addr, kind, queryText string) ([]*mo
 		}
 		if errors.Is(err, ErrClientClosed) || ctx.Err() != nil {
 			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
+				return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
 			}
-			return nil, err
+			return nil, 0, err
 		}
 		lastErr = err
 		attempt++
@@ -198,38 +207,39 @@ func (cl *Client) Call(ctx context.Context, addr, kind, queryText string) ([]*mo
 		}
 		cl.retries.Add(1)
 		if err := sleepCtx(ctx, cl.backoff(attempt)); err != nil {
-			return nil, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
+			return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
 		}
 	}
-	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnavailable, addr, cl.cfg.MaxRetries+1, lastErr)
+	return nil, 0, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnavailable, addr, cl.cfg.MaxRetries+1, lastErr)
 }
 
 // roundTrip runs one request/response exchange on pc under the
-// configured deadline (tightened by the context's, if earlier).
-func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*model.Entry, error) {
+// configured deadline (tightened by the context's, if earlier),
+// returning the decoded entries and the server's echoed generation.
+func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*model.Entry, int64, error) {
 	dl := time.Now().Add(cl.cfg.RequestTimeout)
 	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
 		dl = cdl
 	}
 	if err := pc.c.SetDeadline(dl); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Cancellation mid-read: expire the deadline immediately.
 	stop := context.AfterFunc(ctx, func() { _ = pc.c.SetDeadline(time.Now()) })
 	defer stop()
 
 	if _, err := pc.c.Write(append(req, '\n')); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var res response
 	if err := pc.dec.Decode(&res); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if res.Err != "" {
 		if derr := pc.c.SetDeadline(time.Time{}); derr != nil {
-			return nil, derr
+			return nil, 0, derr
 		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, res.Err)
+		return nil, 0, fmt.Errorf("%w: %s", ErrRemote, res.Err)
 	}
 	out := make([]*model.Entry, len(res.Entries))
 	for i, block := range res.Entries {
@@ -237,13 +247,13 @@ func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*m
 		if out[i], err = ldif.UnmarshalEntry(cl.schema, block); err != nil {
 			// Undecodable payload: treat as wire corruption (retryable),
 			// not a terminal remote answer.
-			return nil, fmt.Errorf("dirserver: garbled entry from server: %v", err)
+			return nil, 0, fmt.Errorf("dirserver: garbled entry from server: %v", err)
 		}
 	}
 	if err := pc.c.SetDeadline(time.Time{}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return out, nil
+	return out, res.Gen, nil
 }
 
 // get pops a pooled connection for addr or dials a fresh one.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/plist"
+	"repro/internal/qcache"
 	"repro/internal/query"
 )
 
@@ -114,9 +115,17 @@ type request struct {
 	Query string `json:"query"`
 }
 
-// response carries the sorted result entries as LDIF blocks.
+// response carries the sorted result entries as LDIF blocks, plus the
+// serving directory's store generation — the remote cache-invalidation
+// token: a coordinator caching this answer keys it by (address, atomic,
+// Gen), so any later reply echoing a different generation makes every
+// older cached answer from that server unreachable with one integer
+// compare. Gen is scoped to one server process; a replica that
+// restarts (fresh Directory, generation counter reset) must be treated
+// as a new cache peer.
 type response struct {
 	Entries []string `json:"entries"`
+	Gen     int64    `json:"gen,omitempty"`
 	Err     string   `json:"err,omitempty"`
 }
 
@@ -374,7 +383,7 @@ func (s *Server) serveOne(req request) response {
 	if err != nil {
 		return response{Err: err.Error()}
 	}
-	out := response{Entries: make([]string, len(res.Entries))}
+	out := response{Entries: make([]string, len(res.Entries)), Gen: s.dir.Generation()}
 	for i, e := range res.Entries {
 		out.Entries[i] = ldif.MarshalEntry(e)
 	}
@@ -387,6 +396,19 @@ func (s *Server) serveOne(req request) response {
 type CoordinatorConfig struct {
 	Client  ClientConfig
 	Breaker BreakerConfig
+	// CacheBytes enables the remote-result cache when positive: answers
+	// to remote atomics are kept within this byte budget, keyed by
+	// (replica address, the store generation echoed in its reply,
+	// canonical query text). A reply echoing a new generation makes
+	// every older answer from that replica unreachable at once.
+	CacheBytes int64
+	// CacheTTL bounds how long a cached answer is served in place of a
+	// round trip (default 1s when the cache is enabled). When every
+	// replica of a zone is unreachable, generation-current answers of
+	// any age are served instead — the cache masks the outage rather
+	// than letting a flaky network take recently answered queries down
+	// with it.
+	CacheTTL time.Duration
 }
 
 // CoordinatorStats is a concurrency-safe snapshot of a coordinator's
@@ -398,6 +420,8 @@ type CoordinatorStats struct {
 	Failovers     int64 // atomics that fell over to a later replica
 	BreakerTrips  int64 // breakers tripped open
 	BreakerSkips  int64 // replicas skipped because their breaker was open
+	CacheHits     int64 // remote atomics answered from the result cache
+	CacheMasked   int64 // unreachable zones masked by a cached answer
 }
 
 // Coordinator evaluates full query trees the Section 8.3 way: atomic
@@ -423,10 +447,21 @@ type Coordinator struct {
 
 	evalMu sync.Mutex // one pipeline evaluation at a time
 
+	// Remote-result cache (nil unless CoordinatorConfig.CacheBytes > 0).
+	// lastGen tracks the newest store generation each replica has echoed
+	// in a successful reply; cache keys embed it, so updating the map is
+	// the whole invalidation.
+	rcache   *qcache.Cache
+	cacheTTL time.Duration
+	genMu    sync.Mutex
+	lastGen  map[string]int64
+
 	remoteAtomics atomic.Int64
 	localAtomics  atomic.Int64
 	failovers     atomic.Int64
 	breakerSkips  atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMasked   atomic.Int64
 }
 
 // NewCoordinator wraps a local directory with default client and
@@ -448,6 +483,14 @@ func NewCoordinatorWith(dir *core.Directory, reg *Registry, selfAddr string, cfg
 		client:   NewClient(dir.Schema(), cfg.Client),
 		health:   newHealth(cfg.Breaker),
 	}
+	if cfg.CacheBytes > 0 {
+		c.rcache = qcache.New(cfg.CacheBytes)
+		c.cacheTTL = cfg.CacheTTL
+		if c.cacheTTL <= 0 {
+			c.cacheTTL = time.Second
+		}
+		c.lastGen = make(map[string]int64)
+	}
 	c.eng.SetResolver(c.resolveAtomic)
 	return c
 }
@@ -464,7 +507,18 @@ func (c *Coordinator) Stats() CoordinatorStats {
 		Failovers:     c.failovers.Load(),
 		BreakerTrips:  c.health.trips.Load(),
 		BreakerSkips:  c.breakerSkips.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMasked:   c.cacheMasked.Load(),
 	}
+}
+
+// CacheStats snapshots the remote-result cache's counters (the zero
+// Stats when the cache is disabled).
+func (c *Coordinator) CacheStats() qcache.Stats {
+	if c.rcache == nil {
+		return qcache.Stats{}
+	}
+	return c.rcache.Stats()
 }
 
 // RemoteAtomics reports how many atomic sub-queries were shipped to
@@ -488,6 +542,17 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 	}
 	c.remoteAtomics.Add(1)
 
+	var canon string
+	if c.rcache != nil {
+		canon = query.Canonical(q)
+		// Fresh path: a recent generation-current answer from any
+		// replica of the zone saves the round trip entirely.
+		if entries, ok := c.cacheLookup(addrs, canon, true); ok {
+			c.cacheHits.Add(1)
+			return c.materialize(entries)
+		}
+	}
+
 	// Health-aware footnote-4 failover: replicas whose breaker is open
 	// are skipped in favor of later ones; if every breaker is open the
 	// full list is tried anyway (a last resort beats failing fast on
@@ -509,9 +574,12 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 		if i > 0 {
 			c.failovers.Add(1)
 		}
-		entries, err := c.client.Call(ctx, addr, "atomic", q.String())
+		entries, gen, err := c.client.CallWithGen(ctx, addr, "atomic", q.String())
 		if err == nil {
 			c.health.success(addr)
+			if c.rcache != nil {
+				c.cacheStore(addr, gen, canon, entries)
+			}
 			return c.materialize(entries)
 		}
 		if errors.Is(err, ErrRemote) {
@@ -526,7 +594,72 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 			return nil, fmt.Errorf("dirserver: resolving %q: %w (last transport error: %v)", q.Base, cerr, err)
 		}
 	}
+	// The whole zone is unreachable. A cached answer whose generation is
+	// still current as far as this coordinator knows masks the outage —
+	// staleness is bounded by the generation protocol, not wall clock.
+	if c.rcache != nil {
+		if entries, ok := c.cacheLookup(addrs, canon, false); ok {
+			c.cacheMasked.Add(1)
+			return c.materialize(entries)
+		}
+	}
 	return nil, fmt.Errorf("%w: all servers for %q unreachable: %v", ErrUnavailable, q.Base, lastErr)
+}
+
+// cachedAnswer is one remembered remote reply: the decoded entries and
+// when they were stored (for the TTL-bounded fresh path).
+type cachedAnswer struct {
+	entries []*model.Entry
+	stored  time.Time
+}
+
+func remoteCacheKey(addr string, gen int64, canon string) string {
+	return fmt.Sprintf("%s|g%d|%s", addr, gen, canon)
+}
+
+// cacheLookup searches the zone's replicas for a cached answer to canon
+// at each replica's last observed generation. freshOnly restricts to
+// answers younger than the TTL (the round-trip-saving path); without it
+// any generation-current answer qualifies (the outage-masking path).
+func (c *Coordinator) cacheLookup(addrs []string, canon string, freshOnly bool) ([]*model.Entry, bool) {
+	for _, addr := range addrs {
+		c.genMu.Lock()
+		gen, ok := c.lastGen[addr]
+		c.genMu.Unlock()
+		if !ok {
+			continue
+		}
+		v, ok := c.rcache.Get(remoteCacheKey(addr, gen, canon))
+		if !ok {
+			continue
+		}
+		ans := v.(*cachedAnswer)
+		if freshOnly && time.Since(ans.stored) > c.cacheTTL {
+			continue
+		}
+		return ans.entries, true
+	}
+	return nil, false
+}
+
+// cacheStore remembers a successful reply and advances the replica's
+// observed generation; if gen moved, every answer cached under the old
+// generation stops matching immediately and ages out of the LRU.
+func (c *Coordinator) cacheStore(addr string, gen int64, canon string, entries []*model.Entry) {
+	c.genMu.Lock()
+	c.lastGen[addr] = gen
+	c.genMu.Unlock()
+	c.rcache.Put(remoteCacheKey(addr, gen, canon), &cachedAnswer{entries: entries, stored: time.Now()}, entriesCost(entries))
+}
+
+// entriesCost approximates an answer's resident bytes by its LDIF size
+// plus a fixed per-answer overhead.
+func entriesCost(entries []*model.Entry) int64 {
+	n := int64(64)
+	for _, e := range entries {
+		n += int64(len(ldif.MarshalEntry(e)))
+	}
+	return n
 }
 
 // materialize writes remote results to the local disk for the

@@ -1,0 +1,204 @@
+// Package qcache is a semantic query-result cache: a byte-budgeted LRU
+// map from canonical query keys to materialized results, with
+// single-flight deduplication so concurrent identical queries evaluate
+// once, and atomic hit/miss/evict statistics.
+//
+// The cache itself is value-agnostic — it stores `any` plus a caller-
+// supplied byte cost — and knows nothing about invalidation. Callers
+// achieve generation-based invalidation by embedding a monotonic
+// generation counter in the key (core.Directory's counter bumps on
+// every Update and snapshot restore; the distributed coordinator uses
+// the generation echoed in each server's wire reply): after a bump,
+// every stale entry simply stops matching — invalidation is one
+// integer compare, with no tracking of which entries changed — and the
+// unreachable entries age out of the LRU under the byte budget.
+//
+// The paper's workloads (Section 2: provisioning, QoS, topology) are
+// read-heavy and highly repetitive, which is what makes this the
+// dominant win for skewed traffic; see DESIGN.md §7.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      int64 // lookups served from the cache
+	Misses    int64 // lookups that fell through to evaluation
+	Inflight  int64 // lookups that joined an in-progress evaluation
+	Inserts   int64 // entries stored
+	Evictions int64 // entries evicted to respect the byte budget
+	Entries   int64 // resident entries
+	Bytes     int64 // resident bytes (as reported by callers)
+	MaxBytes  int64 // configured budget
+}
+
+// HitRate returns hits / (hits + misses), counting in-flight joins as
+// hits (no evaluation ran for them).
+func (s Stats) HitRate() float64 {
+	h := s.Hits + s.Inflight
+	if h+s.Misses == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s.Misses)
+}
+
+type entry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// call is one in-flight computation other callers can join.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a byte-budgeted LRU with single-flight computation. The
+// zero value is not usable; use New. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	items    map[string]*list.Element
+	flight   map[string]*call
+
+	hits, misses, inflight, inserts, evictions int64
+}
+
+// New creates a cache holding at most maxBytes of cached results
+// (as measured by the costs callers report). maxBytes <= 0 yields a
+// cache that stores nothing but still deduplicates in-flight work.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flight:   make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores val under key at the given byte cost, evicting least-
+// recently-used entries until the budget holds. A value whose cost
+// alone exceeds the budget is not stored.
+func (c *Cache) Put(key string, val any, cost int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, val, cost)
+}
+
+func (c *Cache) put(key string, val any, cost int64) {
+	if cost > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, cost: cost})
+		c.bytes += cost
+		c.inserts++
+	}
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		c.remove(el)
+		c.evictions++
+	}
+}
+
+func (c *Cache) remove(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.cost
+}
+
+// Do returns the cached value for key, or computes, stores, and
+// returns it. Concurrent Do calls for the same key evaluate once: the
+// first caller runs compute (which returns the value and its byte
+// cost) while the rest block and share its result. hit reports whether
+// the value came from the cache or an in-flight computation rather
+// than this caller's own compute. Errors are returned to every waiter
+// and never cached.
+func (c *Cache) Do(key string, compute func() (any, int64, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.flight[key]; ok {
+		c.inflight++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, true, cl.err
+	}
+	c.misses++
+	cl := &call{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.mu.Unlock()
+
+	var cost int64
+	cl.val, cost, cl.err = compute()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if cl.err == nil {
+		c.put(key, cl.val, cost)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, false, cl.err
+}
+
+// Clear drops every cached entry (in-flight computations are
+// unaffected and will re-insert when they finish).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Inflight:  c.inflight,
+		Inserts:   c.inserts,
+		Evictions: c.evictions,
+		Entries:   int64(c.ll.Len()),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,182 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", "A", 40)
+	c.Put("b", "B", 40)
+	if v, ok := c.Get("a"); !ok || v.(string) != "A" {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	// "a" is now most recently used; inserting "c" must evict "b".
+	c.Put("c", "C", 40)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction out of LRU order")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestByteBudget(t *testing.T) {
+	c := New(100)
+	c.Put("big", "x", 1000) // over budget: never stored
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("over-budget value was stored")
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprint(i), i, 30)
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("budget exceeded: %d bytes", st.Bytes)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+}
+
+func TestPutUpdateAdjustsBytes(t *testing.T) {
+	c := New(100)
+	c.Put("k", "v1", 10)
+	c.Put("k", "v2", 60)
+	st := c.Stats()
+	if st.Bytes != 60 || st.Entries != 1 {
+		t.Fatalf("stats after update = %+v", st)
+	}
+	if v, _ := c.Get("k"); v.(string) != "v2" {
+		t.Fatalf("k = %v", v)
+	}
+}
+
+func TestDoCachesAndDedupes(t *testing.T) {
+	c := New(1 << 20)
+	var computes atomic.Int64
+	compute := func() (any, int64, error) {
+		computes.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return "result", 6, nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("key", compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1 (single-flight)", got)
+	}
+	for i, v := range results {
+		if v.(string) != "result" {
+			t.Fatalf("worker %d got %v", i, v)
+		}
+	}
+	// A later Do is a plain cache hit.
+	v, hit, err := c.Do("key", compute)
+	if err != nil || !hit || v.(string) != "result" {
+		t.Fatalf("Do after fill = %v, %v, %v", v, hit, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatal("cache hit recomputed")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, hit, err := c.Do("k", func() (any, int64, error) {
+			calls++
+			return nil, 0, boom
+		})
+		if !errors.Is(err, boom) || hit {
+			t.Fatalf("iter %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("errors were cached: %d computes", calls)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", 1, 5)
+	c.Put("b", 2, 5)
+	c.Clear()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived Clear")
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after Clear = %+v", st)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", 1, 5)
+	c.Get("a")
+	c.Get("a")
+	c.Get("miss")
+	if hr := c.Stats().HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate = %f, want 2/3", hr)
+	}
+}
+
+// TestConcurrentMixedUse hammers every entry point from many
+// goroutines; run under -race.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprint((g + i) % 13)
+				switch i % 4 {
+				case 0:
+					c.Put(key, i, int64(10+i%50))
+				case 1:
+					c.Get(key)
+				case 2:
+					_, _, _ = c.Do(key, func() (any, int64, error) { return i, 20, nil })
+				default:
+					if i%50 == 0 {
+						c.Clear()
+					}
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 512 {
+		t.Fatalf("budget violated under concurrency: %+v", st)
+	}
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical renders q as a canonical cache key: semantically identical
+// queries produce byte-identical strings. Two normalizations compose:
+//
+//   - Parse-time normalization. Attribute names in DNs, filters and
+//     aggregate selections are lower-cased by the parser, and String()
+//     prints one canonical spacing, so whitespace and attribute-case
+//     variants of the same query text already collapse after a
+//     parse/print round trip.
+//
+//   - Commutative-operand sorting. Set intersection and union are
+//     commutative and associative (they are pure set operations on the
+//     operand answers, Section 4.1), so maximal chains of the same
+//     operator are flattened and their operands sorted by canonical
+//     string: (& A B), (& B A), and (& B (& A C)) all share a key with
+//     their reassociations. Difference is not commutative and keeps
+//     operand order.
+//
+// The result is not necessarily re-parseable (flattened chains print
+// n-ary); it is a key, not a query.
+func Canonical(q Query) string {
+	switch n := q.(type) {
+	case *Bool:
+		if n.Op == OpDiff {
+			return fmt.Sprintf("(- %s %s)", Canonical(n.Q1), Canonical(n.Q2))
+		}
+		var ops []string
+		flattenBool(n.Op, n, &ops)
+		sort.Strings(ops)
+		return "(" + n.Op.String() + " " + strings.Join(ops, " ") + ")"
+
+	case *Hier:
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%s %s %s", n.Op, Canonical(n.Q1), Canonical(n.Q2))
+		if n.Q3 != nil {
+			fmt.Fprintf(&b, " %s", Canonical(n.Q3))
+		}
+		if n.AggSel != nil {
+			fmt.Fprintf(&b, " %s", n.AggSel)
+		}
+		b.WriteByte(')')
+		return b.String()
+
+	case *SimpleAgg:
+		return fmt.Sprintf("(g %s %s)", Canonical(n.Q), n.AggSel)
+
+	case *EmbedRef:
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%s %s %s %s", n.Op, Canonical(n.Q1), Canonical(n.Q2), n.Attr)
+		if n.AggSel != nil {
+			fmt.Fprintf(&b, " %s", n.AggSel)
+		}
+		b.WriteByte(')')
+		return b.String()
+
+	case *Atomic:
+		// The base prints by its normalized reverse-DN key (attribute
+		// case folded, RDN sets ordered) — DN.String preserves input
+		// case, which must not split cache slots.
+		return fmt.Sprintf("(%s ? %s ? %s)", n.Base.Key(), n.Scope, n.Filter)
+
+	case *LDAP:
+		return fmt.Sprintf("(ldap %s ? %s ? %s)", n.Base.Key(), n.Scope, n.Filter)
+
+	default:
+		return q.String()
+	}
+}
+
+// flattenBool collects the operands of the maximal same-operator chain
+// rooted at q, in canonical form.
+func flattenBool(op BoolOp, q Query, out *[]string) {
+	if b, ok := q.(*Bool); ok && b.Op == op {
+		flattenBool(op, b.Q1, out)
+		flattenBool(op, b.Q2, out)
+		return
+	}
+	*out = append(*out, Canonical(q))
+}
+
+// CanonicalText parses text and returns its canonical key — the form
+// cache layers use on raw query strings.
+func CanonicalText(text string) (string, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return "", err
+	}
+	return Canonical(q), nil
+}

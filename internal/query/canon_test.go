@@ -1,0 +1,106 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func canon(t *testing.T, text string) string {
+	t.Helper()
+	key, err := CanonicalText(text)
+	if err != nil {
+		t.Fatalf("canonicalizing %q: %v", text, err)
+	}
+	return key
+}
+
+func TestCanonicalWhitespaceAndCase(t *testing.T) {
+	variants := []string{
+		"(dc=att, dc=com ? sub ? objectClass=QHP)",
+		"(dc=att,dc=com ? sub ? objectclass=QHP)",
+		"(  dc=att ,   dc=com   ?  SUB  ? objectClass=QHP )",
+		"(DC=att, DC=com ? Sub ? OBJECTCLASS=QHP)",
+	}
+	want := canon(t, variants[0])
+	for _, v := range variants[1:] {
+		if got := canon(t, v); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCanonicalCommutativeSorting(t *testing.T) {
+	a := "(dc=com ? sub ? tag=a)"
+	b := "(dc=com ? sub ? tag=b)"
+	c := "(dc=com ? sub ? tag=c)"
+	for _, op := range []string{"&", "|"} {
+		ab := canon(t, "("+op+" "+a+" "+b+")")
+		ba := canon(t, "("+op+" "+b+" "+a+")")
+		if ab != ba {
+			t.Errorf("%s not commutative: %q vs %q", op, ab, ba)
+		}
+		// Associative reassociations share a key too.
+		left := canon(t, "("+op+" ("+op+" "+a+" "+b+") "+c+")")
+		right := canon(t, "("+op+" "+a+" ("+op+" "+c+" "+b+"))")
+		if left != right {
+			t.Errorf("%s chain not flattened: %q vs %q", op, left, right)
+		}
+	}
+}
+
+func TestCanonicalDifferenceKeepsOrder(t *testing.T) {
+	a := "(dc=com ? sub ? tag=a)"
+	b := "(dc=com ? sub ? tag=b)"
+	if canon(t, "(- "+a+" "+b+")") == canon(t, "(- "+b+" "+a+")") {
+		t.Error("difference operands were commuted")
+	}
+}
+
+func TestCanonicalDistinguishesDifferentQueries(t *testing.T) {
+	pairs := [][2]string{
+		{"(dc=com ? sub ? tag=a)", "(dc=com ? sub ? tag=b)"},
+		{"(dc=com ? sub ? tag=a)", "(dc=com ? one ? tag=a)"},
+		{"(dc=com ? sub ? tag=a)", "(dc=att, dc=com ? sub ? tag=a)"},
+		{
+			"(d (dc=com ? sub ? tag=a) (dc=com ? sub ? tag=b))",
+			"(a (dc=com ? sub ? tag=a) (dc=com ? sub ? tag=b))",
+		},
+		{
+			"(g (dc=com ? sub ? tag=a) count(val) > 1)",
+			"(g (dc=com ? sub ? tag=a) count(val) > 2)",
+		},
+	}
+	for _, p := range pairs {
+		if canon(t, p[0]) == canon(t, p[1]) {
+			t.Errorf("distinct queries share a key: %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestCanonicalNestedOperators(t *testing.T) {
+	// Sorting applies below non-commutative operators too.
+	q1 := `(d (& (dc=com ? sub ? tag=a) (dc=com ? sub ? tag=b)) (dc=com ? sub ? val>=1) count($2) > 1)`
+	q2 := `(d (& (dc=com ? sub ? tag=b) (dc=com ? sub ? tag=a)) (dc=com ? sub ? val>=1) count($2) > 1)`
+	if canon(t, q1) != canon(t, q2) {
+		t.Errorf("nested commutative operands not sorted:\n%q\n%q", canon(t, q1), canon(t, q2))
+	}
+	// The embedded-reference form canonicalizes its operands as well.
+	r1 := `(vd (| (dc=com ? sub ? tag=a) (dc=com ? sub ? tag=b)) (dc=com ? sub ? val=1) ref)`
+	r2 := `(vd (| (dc=com ? sub ? tag=b) (dc=com ? sub ? tag=a)) (dc=com ? sub ? val=1) Ref)`
+	if canon(t, r1) != canon(t, r2) {
+		t.Errorf("embedref operands not canonical:\n%q\n%q", canon(t, r1), canon(t, r2))
+	}
+}
+
+func TestCanonicalIsDeterministic(t *testing.T) {
+	q := `(| (& (dc=com ? sub ? tag=c) (dc=com ? sub ? tag=a)) (dc=com ? sub ? val<3))`
+	first := canon(t, q)
+	for i := 0; i < 5; i++ {
+		if got := canon(t, q); got != first {
+			t.Fatalf("nondeterministic canonical form: %q vs %q", got, first)
+		}
+	}
+	if !strings.Contains(first, "|") {
+		t.Fatalf("canonical form lost the operator: %q", first)
+	}
+}
