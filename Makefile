@@ -18,6 +18,8 @@ test:
 
 # The concurrency-sensitive layers run under the race detector:
 # the distributed evaluation substrate (pooled client, breakers,
-# chaos failover) and the serialized-evaluation core.
+# chaos failover), the serialized-evaluation core, the shared-Disk
+# pager, and the metrics/tracing subsystem. CI additionally runs
+# `go test -race ./...` over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/

@@ -8,7 +8,8 @@
 //	dirbench            # full preset
 //	dirbench -quick     # CI-sized preset
 //	dirbench -only E10  # a single experiment
-//	dirbench -json      # machine-readable tables on stdout
+//	dirbench -json      # machine-readable tables (with latency percentiles) on stdout
+//	dirbench -ophist    # per-operator self-I/O and wall-time histograms
 package main
 
 import (
@@ -27,14 +28,17 @@ func main() {
 		quick  = flag.Bool("quick", false, "run the CI-sized preset")
 		only   = flag.String("only", "", "run a single experiment (e.g. E7, A2)")
 		asJSON = flag.Bool("json", false, "emit the tables as a JSON array on stdout")
+		ophist = flag.Bool("ophist", false, "also run the traced per-operator profile (self-I/O and wall-time histograms)")
 	)
 	flag.Parse()
 
 	preset := bench.Full
 	name := "full"
+	opN, opRounds := 4000, 20
 	if *quick {
 		preset = bench.Quick
 		name = "quick"
+		opN, opRounds = 1000, 5
 	}
 	if !*asJSON {
 		fmt.Printf("dirbench: preset %s, started %s\n\n", name, time.Now().Format(time.RFC3339))
@@ -45,7 +49,14 @@ func main() {
 		if *only != "" && !strings.EqualFold(spec.ID, *only) {
 			continue
 		}
-		t := spec.Run(preset)
+		t := bench.RunSpec(spec, preset)
+		if !*asJSON {
+			t.Fprint(os.Stdout)
+		}
+		tables = append(tables, t)
+	}
+	if *ophist {
+		t := bench.OperatorProfile(opN, opRounds)
 		if !*asJSON {
 			t.Fprint(os.Stdout)
 		}

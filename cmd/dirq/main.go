@@ -46,7 +46,7 @@ func main() {
 		cacheBytes  = flag.Int64("cache", 0, "enable the query-result cache with this byte budget (0 = off)")
 		optimize    = flag.Bool("optimize", false, "run the algebraic planner before evaluation")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
-		explain     = flag.Bool("explain", false, "print the query plan (language, rewrites, access paths) before evaluating")
+		explain     = flag.Bool("explain", false, "print the query plan, then evaluate with tracing on and print the per-operator span tree (wall time, cardinalities, page I/O)")
 		audit       = flag.String("audit", "", "audit the QoS policies of this domain DN for conflicts")
 		quiet       = flag.Bool("quiet", false, "print only the count and I/O statistics")
 		openSnap    = flag.String("open", "", "open a directory snapshot instead of generating/loading")
@@ -125,6 +125,8 @@ func main() {
 	}
 
 	switch {
+	case *queryStr != "" && *explain:
+		runTraced(dir, *queryStr, *quiet)
 	case *queryStr != "":
 		runQuery(dir, *queryStr, false, *quiet)
 	case *ldapStr != "":
@@ -184,6 +186,26 @@ func runRemote(addr string, timeout time.Duration, retries int, ldifPath, gen st
 	}
 	st := cl.Stats()
 	fmt.Printf("%d entries from %s in %v (retries: %d)\n", len(entries), addr, time.Since(start).Round(time.Millisecond), st.Retries)
+}
+
+// runTraced evaluates with the obs tracer attached and prints the
+// annotated span tree: one line per operator with input/output
+// cardinalities, self and subtree page I/O, and wall time.
+func runTraced(dir *core.Directory, text string, quiet bool) {
+	res, root, err := dir.SearchTraced(text)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		for _, e := range res.Entries {
+			fmt.Println(e)
+			fmt.Println()
+		}
+	}
+	fmt.Println("execution profile:")
+	root.Format(os.Stdout)
+	fmt.Printf("%d entries, I/O: %s (total %d page accesses)\n",
+		len(res.Entries), res.IO, res.IO.IO())
 }
 
 func runQuery(dir *core.Directory, text string, asLDAP, quiet bool) {

@@ -6,6 +6,13 @@
 //
 //	dirserve -ldif dir.ldif -addr 127.0.0.1:7001
 //	dirserve -gen tops -n 300 -addr 127.0.0.1:0
+//
+// With -admin an HTTP listener exposes Prometheus /metrics, a JSON
+// /statusz, and /debug/pprof; -slowlog emits one-line JSON for every
+// query crossing the -slow-ms or -slow-io threshold (and every failed
+// query):
+//
+//	dirserve -gen forest -n 2000 -admin 127.0.0.1:9090 -slowlog slow.jsonl -slow-ms 50
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/dirserver"
 	"repro/internal/ldif"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -27,6 +35,11 @@ var (
 	idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "close client connections idle longer than this (0 = never)")
 	writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
 	grace        = flag.Duration("grace", 5*time.Second, "drain in-flight connections this long on shutdown before force-closing")
+	adminAddr    = flag.String("admin", "", "HTTP admin listener address for /metrics, /statusz, /debug/pprof (off when empty)")
+	slowlogPath  = flag.String("slowlog", "", `slow-query log destination: a file path, or "stderr" (off when empty)`)
+	slowMs       = flag.Duration("slow-ms", 100*time.Millisecond, "log queries at least this slow (0 disables the latency threshold)")
+	slowIO       = flag.Int64("slow-io", 0, "log queries costing at least this many page I/Os (0 disables the I/O threshold)")
+	cacheBytes   = flag.Int64("cache", 0, "enable the served directory's query-result cache with this byte budget (0 = off)")
 )
 
 func main() {
@@ -45,7 +58,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err := core.OpenSnapshot(f, core.Options{})
+		dir, err := core.OpenSnapshot(f, core.Options{CacheBytes: *cacheBytes})
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -80,23 +93,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dir, err := core.Open(in, core.Options{})
+	dir, err := core.Open(in, core.Options{CacheBytes: *cacheBytes})
 	if err != nil {
 		fatal(err)
 	}
 	serve(dir, *addr)
 }
 
+// slowLog builds the slow-query log from the -slowlog/-slow-ms/-slow-io
+// flags (nil when disabled — the server treats a nil SlowLog as off).
+func slowLog() *obs.SlowLog {
+	if *slowlogPath == "" {
+		return nil
+	}
+	w := os.Stderr
+	if *slowlogPath != "stderr" {
+		f, err := os.OpenFile(*slowlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	return obs.NewSlowLog(w, *slowMs, *slowIO)
+}
+
 func serve(dir *core.Directory, addr string) {
+	reg := obs.NewRegistry()
+	dir.RegisterMetrics(reg)
 	srv, err := dirserver.ServeWith(dir, addr, dirserver.ServerConfig{
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		Grace:        *grace,
+		Metrics:      obs.NewQueryMetrics(reg, "dirkit_server"),
+		SlowLog:      slowLog(),
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("dirserve: %d entries on %s\n", dir.Count(), srv.Addr())
+
+	if *adminAddr != "" {
+		admin, err := obs.ServeAdmin(*adminAddr, reg, func() any {
+			return map[string]any{
+				"addr":       srv.Addr(),
+				"entries":    dir.Count(),
+				"generation": dir.Generation(),
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+		fmt.Printf("dirserve: admin on http://%s (/metrics, /statusz, /debug/pprof)\n", admin.Addr())
+	}
 
 	// SIGINT for interactive use, SIGTERM for process managers: both
 	// drain in-flight connections for up to -grace, then force-close.

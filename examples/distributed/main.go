@@ -3,20 +3,59 @@
 // servers; a query posed at one server ships each atomic sub-query to
 // the server owning its base DN, then combines the sorted results
 // locally. This example splits the paper's sample directory in two,
-// serves both halves over TCP, and runs federated queries.
+// serves both halves over TCP, runs federated queries, and scrapes the
+// coordinator's /statusz admin endpoint through the chaos sequence —
+// watching the breaker and cache counters move as replicas die.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dirserver"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// scrapeStatusz pulls the admin endpoint the way an operator (or a
+// collector) would — over HTTP, not via in-process method calls.
+func scrapeStatusz(addr string) (metrics map[string]any, status map[string]any) {
+	res, err := http.Get("http://" + addr + "/statusz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc struct {
+		Metrics map[string]any `json:"metrics"`
+		Status  map[string]any `json:"status"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	return doc.Metrics, doc.Status
+}
+
+// report prints one scraped snapshot: breaker states plus the
+// distributed-evaluation counters that moved during the chaos.
+func report(stage, adminAddr string) {
+	metrics, status := scrapeStatusz(adminAddr)
+	fmt.Printf("[%s] /statusz:\n", stage)
+	fmt.Printf("    breakers: primary=%v secondary=%v\n", status["breaker_primary"], status["breaker_secondary"])
+	for _, k := range []string{
+		"dirkit_coord_remote_atomics", "dirkit_coord_retries", "dirkit_coord_failovers",
+		"dirkit_coord_breaker_trips", "dirkit_coord_breaker_skips",
+		"dirkit_coord_cache_hits", "dirkit_coord_cache_masked",
+	} {
+		fmt.Printf("    %s = %v\n", k, metrics[k])
+	}
+	fmt.Println()
+}
 
 func main() {
 	full := workload.PaperInstance()
@@ -82,14 +121,38 @@ func main() {
 	// Pose federated queries at server A. The coordinator's pooled
 	// client enforces deadlines and retries transient failures; tight
 	// timeouts keep the failover demo below snappy.
+	// A short cache TTL keeps the fresh-hit path from hiding the
+	// failover below, while outage masking (which ignores the TTL)
+	// still works; Threshold 1 trips breakers on the first failure so
+	// the /statusz scrapes show the transitions immediately.
 	coord := dirserver.NewCoordinatorWith(upperDir, &reg, upperSrv.Addr(), dirserver.CoordinatorConfig{
 		Client: dirserver.ClientConfig{
 			DialTimeout:    500 * time.Millisecond,
 			RequestTimeout: time.Second,
 			MaxRetries:     1,
 		},
+		Breaker:    dirserver.BreakerConfig{Threshold: 1, Cooldown: 30 * time.Second},
+		CacheBytes: 1 << 20,
+		CacheTTL:   50 * time.Millisecond,
 	})
 	defer coord.Close()
+
+	// The observability surface: the coordinator's counters as
+	// pull-based gauges on an HTTP admin listener, with live breaker
+	// states in the /statusz status section.
+	obsReg := obs.NewRegistry()
+	coord.RegisterMetrics(obsReg, "dirkit_coord")
+	admin, err := obs.ServeAdmin("127.0.0.1:0", obsReg, func() any {
+		return map[string]any{
+			"breaker_primary":   coord.BreakerState(polSrv.Addr()),
+			"breaker_secondary": coord.BreakerState(polSrv2.Addr()),
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	fmt.Printf("admin endpoint: http://%s (/metrics, /statusz, /debug/pprof)\n\n", admin.Addr())
 	queries := []string{
 		// Entirely remote: policies live on server B.
 		`(g (ou=networkPolicies, dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
@@ -116,18 +179,36 @@ func main() {
 		fmt.Println()
 	}
 
+	report("healthy", admin.Addr())
+
 	// Footnote 4 in action: kill the primary policies server and pose
 	// the same federated query — the coordinator's failover serves it
-	// from the secondary replica.
+	// from the secondary replica, and the scraped breaker counters show
+	// the primary tripping open.
 	fmt.Println("killing the primary policies server...")
 	_ = polSrv.Close()
+	time.Sleep(60 * time.Millisecond) // let cached answers age past the TTL
 	entries, err := coord.Search(ctx, queries[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query after primary loss still answered (%d entries) via the secondary\n\n", len(entries))
+	report("primary down", admin.Addr())
+
+	// Kill the secondary too: the whole zone is unreachable, and the
+	// coordinator serves the generation-current cached answer instead —
+	// the cache masking the outage.
+	fmt.Println("killing the secondary policies server as well...")
+	_ = polSrv2.Close()
+	time.Sleep(60 * time.Millisecond)
+	entries, err = coord.Search(ctx, queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query with the whole zone down still answered (%d entries) from the result cache\n\n", len(entries))
+	report("zone down, cache-masked", admin.Addr())
 
 	st := coord.Stats()
-	fmt.Printf("remote atomics: %d  retries: %d  failovers: %d  breaker trips: %d\n",
-		st.RemoteAtomics, st.Retries, st.Failovers, st.BreakerTrips)
+	fmt.Printf("remote atomics: %d  retries: %d  failovers: %d  breaker trips: %d  cache hits: %d  cache masked: %d\n",
+		st.RemoteAtomics, st.Retries, st.Failovers, st.BreakerTrips, st.CacheHits, st.CacheMasked)
 }

@@ -11,10 +11,12 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/query"
@@ -30,6 +32,12 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Latency holds the distribution of per-evaluation wall times
+	// (microseconds) observed through MeasureIO while the experiment
+	// ran: count, sum, and p50/p95/p99. Populated by RunSpec; nil when
+	// the experiment was run directly or performed no measured
+	// evaluations.
+	Latency *obs.HistSnapshot `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -153,11 +161,21 @@ func (e *Env) Lists(atomics ...string) []*plist.List {
 	return out
 }
 
-// MeasureIO runs fn and returns the page I/O it performed.
+// latHist, when non-nil, collects the wall time of every MeasureIO
+// evaluation. RunSpec points it at a per-experiment histogram; the
+// experiments run one at a time, so a package variable suffices.
+var latHist *obs.Histogram
+
+// MeasureIO runs fn and returns the page I/O it performed, recording
+// fn's wall time in the current experiment's latency histogram.
 func (e *Env) MeasureIO(fn func() error) int64 {
 	before := e.Disk.Stats()
+	start := time.Now()
 	if err := fn(); err != nil {
 		panic(err)
+	}
+	if latHist != nil {
+		latHist.ObserveDuration(time.Since(start))
 	}
 	return e.Disk.Stats().Sub(before).IO()
 }

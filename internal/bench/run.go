@@ -1,6 +1,11 @@
 package bench
 
-import "io"
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
 
 // Preset selects experiment sizes.
 type Preset struct {
@@ -75,11 +80,30 @@ var Specs = []Spec{
 	{"A4", func(p Preset) *Table { return A4Planner(p.AppScale * 4) }},
 }
 
+// RunSpec runs one experiment with a latency histogram attached: every
+// MeasureIO evaluation's wall time is collected, and the p50/p95/p99
+// snapshot lands in the table (as a note for the text rendering, as
+// the Latency field for -json consumers).
+func RunSpec(s Spec, p Preset) *Table {
+	h := obs.NewHistogram(s.ID+"_latency_us", "per-evaluation wall time (microseconds)")
+	latHist = h
+	t := s.Run(p)
+	latHist = nil
+	if h.Count() > 0 {
+		snap := h.Snapshot()
+		t.Latency = &snap
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"latency over %d evaluations: p50 %.0fµs, p95 %.0fµs, p99 %.0fµs",
+			snap.Count, snap.P50, snap.P95, snap.P99))
+	}
+	return t
+}
+
 // All runs every experiment and ablation at the given preset.
 func All(p Preset) []*Table {
 	out := make([]*Table, len(Specs))
 	for i, s := range Specs {
-		out[i] = s.Run(p)
+		out[i] = RunSpec(s, p)
 	}
 	return out
 }

@@ -19,12 +19,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/planner"
 	"repro/internal/plist"
@@ -388,6 +390,64 @@ func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, int64, er
 		res.Entries[i] = r.Entry
 	}
 	return res, size, l.Free()
+}
+
+// SearchTraced evaluates a query with per-operator tracing: alongside
+// the materialized result it returns the span tree recording, for
+// every plan operator, its wall time, input/output cardinalities, and
+// exact pager.Stats delta (dirq -explain renders it; DESIGN.md §8).
+//
+// Two deliberate differences from Search: the result cache is
+// bypassed (a cache hit has no operator tree — tracing answers "what
+// would this query cost", so it always evaluates), and Result.IO
+// covers evaluation only, excluding the final result drain, so that
+// it equals the root span's IO exactly and the per-operator self
+// deltas sum to it — the conservation law TestTraceIOConservation
+// asserts.
+func (d *Directory) SearchTraced(text string) (*Result, *obs.Span, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := query.Validate(d.st.Schema(), q); err != nil {
+		return nil, nil, err
+	}
+	if d.opts.Optimize {
+		q = planner.Optimize(q, planner.Info{StrictForest: d.strict}).Query
+	}
+	disk := d.st.Disk()
+	tr := obs.NewTracer(disk)
+	ctx := obs.WithTracer(context.Background(), tr)
+	before := disk.Stats()
+	l, err := d.eng.EvalContext(ctx, q)
+	if err != nil {
+		return nil, tr.Root(), err
+	}
+	evalIO := disk.Stats().Sub(before)
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return nil, tr.Root(), err
+	}
+	res := &Result{IO: evalIO, Entries: make([]*model.Entry, len(recs))}
+	for i, r := range recs {
+		res.Entries[i] = r.Entry
+	}
+	return res, tr.Root(), l.Free()
+}
+
+// RegisterMetrics exposes the directory's state on reg as pull-based
+// gauges: entry count, store generation, live pages, and — when the
+// result cache is enabled — its hit/miss/byte counters. Metric names
+// are listed in DESIGN.md §8.
+func (d *Directory) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("dirkit_dir_entries", "entries in the directory", func() int64 { return int64(d.Count()) })
+	reg.GaugeFunc("dirkit_dir_generation", "store generation (bumps on every Update)", d.Generation)
+	reg.GaugeFunc("dirkit_dir_pages", "live pages on the simulated disk", func() int64 { return int64(d.Disk().NumPages()) })
+	if d.cache != nil {
+		d.cache.RegisterMetrics(reg, "dirkit_dir_cache")
+	}
 }
 
 // Language classifies a query string into the paper's hierarchy.

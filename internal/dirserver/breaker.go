@@ -52,9 +52,10 @@ type addrHealth struct {
 // health tracks breakers for every address the coordinator has talked
 // to. All methods are safe for concurrent use.
 type health struct {
-	cfg   BreakerConfig
-	now   func() time.Time // injectable clock for tests
-	trips atomic.Int64
+	cfg    BreakerConfig
+	now    func() time.Time // injectable clock for tests
+	trips  atomic.Int64
+	onTrip func() // optional trip hook, set before first use; called outside mu
 
 	mu sync.Mutex
 	m  map[string]*addrHealth
@@ -114,7 +115,6 @@ func (h *health) success(addr string) {
 // tripped the breaker open.
 func (h *health) failure(addr string) (tripped bool) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	a := h.get(addr)
 	a.failures++
 	switch a.state {
@@ -128,10 +128,14 @@ func (h *health) failure(addr string) (tripped bool) {
 			a.state = stateOpen
 			a.openedAt = h.now()
 			h.trips.Add(1)
-			return true
+			tripped = true
 		}
 	}
-	return false
+	h.mu.Unlock()
+	if tripped && h.onTrip != nil {
+		h.onTrip()
+	}
+	return tripped
 }
 
 // snapshot returns the state name of addr's breaker (for stats and

@@ -52,6 +52,10 @@ type ClientConfig struct {
 	// MaxIdlePerAddr caps pooled idle connections per address
 	// (default 4; negative disables pooling).
 	MaxIdlePerAddr int
+	// OnRetry, when non-nil, is invoked once per backoff retry, before
+	// the backoff sleep. The Coordinator uses it to fold client retries
+	// into its single mutex-guarded stats snapshot.
+	OnRetry func()
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -194,8 +198,8 @@ func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string)
 				continue
 			}
 		}
-		if errors.Is(err, ErrClientClosed) || ctx.Err() != nil {
-			if cerr := ctx.Err(); cerr != nil {
+		if errors.Is(err, ErrClientClosed) || ctxExpired(ctx) != nil {
+			if cerr := ctxExpired(ctx); cerr != nil {
 				return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
 			}
 			return nil, 0, err
@@ -206,6 +210,9 @@ func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string)
 			break
 		}
 		cl.retries.Add(1)
+		if cl.cfg.OnRetry != nil {
+			cl.cfg.OnRetry()
+		}
 		if err := sleepCtx(ctx, cl.backoff(attempt)); err != nil {
 			return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
 		}
@@ -302,6 +309,23 @@ func (cl *Client) backoff(n int) time.Duration {
 	f := 0.5 + 0.5*cl.rng.Float64()
 	cl.mu.Unlock()
 	return time.Duration(float64(d) * f)
+}
+
+// ctxExpired reports whether ctx is done — or, when it carries a
+// deadline, whether that deadline has passed on the wall clock even if
+// the context's own timer has not fired yet. A connection deadline
+// derived from the context expires at the same instant as the context,
+// and the resulting i/o timeout routinely races ahead of ctx.Err()
+// flipping non-nil; callers deciding "was this a deadline failure?"
+// must not lose that race.
+func ctxExpired(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"encoding/json"
@@ -33,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ldif"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/qcache"
@@ -151,6 +152,12 @@ type ServerConfig struct {
 	// first, so a single bad line never silently kills a pooled
 	// connection.
 	MaxBadRequests int
+	// Metrics, when non-nil, records every served request: count,
+	// latency, page I/O and result-cardinality histograms.
+	Metrics *obs.QueryMetrics
+	// SlowLog, when non-nil, emits one-line JSON for requests crossing
+	// its thresholds (and for every failed request).
+	SlowLog *obs.SlowLog
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -359,6 +366,7 @@ func isNetShutdown(err error) bool {
 }
 
 func (s *Server) serveOne(req request) response {
+	start := time.Now()
 	var res *core.Result
 	var err error
 	switch req.Kind {
@@ -379,6 +387,17 @@ func (s *Server) serveOne(req request) response {
 		res, err = s.dir.SearchLDAP(req.Query)
 	default:
 		err = fmt.Errorf("dirserver: unknown request kind %q", req.Kind)
+	}
+	if s.cfg.Metrics != nil || s.cfg.SlowLog != nil {
+		dur := time.Since(start)
+		var io int64
+		var entries int
+		if res != nil {
+			io = res.IO.IO()
+			entries = len(res.Entries)
+		}
+		s.cfg.Metrics.Observe(dur, io, int64(entries), err != nil)
+		s.cfg.SlowLog.Record(req.Kind, req.Query, dur, io, entries, err)
 	}
 	if err != nil {
 		return response{Err: err.Error()}
@@ -456,12 +475,22 @@ type Coordinator struct {
 	genMu    sync.Mutex
 	lastGen  map[string]int64
 
-	remoteAtomics atomic.Int64
-	localAtomics  atomic.Int64
-	failovers     atomic.Int64
-	breakerSkips  atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMasked   atomic.Int64
+	// statsMu guards stats — the single consistent read path for every
+	// distributed-evaluation counter. Client retries and breaker trips
+	// arrive here through the OnRetry/onTrip hooks, so one lock
+	// acquisition in Stats observes a mutually consistent snapshot
+	// (previously each field was a separate atomic read against live
+	// counters, and a snapshot could pair a retry with a trip it
+	// preceded).
+	statsMu sync.Mutex
+	stats   CoordinatorStats
+}
+
+// bump applies one counter mutation under the stats mutex.
+func (c *Coordinator) bump(f func(*CoordinatorStats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
 }
 
 // NewCoordinator wraps a local directory with default client and
@@ -480,9 +509,11 @@ func NewCoordinatorWith(dir *core.Directory, reg *Registry, selfAddr string, cfg
 		disk:     dir.Disk(),
 		reg:      reg,
 		selfAddr: selfAddr,
-		client:   NewClient(dir.Schema(), cfg.Client),
-		health:   newHealth(cfg.Breaker),
 	}
+	cfg.Client.OnRetry = func() { c.bump(func(s *CoordinatorStats) { s.Retries++ }) }
+	c.client = NewClient(dir.Schema(), cfg.Client)
+	c.health = newHealth(cfg.Breaker)
+	c.health.onTrip = func() { c.bump(func(s *CoordinatorStats) { s.BreakerTrips++ }) }
 	if cfg.CacheBytes > 0 {
 		c.rcache = qcache.New(cfg.CacheBytes)
 		c.cacheTTL = cfg.CacheTTL
@@ -498,17 +529,35 @@ func NewCoordinatorWith(dir *core.Directory, reg *Registry, selfAddr string, cfg
 // Close releases the coordinator's pooled connections.
 func (c *Coordinator) Close() error { return c.client.Close() }
 
-// Stats snapshots the coordinator's counters.
+// Stats snapshots the coordinator's counters in one mutex acquisition:
+// every field in the returned struct was observed at the same instant.
 func (c *Coordinator) Stats() CoordinatorStats {
-	return CoordinatorStats{
-		RemoteAtomics: c.remoteAtomics.Load(),
-		LocalAtomics:  c.localAtomics.Load(),
-		Retries:       c.client.retries.Load(),
-		Failovers:     c.failovers.Load(),
-		BreakerTrips:  c.health.trips.Load(),
-		BreakerSkips:  c.breakerSkips.Load(),
-		CacheHits:     c.cacheHits.Load(),
-		CacheMasked:   c.cacheMasked.Load(),
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// RegisterMetrics exposes the coordinator's counters (and, when the
+// remote-result cache is enabled, the cache's) as pull-based gauges
+// under the given name prefix, e.g. "dirkit_coord".
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry, prefix string) {
+	gauge := func(name, help string, f func(*CoordinatorStats) int64) {
+		reg.GaugeFunc(prefix+name, help, func() int64 {
+			c.statsMu.Lock()
+			defer c.statsMu.Unlock()
+			return f(&c.stats)
+		})
+	}
+	gauge("_remote_atomics", "atomic sub-queries shipped to other servers", func(s *CoordinatorStats) int64 { return s.RemoteAtomics })
+	gauge("_local_atomics", "delegated atomics that resolved locally", func(s *CoordinatorStats) int64 { return s.LocalAtomics })
+	gauge("_retries", "transport retries performed by the pooled client", func(s *CoordinatorStats) int64 { return s.Retries })
+	gauge("_failovers", "atomics that fell over to a later replica", func(s *CoordinatorStats) int64 { return s.Failovers })
+	gauge("_breaker_trips", "circuit breakers tripped open", func(s *CoordinatorStats) int64 { return s.BreakerTrips })
+	gauge("_breaker_skips", "replicas skipped on an open breaker", func(s *CoordinatorStats) int64 { return s.BreakerSkips })
+	gauge("_cache_hits", "remote atomics answered from the result cache", func(s *CoordinatorStats) int64 { return s.CacheHits })
+	gauge("_cache_masked", "unreachable zones masked by a cached answer", func(s *CoordinatorStats) int64 { return s.CacheMasked })
+	if c.rcache != nil {
+		c.rcache.RegisterMetrics(reg, prefix+"_rcache")
 	}
 }
 
@@ -523,24 +572,26 @@ func (c *Coordinator) CacheStats() qcache.Stats {
 
 // RemoteAtomics reports how many atomic sub-queries were shipped to
 // other servers since creation.
-func (c *Coordinator) RemoteAtomics() int { return int(c.remoteAtomics.Load()) }
+func (c *Coordinator) RemoteAtomics() int { return int(c.Stats().RemoteAtomics) }
 
 // BreakerState reports addr's breaker state ("closed", "open",
 // "half-open") for tools and tests.
 func (c *Coordinator) BreakerState(addr string) string { return c.health.snapshot(addr) }
 
 func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plist.List, error) {
+	tr := obs.FromContext(ctx) // nil (no-op) unless the caller traced
 	addrs, ok := c.reg.LookupAll(q.Base)
 	if !ok {
 		return c.eng.Store().Eval(q)
 	}
 	for _, a := range addrs {
 		if a == c.selfAddr {
-			c.localAtomics.Add(1)
+			c.bump(func(s *CoordinatorStats) { s.LocalAtomics++ })
+			tr.Annotate("resolve", "local")
 			return c.eng.Store().Eval(q)
 		}
 	}
-	c.remoteAtomics.Add(1)
+	c.bump(func(s *CoordinatorStats) { s.RemoteAtomics++ })
 
 	var canon string
 	if c.rcache != nil {
@@ -548,7 +599,8 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 		// Fresh path: a recent generation-current answer from any
 		// replica of the zone saves the round trip entirely.
 		if entries, ok := c.cacheLookup(addrs, canon, true); ok {
-			c.cacheHits.Add(1)
+			c.bump(func(s *CoordinatorStats) { s.CacheHits++ })
+			tr.Annotate("resolve", "cache")
 			return c.materialize(entries)
 		}
 	}
@@ -562,17 +614,18 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 		if c.health.allow(addr) {
 			candidates = append(candidates, addr)
 		} else {
-			c.breakerSkips.Add(1)
+			c.bump(func(s *CoordinatorStats) { s.BreakerSkips++ })
 		}
 	}
 	if len(candidates) == 0 {
 		candidates = addrs
 	}
 
+	retriesBefore := c.client.retries.Load()
 	var lastErr error
 	for i, addr := range candidates {
 		if i > 0 {
-			c.failovers.Add(1)
+			c.bump(func(s *CoordinatorStats) { s.Failovers++ })
 		}
 		entries, gen, err := c.client.CallWithGen(ctx, addr, "atomic", q.String())
 		if err == nil {
@@ -580,17 +633,19 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 			if c.rcache != nil {
 				c.cacheStore(addr, gen, canon, entries)
 			}
+			c.annotateRemote(tr, addr, i, retriesBefore)
 			return c.materialize(entries)
 		}
 		if errors.Is(err, ErrRemote) {
 			// The server answered with an error: it is healthy, and
 			// failing over will not change the outcome.
 			c.health.success(addr)
+			c.annotateRemote(tr, addr, i, retriesBefore)
 			return nil, err
 		}
 		c.health.failure(addr)
 		lastErr = err
-		if cerr := ctx.Err(); cerr != nil {
+		if cerr := ctxExpired(ctx); cerr != nil {
 			return nil, fmt.Errorf("dirserver: resolving %q: %w (last transport error: %v)", q.Base, cerr, err)
 		}
 	}
@@ -599,11 +654,28 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 	// staleness is bounded by the generation protocol, not wall clock.
 	if c.rcache != nil {
 		if entries, ok := c.cacheLookup(addrs, canon, false); ok {
-			c.cacheMasked.Add(1)
+			c.bump(func(s *CoordinatorStats) { s.CacheMasked++ })
+			tr.Annotate("resolve", "cache-stale")
 			return c.materialize(entries)
 		}
 	}
 	return nil, fmt.Errorf("%w: all servers for %q unreachable: %v", ErrUnavailable, q.Base, lastErr)
+}
+
+// annotateRemote tags the current span with where a remote atomic was
+// answered: the replica that replied, how many replicas were skipped
+// (failover depth), and how many transport retries the exchange cost.
+func (c *Coordinator) annotateRemote(tr *obs.Tracer, addr string, failover int, retriesBefore int64) {
+	if tr == nil {
+		return
+	}
+	tr.Annotate("replica", addr)
+	if failover > 0 {
+		tr.Annotate("failover", strconv.Itoa(failover))
+	}
+	if d := c.client.retries.Load() - retriesBefore; d > 0 {
+		tr.Annotate("retries", strconv.FormatInt(d, 10))
+	}
 }
 
 // cachedAnswer is one remembered remote reply: the decoded entries and

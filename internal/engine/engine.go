@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/extsort"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/query"
@@ -87,10 +88,72 @@ func (e *Engine) Eval(q query.Query) (*plist.List, error) {
 // resolver, so a distributed evaluation stops promptly when the caller
 // gives up (Section 8.3 queries must fail cleanly, never hang, when
 // remote servers are unreachable).
+//
+// When the context carries an obs.Tracer, every operator is wrapped in
+// a span recording its wall time, input/output cardinalities, and exact
+// pager.Stats delta — the per-operator cost breakdown the paper's
+// Section 9 tables report, measured live. Without a tracer the
+// instrumentation is a nil check per node.
 func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	sp := tr.Start(opName(q), opDetail(q))
+	if sp != nil && e.cfg.Naive {
+		sp.Tag("impl", "naive")
+	}
+	l, err := e.evalNode(ctx, sp, q)
+	if err != nil {
+		tr.Fail(sp, err)
+		return nil, err
+	}
+	tr.End(sp, l.Count())
+	return l, nil
+}
+
+// opName returns the span mnemonic for a query node — the paper's
+// operator names: atomic, ldap, the L0 set operators, p/c/a/d/ac/dc,
+// g, and vd/dv.
+func opName(q query.Query) string {
+	switch n := q.(type) {
+	case *query.Atomic:
+		return "atomic"
+	case *query.LDAP:
+		return "ldap"
+	case *query.Bool:
+		return n.Op.String()
+	case *query.Hier:
+		return n.Op.String()
+	case *query.SimpleAgg:
+		return "g"
+	case *query.EmbedRef:
+		return n.Op.String()
+	default:
+		return fmt.Sprintf("%T", q)
+	}
+}
+
+// opDetail returns the span detail: leaves carry their query text
+// (interior operators are identified by structure), embedded
+// references carry the join attribute.
+func opDetail(q query.Query) string {
+	switch n := q.(type) {
+	case *query.Atomic:
+		return n.String()
+	case *query.LDAP:
+		return n.String()
+	case *query.EmbedRef:
+		return n.Attr
+	default:
+		return ""
+	}
+}
+
+// evalNode dispatches one operator under an open span (sp may be nil).
+// Children recurse through EvalContext, so their spans nest under sp
+// and sp's I/O delta covers the whole subtree.
+func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*plist.List, error) {
 	switch n := q.(type) {
 	case *query.Atomic:
 		if e.resolver != nil {
@@ -111,6 +174,7 @@ func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, e
 			return nil, err
 		}
 		defer freeAll(l1, l2)
+		sp.SetIn(l1.Count(), l2.Count())
 		if e.cfg.Naive {
 			return e.NaiveBool(n.Op, l1, l2)
 		}
@@ -132,6 +196,11 @@ func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, e
 			}
 		}
 		defer freeAll(l1, l2, l3)
+		if l3 != nil {
+			sp.SetIn(l1.Count(), l2.Count(), l3.Count())
+		} else {
+			sp.SetIn(l1.Count(), l2.Count())
+		}
 		if e.cfg.Naive {
 			return e.NaiveHier(n.Op, l1, l2, l3, n.AggSel)
 		}
@@ -143,6 +212,7 @@ func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, e
 			return nil, err
 		}
 		defer freeAll(l1)
+		sp.SetIn(l1.Count())
 		return e.EvalSimpleAgg(l1, n.AggSel)
 
 	case *query.EmbedRef:
@@ -155,6 +225,7 @@ func (e *Engine) EvalContext(ctx context.Context, q query.Query) (*plist.List, e
 			return nil, err
 		}
 		defer freeAll(l1, l2)
+		sp.SetIn(l1.Count(), l2.Count())
 		if e.cfg.Naive {
 			return e.NaiveEmbedRef(n.Op, l1, l2, n.Attr, n.AggSel)
 		}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin is the HTTP admin listener: /metrics in Prometheus text
+// format, /statusz as JSON (registry snapshot plus a caller-supplied
+// status section), and the standard /debug/pprof handlers. It binds
+// its own listener so it can live on a loopback-only port next to the
+// query protocol's.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin listener on addr ("127.0.0.1:0" for an
+// ephemeral port). statusz, when non-nil, supplies the "status"
+// section of /statusz — breaker states, delegation zones, whatever the
+// embedding process knows that the registry does not.
+func ServeAdmin(addr string, reg *Registry, statusz func() any) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := map[string]any{
+			"ts":      time.Now().UTC().Format(time.RFC3339Nano),
+			"metrics": reg.Snapshot(),
+		}
+		if statusz != nil {
+			body["status"] = statusz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the admin listener's address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin listener.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "other help"); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+	g := r.Gauge("y", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.GaugeFunc("z", "help", func() int64 { return 42 })
+	if got := r.Snapshot()["z"]; got != int64(42) {
+		t.Fatalf("gauge func = %v, want 42", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering histogram over counter name")
+		}
+	}()
+	r.Histogram("m", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11}}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.bucket {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("h", "help")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	// 100 observations of value 10 ([8,16) bucket): every quantile must
+	// land inside the bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 8 || v > 16 {
+			t.Errorf("p%v = %v outside [8,16]", q*100, v)
+		}
+	}
+	if h.Count() != 100 || h.Sum() != 1000 {
+		t.Fatalf("count/sum = %d/%d, want 100/1000", h.Count(), h.Sum())
+	}
+	// A bimodal split: half at ~2, half at ~1000. The median must stay
+	// in the low mode, p99 in the high mode.
+	h2 := NewHistogram("h2", "help")
+	for i := 0; i < 50; i++ {
+		h2.Observe(2)
+		h2.Observe(1000)
+	}
+	if p50 := h2.Quantile(0.5); p50 > 16 {
+		t.Errorf("bimodal p50 = %v, want low mode", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 < 512 {
+		t.Errorf("bimodal p99 = %v, want high mode", p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("h", "help")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_reqs_total", "requests").Add(3)
+	r.Gauge("app_temp", "temperature").Set(-2)
+	h := r.Histogram("app_lat_us", "latency")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_reqs_total counter",
+		"app_reqs_total 3",
+		"# TYPE app_temp gauge",
+		"app_temp -2",
+		"# TYPE app_lat_us histogram",
+		`app_lat_us_bucket{le="0"} 1`,
+		`app_lat_us_bucket{le="3"} 2`,
+		`app_lat_us_bucket{le="+Inf"} 3`,
+		"app_lat_us_sum 103",
+		"app_lat_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative (non-decreasing).
+	last := int64(-1)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "app_lat_us_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q", line)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+}
+
+func TestQueryMetricsObserve(t *testing.T) {
+	r := NewRegistry()
+	m := NewQueryMetrics(r, "test")
+	m.Observe(2*time.Millisecond, 10, 4, false)
+	m.Observe(time.Millisecond, 5, 1, true)
+	if m.Queries.Value() != 2 || m.Errors.Value() != 1 {
+		t.Fatalf("queries/errors = %d/%d, want 2/1", m.Queries.Value(), m.Errors.Value())
+	}
+	if m.Latency.Count() != 1 {
+		t.Fatalf("latency count = %d, want 1 (errors are not timed)", m.Latency.Count())
+	}
+	var nilM *QueryMetrics
+	nilM.Observe(time.Millisecond, 1, 1, false) // must not panic
+}
+
+func TestSlowLog(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, w: &b}
+	sl := NewSlowLog(w, 5*time.Millisecond, 100)
+
+	if sl.Record("query", "(fast)", time.Millisecond, 10, 1, nil) {
+		t.Fatal("fast cheap query logged")
+	}
+	if !sl.Record("query", "(slow)", 10*time.Millisecond, 10, 1, nil) {
+		t.Fatal("slow query not logged")
+	}
+	if !sl.Record("query", "(io-heavy)", time.Millisecond, 500, 1, nil) {
+		t.Fatal("io-heavy query not logged")
+	}
+	if !sl.Record("query", "(broken)", time.Millisecond, 0, 0, fmt.Errorf("boom")) {
+		t.Fatal("failed query not logged")
+	}
+	var nilSL *SlowLog
+	if nilSL.Record("query", "x", time.Hour, 1e9, 0, nil) {
+		t.Fatal("nil slowlog reported a write")
+	}
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 3 {
+		t.Fatalf("got %d slowlog lines, want 3", len(lines))
+	}
+	var rec SlowRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("slowlog line is not JSON: %v", err)
+	}
+	if rec.Query != "(slow)" || rec.Ms < 9 {
+		t.Fatalf("unexpected first record: %+v", rec)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adm_reqs_total", "requests").Add(9)
+	a, err := ServeAdmin("127.0.0.1:0", r, func() any { return map[string]string{"state": "ok"} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + a.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "adm_reqs_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var status struct {
+		Metrics map[string]any    `json:"metrics"`
+		Status  map[string]string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(get("/statusz")), &status); err != nil {
+		t.Fatalf("/statusz is not JSON: %v", err)
+	}
+	if status.Status["state"] != "ok" {
+		t.Errorf("/statusz status section = %+v", status.Status)
+	}
+	if status.Metrics["adm_reqs_total"] != float64(9) {
+		t.Errorf("/statusz metrics section = %+v", status.Metrics)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+)
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in name order. Histograms emit
+// cumulative log₂ `le` buckets up to the largest non-empty one, then
+// +Inf, _sum and _count — exactly what a Prometheus scrape of
+// /metrics expects.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			m.metricName(), m.metricHelp(), m.metricName(), m.metricKind()); err != nil {
+			return err
+		}
+		switch v := m.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", v.name, v.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", v.name, v.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writePromHist(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, h *Histogram) error {
+	// Highest non-empty bucket bounds the emitted `le` series.
+	top := 0
+	counts := make([]int64, histBuckets)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		// Bucket i holds values < 2^i (bucket 0 holds only 0, upper
+		// bound 1 exclusive ⇒ le="0" would be wrong; use the exclusive
+		// bound minus nothing: le is inclusive in Prometheus, and every
+		// integer < 2^i is ≤ 2^i - 1.
+		le := strconv.FormatUint(1<<uint(i)-1, 10)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, le, cum); err != nil {
+			return err
+		}
+	}
+	total := h.count.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.name, h.Sum(), h.name, total); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Snapshot returns a JSON-friendly view of every registered metric:
+// counters and gauges as integers, histograms as HistSnapshot — the
+// payload /statusz serves.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		switch v := m.(type) {
+		case *Counter:
+			out[v.name] = v.Value()
+		case *Gauge:
+			out[v.name] = v.Value()
+		case *Histogram:
+			out[v.name] = v.Snapshot()
+		}
+	}
+	return out
+}
+
+// bucketFor reports the log₂ bucket index a value falls in (exported
+// for tests asserting bucket placement).
+func bucketFor(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bits.Len64(uint64(v))
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowRecord is one slow-query log line: everything an operator needs
+// to find the query again (kind + text), what it cost (wall time, page
+// I/O, result size), and what happened (error, if any). Serialized as
+// a single JSON object per line so the log is greppable and
+// machine-ingestable at once.
+type SlowRecord struct {
+	TS      string  `json:"ts"` // RFC3339Nano, UTC
+	Kind    string  `json:"kind"`
+	Query   string  `json:"query"`
+	Ms      float64 `json:"ms"`
+	IO      int64   `json:"io"`
+	Entries int     `json:"entries"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// SlowLog emits structured one-line JSON records for queries that
+// exceed a latency or page-I/O threshold. It is safe for concurrent
+// use; records are written atomically line-by-line.
+type SlowLog struct {
+	minLatency time.Duration
+	minIO      int64
+
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewSlowLog creates a slow-query log writing to w. A query is logged
+// when its latency reaches minLatency or its page I/O reaches minIO
+// (a zero threshold disables that dimension; both zero logs every
+// query — the firehose is occasionally what you want). Errors are
+// always logged: a failed query is slow in the way that matters.
+func NewSlowLog(w io.Writer, minLatency time.Duration, minIO int64) *SlowLog {
+	return &SlowLog{minLatency: minLatency, minIO: minIO, enc: json.NewEncoder(w)}
+}
+
+// Record logs the query if it crosses a threshold, reporting whether a
+// line was emitted.
+func (s *SlowLog) Record(kind, query string, d time.Duration, ioPages int64, entries int, err error) bool {
+	if s == nil {
+		return false
+	}
+	slow := err != nil ||
+		(s.minLatency > 0 && d >= s.minLatency) ||
+		(s.minIO > 0 && ioPages >= s.minIO) ||
+		(s.minLatency == 0 && s.minIO == 0)
+	if !slow {
+		return false
+	}
+	rec := SlowRecord{
+		TS:      time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:    kind,
+		Query:   query,
+		Ms:      float64(d.Microseconds()) / 1000,
+		IO:      ioPages,
+		Entries: entries,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(rec) == nil
+}

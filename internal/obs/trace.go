@@ -1,0 +1,277 @@
+// Package obs is the observability substrate of the repository: a
+// lightweight per-operator tracer, a dependency-free metrics registry
+// (counters, gauges, log₂-bucketed histograms), Prometheus-text and
+// JSON exposition, a structured slow-query log, and an HTTP admin
+// listener serving /metrics, /statusz and /debug/pprof.
+//
+// The paper's whole argument is an I/O cost model: Sections 8–9 prove
+// per-operator page-I/O bounds and validate them experimentally. The
+// tracer makes those bounds observable on live queries — every plan
+// operator yields a span carrying its wall time, input/output list
+// cardinalities, and the exact pager.Stats delta it performed — so a
+// query's span tree is the paper's cost tables, live. The metrics
+// registry aggregates what the Coordinator, circuit breakers, query
+// caches, and servers previously counted ad hoc; see DESIGN.md §8.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/pager"
+)
+
+// Tag is one key=value annotation on a span (replica address, retry
+// count, cache outcome, ...). An ordered slice, not a map: spans carry
+// few tags and render deterministically.
+type Tag struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span records the evaluation of one plan operator. IO and Dur cover
+// the whole subtree (children included); Self* subtract the children,
+// so summing Self I/O over a tree reproduces the root's total exactly —
+// the conservation law the tracer tests assert against Disk.Stats().
+type Span struct {
+	Op       string        `json:"op"`               // operator mnemonic: atomic, ldap, &, |, -, p, c, a, d, ac, dc, g, vd, dv
+	Detail   string        `json:"detail,omitempty"` // e.g. the atomic query text
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur"`
+	In       []int64       `json:"in,omitempty"` // input list cardinalities
+	Out      int64         `json:"out"`          // output list cardinality
+	IO       pager.Stats   `json:"io"`           // page I/O of the whole span, children included
+	Err      string        `json:"err,omitempty"`
+	Tags     []Tag         `json:"tags,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+
+	startIO pager.Stats // disk counters at Start (tracer-internal)
+}
+
+// SetIn records the operator's input cardinalities (nil-safe).
+func (s *Span) SetIn(in ...int64) {
+	if s == nil {
+		return
+	}
+	s.In = in
+}
+
+// Tag appends an annotation (nil-safe).
+func (s *Span) Tag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Tags = append(s.Tags, Tag{Key: key, Value: value})
+}
+
+// TagValue returns the value of the first tag with the given key.
+func (s *Span) TagValue(key string) (string, bool) {
+	for _, t := range s.Tags {
+		if t.Key == key {
+			return t.Value, true
+		}
+	}
+	return "", false
+}
+
+// SelfIO returns the span's own page I/O: its total minus its
+// children's totals. Summed over every span of a tree this equals the
+// root's IO exactly (each page access is attributed to exactly one
+// span).
+func (s *Span) SelfIO() pager.Stats {
+	io := s.IO
+	for _, c := range s.Children {
+		io = io.Sub(c.IO)
+	}
+	return io
+}
+
+// SelfDur returns the span's own wall time, children subtracted
+// (clamped at zero: timers are not as exact as I/O counters).
+func (s *Span) SelfDur() time.Duration {
+	d := s.Dur
+	for _, c := range s.Children {
+		d -= c.Dur
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Walk visits the span and every descendant, parents first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Format renders the span tree as an indented table: one line per
+// operator with cardinalities, self and total I/O, and wall time —
+// the per-operator cost breakdown of the paper's Section 9 tables,
+// measured on this one query.
+func (s *Span) Format(w io.Writer) {
+	fmt.Fprintln(w, "span tree (per operator: in -> out cardinalities, self/total page I/O, wall time):")
+	s.format(w, 0)
+	fmt.Fprintf(w, "total: %d page accesses (%s) in %s\n", s.IO.IO(), s.IO, fmtDur(s.Dur))
+}
+
+func (s *Span) format(w io.Writer, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := s.Op
+	if s.Detail != "" {
+		label += " " + s.Detail
+	}
+	in := ""
+	if len(s.In) > 0 {
+		parts := make([]string, len(s.In))
+		for i, n := range s.In {
+			parts[i] = fmt.Sprint(n)
+		}
+		in = strings.Join(parts, ",") + " -> "
+	}
+	self := s.SelfIO()
+	fmt.Fprintf(w, "%s%-*s  %s%d rec  self=%dr+%dw  total=%d io  %s",
+		indent, 46-2*depth, label, in, s.Out, self.Reads, self.Writes, s.IO.IO(), fmtDur(s.Dur))
+	for _, t := range s.Tags {
+		fmt.Fprintf(w, "  %s=%s", t.Key, t.Value)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(w, "  err=%q", s.Err)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		c.format(w, depth+1)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// Tracer builds a span tree while an engine evaluates a query. It is
+// carried in the context (WithTracer / FromContext); a nil *Tracer is a
+// valid no-op receiver for every method, so instrumented code pays one
+// nil check — no allocation, no lock — when tracing is off.
+//
+// A tracer is single-goroutine, like the evaluation it observes:
+// core.Directory and dirserver.Coordinator serialize pipeline
+// evaluation, which is also what makes the recorded pager.Stats deltas
+// exact (see the ownership rule on pager.Stats).
+type Tracer struct {
+	disk  *pager.Disk
+	stack []*Span
+	roots []*Span
+}
+
+// NewTracer creates a tracer recording page-I/O deltas from disk.
+func NewTracer(disk *pager.Disk) *Tracer {
+	return &Tracer{disk: disk}
+}
+
+// Start opens a span as a child of the currently open span (nil-safe).
+func (t *Tracer) Start(op, detail string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Op: op, Detail: detail, Start: time.Now(), startIO: t.disk.Stats()}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.Children = append(parent.Children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// End closes the span, recording its duration, output cardinality, and
+// page-I/O delta (nil-safe).
+func (t *Tracer) End(sp *Span, out int64) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.Out = out
+	t.close(sp)
+}
+
+// Fail closes the span with an error (nil-safe). The I/O performed up
+// to the failure is still recorded.
+func (t *Tracer) Fail(sp *Span, err error) {
+	if t == nil || sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	t.close(sp)
+}
+
+func (t *Tracer) close(sp *Span) {
+	sp.Dur = time.Since(sp.Start)
+	sp.IO = t.disk.Stats().Sub(sp.startIO)
+	// Pop back to sp; a mismatched End (a span closed twice, or out of
+	// order) pops conservatively rather than corrupting ancestors.
+	for n := len(t.stack); n > 0; n-- {
+		if t.stack[n-1] == sp {
+			t.stack = t.stack[:n-1]
+			return
+		}
+	}
+}
+
+// Annotate tags the innermost open span (nil-safe). Resolvers deep in
+// the call chain — the distributed coordinator, most importantly — use
+// this to stamp the current atomic's span with replica address, retry
+// count, and cache outcome without threading the span through.
+func (t *Tracer) Annotate(key, value string) {
+	if t == nil || len(t.stack) == 0 {
+		return
+	}
+	t.stack[len(t.stack)-1].Tag(key, value)
+}
+
+// Root returns the first completed top-level span (nil if none).
+func (t *Tracer) Root() *Span {
+	if t == nil || len(t.roots) == 0 {
+		return nil
+	}
+	return t.roots[0]
+}
+
+// Roots returns every top-level span recorded by the tracer.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.roots
+}
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying the tracer; the engine picks it
+// up at every operator.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext returns the context's tracer, or nil — and nil is a
+// valid no-op tracer, so callers never need to branch.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// scribble performs n single-page write+read round trips, i.e. 2n
+// counted I/Os plus n allocs.
+func scribble(t *testing.T, d *pager.Disk, n int) {
+	t.Helper()
+	buf := make([]byte, d.PageSize())
+	for i := 0; i < n; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTracerSpanTreeAndSelfIO(t *testing.T) {
+	d := pager.NewDisk(512)
+	tr := NewTracer(d)
+
+	root := tr.Start("&", "")
+	scribble(t, d, 1) // root's own work before children
+	c1 := tr.Start("atomic", "(a)")
+	scribble(t, d, 3)
+	tr.End(c1, 30)
+	c2 := tr.Start("atomic", "(b)")
+	scribble(t, d, 5)
+	tr.End(c2, 50)
+	root.SetIn(30, 50)
+	scribble(t, d, 2) // root's merge work
+	tr.End(root, 7)
+
+	got := tr.Root()
+	if got != root {
+		t.Fatal("Root() is not the started root span")
+	}
+	if len(root.Children) != 2 || root.Children[0] != c1 || root.Children[1] != c2 {
+		t.Fatalf("children mis-nested: %+v", root.Children)
+	}
+	if root.Out != 7 || c1.Out != 30 {
+		t.Fatalf("out cardinalities lost: root=%d c1=%d", root.Out, c1.Out)
+	}
+	if got := root.IO.IO(); got != 22 { // 2*(1+3+5+2)
+		t.Fatalf("root total IO = %d, want 22", got)
+	}
+	if got := root.SelfIO().IO(); got != 6 { // 2*(1+2)
+		t.Fatalf("root self IO = %d, want 6", got)
+	}
+	// Conservation: self I/O summed over the tree equals the root total.
+	var sum pager.Stats
+	root.Walk(func(s *Span) { sum = sum.Add(s.SelfIO()) })
+	if sum != root.IO {
+		t.Fatalf("self IO sum %v != root IO %v", sum, root.IO)
+	}
+
+	var b strings.Builder
+	root.Format(&b)
+	out := b.String()
+	for _, want := range []string{"atomic (a)", "atomic (b)", "30,50 -> 7 rec", "total: 22 page accesses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerAnnotateAndFail(t *testing.T) {
+	d := pager.NewDisk(512)
+	tr := NewTracer(d)
+	sp := tr.Start("atomic", "(x)")
+	tr.Annotate("replica", "10.0.0.1:7001")
+	tr.Fail(sp, errors.New("boom"))
+	if v, ok := sp.TagValue("replica"); !ok || v != "10.0.0.1:7001" {
+		t.Fatalf("annotation lost: %v %v", v, ok)
+	}
+	if sp.Err != "boom" {
+		t.Fatalf("Err = %q, want boom", sp.Err)
+	}
+	if len(tr.Roots()) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tr.Roots()))
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.SetIn(1, 2)
+	sp.Tag("k", "v")
+	tr.Annotate("k", "v")
+	tr.End(sp, 3)
+	tr.Fail(sp, errors.New("x"))
+	if tr.Root() != nil || tr.Roots() != nil {
+		t.Fatal("nil tracer has roots")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context has a tracer")
+	}
+	tr := NewTracer(pager.NewDisk(0))
+	ctx := WithTracer(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("tracer not carried through context")
+	}
+}
+
+func TestMismatchedEndPopsConservatively(t *testing.T) {
+	d := pager.NewDisk(512)
+	tr := NewTracer(d)
+	a := tr.Start("a", "")
+	b := tr.Start("b", "")
+	tr.End(a, 0) // out of order: closes a, popping b's frame too
+	tr.End(b, 0) // already off the stack: must not panic or corrupt
+	next := tr.Start("c", "")
+	tr.End(next, 0)
+	if len(tr.Roots()) != 2 {
+		t.Fatalf("roots = %d, want 2 (a and c)", len(tr.Roots()))
+	}
+}

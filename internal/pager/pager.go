@@ -26,6 +26,18 @@ const DefaultPageSize = 4096
 
 // Stats counts page-level I/O. The evaluation algorithms' complexity
 // claims are verified against these counters.
+//
+// Ownership rule for delta accounting: the counters themselves are
+// exact under concurrency (every operation increments under the Disk
+// mutex — no updates are ever lost), but a windowed delta
+// (Stats-before subtracted from Stats-after) attributes I/O to the
+// measurer only if nothing else touches the Disk during the window.
+// Readers that share a Disk see each other's page accesses in their
+// deltas. Every per-query delta in this repository is therefore taken
+// under serialized evaluation — core.Directory's mutex, the
+// Coordinator's evalMu — and the obs tracer documents the same
+// requirement. TestStatsDeltaOwnership asserts both halves of the
+// rule.
 type Stats struct {
 	Reads  int64 // pages read
 	Writes int64 // pages written

@@ -1,0 +1,21 @@
+package qcache
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the cache's counters on reg as pull-based
+// gauges under the given name prefix (e.g. "dirkit_dir_cache"). The
+// cache keeps its own counters; the registry reads them at scrape
+// time, so there is no double bookkeeping and no new write path.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	stat := func(pick func(Stats) int64) func() int64 {
+		return func() int64 { return pick(c.Stats()) }
+	}
+	reg.GaugeFunc(prefix+"_hits", "cache lookups served from the cache", stat(func(s Stats) int64 { return s.Hits }))
+	reg.GaugeFunc(prefix+"_misses", "cache lookups that fell through to evaluation", stat(func(s Stats) int64 { return s.Misses }))
+	reg.GaugeFunc(prefix+"_inflight_joins", "lookups that joined an in-progress evaluation", stat(func(s Stats) int64 { return s.Inflight }))
+	reg.GaugeFunc(prefix+"_inserts", "entries stored", stat(func(s Stats) int64 { return s.Inserts }))
+	reg.GaugeFunc(prefix+"_evictions", "entries evicted to respect the byte budget", stat(func(s Stats) int64 { return s.Evictions }))
+	reg.GaugeFunc(prefix+"_entries", "resident entries", stat(func(s Stats) int64 { return s.Entries }))
+	reg.GaugeFunc(prefix+"_bytes", "resident bytes", stat(func(s Stats) int64 { return s.Bytes }))
+	reg.GaugeFunc(prefix+"_max_bytes", "configured byte budget", stat(func(s Stats) int64 { return s.MaxBytes }))
+}
