@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race docs
 
-check: vet build test race
+check: vet build test race docs
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,13 @@ test:
 # The concurrency-sensitive layers run under the race detector:
 # the distributed evaluation substrate (pooled client, breakers,
 # chaos failover), the serialized-evaluation core, the shared-Disk
-# pager, and the metrics/tracing subsystem. CI additionally runs
+# pager, the parallel engine and external sorter, and the
+# metrics/tracing subsystem. CI additionally runs
 # `go test -race ./...` over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/
+
+# Documentation gate: intra-repo markdown links must resolve, and the
+# packages docslint lists must document every exported identifier.
+docs:
+	$(GO) run ./tools/docslint

@@ -28,6 +28,7 @@ import (
 	"repro/internal/apps/qos"
 	"repro/internal/core"
 	"repro/internal/dirserver"
+	"repro/internal/engine"
 	"repro/internal/ldif"
 	"repro/internal/model"
 	"repro/internal/query"
@@ -54,8 +55,10 @@ func main() {
 		server      = flag.String("server", "", "evaluate at this remote dirserve address instead of locally (-gen/-ldif still select the schema)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request deadline for -server calls")
 		retries     = flag.Int("retries", 2, "transient-failure retries for -server calls")
+		workers     = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
 	)
 	flag.Parse()
+	opts := core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
 
 	if *server != "" {
 		runRemote(*server, *timeout, *retries, *ldifPath, *gen, *n, *seed, *queryStr, *ldapStr)
@@ -68,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err = core.OpenSnapshot(f, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes})
+		dir, err = core.OpenSnapshot(f, opts)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -78,7 +81,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err = core.Open(in, core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes})
+		dir, err = core.Open(in, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dirserver"
+	"repro/internal/engine"
 	"repro/internal/ldif"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -40,7 +41,13 @@ var (
 	slowMs       = flag.Duration("slow-ms", 100*time.Millisecond, "log queries at least this slow (0 disables the latency threshold)")
 	slowIO       = flag.Int64("slow-io", 0, "log queries costing at least this many page I/Os (0 disables the I/O threshold)")
 	cacheBytes   = flag.Int64("cache", 0, "enable the served directory's query-result cache with this byte budget (0 = off)")
+	workers      = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
 )
+
+// options assembles the served directory's core.Options from the flags.
+func options() core.Options {
+	return core.Options{CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
+}
 
 func main() {
 	var (
@@ -58,7 +65,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir, err := core.OpenSnapshot(f, core.Options{CacheBytes: *cacheBytes})
+		dir, err := core.OpenSnapshot(f, options())
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -93,7 +100,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dir, err := core.Open(in, core.Options{CacheBytes: *cacheBytes})
+	dir, err := core.Open(in, options())
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ldif"
+	"repro/internal/workload"
+)
+
+// E19 measures intra-query parallelism (DESIGN.md §9): wide L0 queries
+// — eight independent atomic subtrees joined by the boolean operators —
+// run against identically seeded directories whose engines differ only
+// in Workers, and the table reports wall clock, speedup over the serial
+// engine, and total page I/O per worker count. The experiment also
+// asserts the §9 determinism claim: every worker count must produce
+// byte-identical results (the run panics otherwise, and the table
+// records the shared result hash).
+//
+// Wall-clock speedup requires hardware parallelism; the GOMAXPROCS note
+// records how many CPUs the run actually had. On a single-CPU host the
+// speedup column stays near 1.0 by construction.
+
+// wideQuery builds the i-th eight-leaf query: atomics over the random
+// forest's vocabulary, paired into four independent subtrees, joined by
+// a rotating mix of |, & and d so every boolean operator participates.
+func wideQuery(i int) string {
+	leaf := func(j int) string {
+		k := i + 3*j
+		if k%2 == 0 {
+			return fmt.Sprintf("( ? sub ? tag=%c)", 'a'+k%3)
+		}
+		return fmt.Sprintf("( ? sub ? val>=%d)", k%8)
+	}
+	ops := []string{"|", "&", "d"}
+	pair := func(n int, a, b string) string {
+		return fmt.Sprintf("(%s %s %s)", ops[(i+n)%len(ops)], a, b)
+	}
+	p0 := pair(0, leaf(0), leaf(1))
+	p1 := pair(1, leaf(2), leaf(3))
+	p2 := pair(2, leaf(4), leaf(5))
+	p3 := pair(3, leaf(6), leaf(7))
+	// The top join is always | so no subtree can annul the others and
+	// every row hashes a non-trivial result.
+	return fmt.Sprintf("(| (| %s %s) (| %s %s))", p0, p1, p2, p3)
+}
+
+// runParallelWorkload replays the query stream and returns the total
+// page I/O, wall time, and an order-sensitive FNV hash of every result
+// entry (the byte-identity witness).
+func runParallelWorkload(d *core.Directory, queries []string, reps int) (io int64, elapsed time.Duration, hash uint64) {
+	h := fnv.New64a()
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, q := range queries {
+			res, err := d.Search(q)
+			if err != nil {
+				panic(err)
+			}
+			io += res.IO.IO()
+			for _, e := range res.Entries {
+				h.Write([]byte(ldif.MarshalEntry(e)))
+				h.Write([]byte{0})
+			}
+		}
+	}
+	return io, time.Since(start), h.Sum64()
+}
+
+// E19Parallel runs the wide-query stream at Workers ∈ {1, 2, 4, 8} over
+// a forest of n entries, ops total evaluations. Zero arguments select
+// defaults, so presets predating the experiment keep working.
+func E19Parallel(n, ops int) *Table {
+	if n <= 0 {
+		n = 2000
+	}
+	if ops <= 0 {
+		ops = 200
+	}
+	const nQueries = 8
+	queries := make([]string, nQueries)
+	for i := range queries {
+		queries[i] = wideQuery(i)
+	}
+	reps := ops / nQueries
+	if reps < 1 {
+		reps = 1
+	}
+
+	t := &Table{
+		ID:     "E19",
+		Title:  "intra-query parallelism: speedup vs workers",
+		Claim:  "DESIGN.md §9: independent subtrees evaluate concurrently; results identical at any worker count",
+		Header: []string{"workers", "queries", "page I/O", "wall ms", "speedup", "result hash"},
+	}
+	var base time.Duration
+	var baseHash uint64
+	for _, w := range []int{1, 2, 4, 8} {
+		in := workload.RandomForest(workload.ForestConfig{N: n, Seed: 11})
+		d, err := core.Open(in, core.Options{Engine: engine.Config{Workers: w}})
+		if err != nil {
+			panic(err)
+		}
+		io, dur, hash := runParallelWorkload(d, queries, reps)
+		if w == 1 {
+			base, baseHash = dur, hash
+		} else if hash != baseHash {
+			panic(fmt.Sprintf("bench: E19 results diverge at Workers=%d (hash %x != %x)", w, hash, baseHash))
+		}
+		t.AddRow(w, reps*nQueries, io, fmt.Sprintf("%.1f", float64(dur.Microseconds())/1e3),
+			fmt.Sprintf("%.2fx", float64(base)/float64(max(dur, 1))),
+			fmt.Sprintf("%016x", hash))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d distinct 8-leaf queries × %d reps, forest n=%d seed 11; results byte-identical across worker counts", nQueries, reps, n),
+		fmt.Sprintf("GOMAXPROCS=%d — wall-clock speedup requires hardware parallelism", runtime.GOMAXPROCS(0)),
+	)
+	return t
+}

@@ -451,10 +451,16 @@ type CoordinatorStats struct {
 // unhealthy replicas.
 //
 // Like core.Directory, one coordinator serializes pipeline evaluation
-// internally (the engine mutates shared scratch state), so Search is
-// safe to call from many goroutines. A coordinator wraps the
-// directory's engine as built; directories mutated with Update need a
-// fresh coordinator.
+// internally — queries run one at a time so each windowed I/O delta
+// belongs to one query (the pager ownership rule) — so Search is safe
+// to call from many goroutines. Within one query, an engine built with
+// Workers > 1 evaluates independent subtrees concurrently, and their
+// atomic sub-queries fan out to replicas in parallel through this
+// coordinator's resolver: the pooled client, breakers, result cache,
+// and stats all carry their own synchronization, so concurrent resolver
+// calls compose with the existing deadline and failover machinery
+// unchanged (DESIGN.md §9). A coordinator wraps the directory's engine
+// as built; directories mutated with Update need a fresh coordinator.
 type Coordinator struct {
 	dir      *core.Directory
 	eng      *engine.Engine

@@ -1,3 +1,15 @@
+// Package engine evaluates L0–L3 query trees against a directory store
+// using the external-memory operators of "Querying Network Directories":
+// sort-merge set operations (Section 4.2), the hierarchy stack
+// algorithms HSPC/HSAD/HSADc (Sections 5–6), and embedded-reference
+// joins (Section 7), all over sorted reverse-DN-key lists so no
+// intermediate re-sorting is ever needed (Section 8.2).
+//
+// With Config.Workers > 1 the engine evaluates independent plan
+// subtrees — the operands of &, |, - and of the hierarchy and
+// embedded-reference operators — concurrently on a bounded worker
+// pool, joining at the existing sort-merge points (DESIGN.md §9).
+// Results are byte-identical at any worker count.
 package engine
 
 import (
@@ -30,6 +42,11 @@ type Config struct {
 	// way" baseline (Sections 5.3 and 7.2) — for the crossover
 	// experiments.
 	Naive bool
+	// Workers bounds the number of goroutines evaluating independent
+	// plan subtrees concurrently (and the external sorter's
+	// parallelism). 0 or 1 evaluates serially. Results are identical
+	// at any setting; see DESIGN.md §9.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnnPoolPages < 2 {
 		c.AnnPoolPages = 16
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -51,6 +71,10 @@ type Engine struct {
 	st       *store.Store
 	cfg      Config
 	resolver func(context.Context, *query.Atomic) (*plist.List, error)
+	// sem holds Workers-1 grantable worker slots (nil when serial).
+	// Acquisition is always non-blocking with an inline-evaluation
+	// fallback, so nested operators can never deadlock on it.
+	sem chan struct{}
 }
 
 // SetResolver installs an atomic-query resolver consulted instead of the
@@ -65,7 +89,11 @@ func (e *Engine) SetResolver(r func(context.Context, *query.Atomic) (*plist.List
 
 // New creates an engine over a store.
 func New(st *store.Store, cfg Config) *Engine {
-	return &Engine{st: st, cfg: cfg.withDefaults()}
+	e := &Engine{st: st, cfg: cfg.withDefaults()}
+	if e.cfg.Workers > 1 {
+		e.sem = make(chan struct{}, e.cfg.Workers-1)
+	}
+	return e
 }
 
 // Store returns the engine's store.
@@ -74,7 +102,7 @@ func (e *Engine) Store() *store.Store { return e.st }
 func (e *Engine) disk() *pager.Disk { return e.st.Disk() }
 
 func (e *Engine) sortCfg() extsort.Config {
-	return extsort.Config{MemBytes: e.cfg.SortMemBytes}
+	return extsort.Config{MemBytes: e.cfg.SortMemBytes, Workers: e.cfg.Workers}
 }
 
 // Eval evaluates a query tree and returns the result list, sorted by
@@ -165,14 +193,11 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 		return e.st.EvalLDAP(n)
 
 	case *query.Bool:
-		l1, err := e.EvalContext(ctx, n.Q1)
+		ls, err := e.evalChildren(ctx, n.Q1, n.Q2)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := e.EvalContext(ctx, n.Q2)
-		if err != nil {
-			return nil, err
-		}
+		l1, l2 := ls[0], ls[1]
 		defer freeAll(l1, l2)
 		sp.SetIn(l1.Count(), l2.Count())
 		if e.cfg.Naive {
@@ -181,19 +206,18 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 		return e.EvalBool(n.Op, l1, l2)
 
 	case *query.Hier:
-		l1, err := e.EvalContext(ctx, n.Q1)
-		if err != nil {
-			return nil, err
-		}
-		l2, err := e.EvalContext(ctx, n.Q2)
-		if err != nil {
-			return nil, err
-		}
-		var l3 *plist.List
+		qs := []query.Query{n.Q1, n.Q2}
 		if n.Q3 != nil {
-			if l3, err = e.EvalContext(ctx, n.Q3); err != nil {
-				return nil, err
-			}
+			qs = append(qs, n.Q3)
+		}
+		ls, err := e.evalChildren(ctx, qs...)
+		if err != nil {
+			return nil, err
+		}
+		l1, l2 := ls[0], ls[1]
+		var l3 *plist.List
+		if len(ls) == 3 {
+			l3 = ls[2]
 		}
 		defer freeAll(l1, l2, l3)
 		if l3 != nil {
@@ -216,14 +240,11 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 		return e.EvalSimpleAgg(l1, n.AggSel)
 
 	case *query.EmbedRef:
-		l1, err := e.EvalContext(ctx, n.Q1)
+		ls, err := e.evalChildren(ctx, n.Q1, n.Q2)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := e.EvalContext(ctx, n.Q2)
-		if err != nil {
-			return nil, err
-		}
+		l1, l2 := ls[0], ls[1]
 		defer freeAll(l1, l2)
 		sp.SetIn(l1.Count(), l2.Count())
 		if e.cfg.Naive {

@@ -11,11 +11,20 @@
 // Unlike plist.Merge, the merge here preserves duplicate keys: the list
 // of pairs LP legitimately contains several pairs with the same embedded
 // DN.
+//
+// With Config.Workers > 1 the sorter overlaps work in both phases:
+// filled batches are sorted and written as runs by a bounded pool of
+// goroutines while the input scan continues, and each merge pass merges
+// its FanIn-sized groups concurrently. Batch boundaries, run order, and
+// the merge tree are fixed by the input alone — never by goroutine
+// scheduling — so the output list is identical for any worker count
+// (DESIGN.md §9).
 package extsort
 
 import (
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/pager"
 	"repro/internal/plist"
@@ -28,6 +37,11 @@ type Config struct {
 	MemBytes int
 	// FanIn bounds how many runs are merged per pass (default 16).
 	FanIn int
+	// Workers bounds the goroutines used for concurrent run formation
+	// and parallel merge passes; 0 or 1 sorts serially. With W workers
+	// up to W batches are in flight at once, so peak run-formation
+	// memory is W × MemBytes. Output is identical at any setting.
+	Workers int
 }
 
 func (c Config) withDefaults(d *pager.Disk) Config {
@@ -36,6 +50,9 @@ func (c Config) withDefaults(d *pager.Disk) Config {
 	}
 	if c.FanIn < 2 {
 		c.FanIn = 16
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -59,38 +76,72 @@ func SortSlice(d *pager.Disk, recs []*plist.Record, cfg Config) (*plist.List, er
 
 // formRuns reads the input, accumulating up to MemBytes of records,
 // sorting each batch in memory and writing it out as a sorted run.
+//
+// The input scan is always serial (RecordReaders are single-goroutine),
+// so batch boundaries — and therefore the runs' contents and order —
+// are identical at every worker count. With Workers > 1 the sort+write
+// of each filled batch is handed to a pool goroutine (ownership of the
+// batch slice transfers with it; the scan allocates a fresh one) while
+// the scan keeps reading.
 func formRuns(d *pager.Disk, in plist.RecordReader, cfg Config) ([]*plist.List, error) {
+	// runSlot receives one batch's finished run; slots are appended in
+	// batch order, and workers fill their own slot through its pointer,
+	// so slice growth in the scanning goroutine never races them.
+	type runSlot struct {
+		list *plist.List
+		err  error
+	}
 	var (
-		runs  []*plist.List
+		slots []*runSlot
 		batch []*plist.Record
 		bytes int
+		wg    sync.WaitGroup
+		sem   chan struct{}
 	)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
+	if cfg.Workers > 1 {
+		sem = make(chan struct{}, cfg.Workers)
+	}
+	writeRun := func(batch []*plist.Record, s *runSlot) {
 		sort.SliceStable(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key })
 		w := plist.NewWriter(d)
 		for _, r := range batch {
 			if err := w.Append(r); err != nil {
-				return err
+				s.err = err
+				return
 			}
 		}
-		run, err := w.Close()
-		if err != nil {
-			return err
-		}
-		runs = append(runs, run)
-		batch, bytes = batch[:0], 0
-		return nil
+		s.list, s.err = w.Close()
 	}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s := &runSlot{}
+		slots = append(slots, s)
+		b := batch
+		batch, bytes = nil, 0
+		if sem == nil {
+			writeRun(b, s)
+			batch = b[:0] // serial path: safe to reuse the slice
+			return
+		}
+		sem <- struct{}{} // bounds in-flight batches to Workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			writeRun(b, s)
+		}()
+	}
+	var scanErr error
 	for {
 		rec, err := in.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			scanErr = err
+			break
 		}
 		batch = append(batch, rec)
 		bytes += len(rec.Key) + 64 // coarse in-memory footprint estimate
@@ -98,43 +149,93 @@ func formRuns(d *pager.Disk, in plist.RecordReader, cfg Config) ([]*plist.List, 
 			bytes += 32 * len(rec.Entry.Pairs())
 		}
 		if bytes >= cfg.MemBytes {
-			if err := flush(); err != nil {
-				return nil, err
-			}
+			flush()
 		}
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if scanErr == nil {
+		flush()
+	}
+	wg.Wait()
+	runs := make([]*plist.List, 0, len(slots))
+	for _, s := range slots {
+		if s.err != nil && scanErr == nil {
+			scanErr = s.err
+		}
+		if s.list != nil {
+			runs = append(runs, s.list)
+		}
+	}
+	if scanErr != nil {
+		for _, r := range runs {
+			_ = r.Free()
+		}
+		return nil, scanErr
 	}
 	return runs, nil
 }
 
 // mergeRuns repeatedly merges groups of FanIn runs until one remains.
+// Groups within a pass touch disjoint runs, so with Workers > 1 they
+// merge concurrently; the next pass's run order is the group order
+// either way, keeping the merge tree — and the final list — identical
+// at any worker count.
 func mergeRuns(d *pager.Disk, runs []*plist.List, cfg Config) (*plist.List, error) {
 	if len(runs) == 0 {
 		return plist.Build(d, nil)
 	}
 	for len(runs) > 1 {
-		var next []*plist.List
+		var groups [][]*plist.List
 		for lo := 0; lo < len(runs); lo += cfg.FanIn {
 			hi := lo + cfg.FanIn
 			if hi > len(runs) {
 				hi = len(runs)
 			}
-			merged, err := mergeOnce(d, runs[lo:hi])
+			groups = append(groups, runs[lo:hi])
+		}
+		next := make([]*plist.List, len(groups))
+		errs := make([]error, len(groups))
+		if cfg.Workers > 1 && len(groups) > 1 {
+			sem := make(chan struct{}, cfg.Workers)
+			var wg sync.WaitGroup
+			for gi, g := range groups {
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(gi int, g []*plist.List) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					next[gi], errs[gi] = mergeGroup(d, g)
+				}(gi, g)
+			}
+			wg.Wait()
+		} else {
+			for gi, g := range groups {
+				next[gi], errs[gi] = mergeGroup(d, g)
+			}
+		}
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			for _, r := range runs[lo:hi] {
-				if err := r.Free(); err != nil {
-					return nil, err
-				}
-			}
-			next = append(next, merged)
 		}
 		runs = next
 	}
 	return runs[0], nil
+}
+
+// mergeGroup merges one group of runs and frees the inputs (each group
+// reads only its own runs, so concurrent groups never touch each
+// other's pages).
+func mergeGroup(d *pager.Disk, g []*plist.List) (*plist.List, error) {
+	merged, err := mergeOnce(d, g)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range g {
+		if err := r.Free(); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
 }
 
 // mergeOnce merges sorted runs into one sorted list, preserving

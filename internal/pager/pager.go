@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page on a Disk. Zero is never a valid page.
@@ -28,16 +29,19 @@ const DefaultPageSize = 4096
 // claims are verified against these counters.
 //
 // Ownership rule for delta accounting: the counters themselves are
-// exact under concurrency (every operation increments under the Disk
-// mutex — no updates are ever lost), but a windowed delta
-// (Stats-before subtracted from Stats-after) attributes I/O to the
-// measurer only if nothing else touches the Disk during the window.
-// Readers that share a Disk see each other's page accesses in their
-// deltas. Every per-query delta in this repository is therefore taken
-// under serialized evaluation — core.Directory's mutex, the
-// Coordinator's evalMu — and the obs tracer documents the same
-// requirement. TestStatsDeltaOwnership asserts both halves of the
-// rule.
+// exact under concurrency (every operation lands one atomic increment
+// on one of the device's stats shards — no updates are ever lost),
+// but a windowed delta (Stats-before subtracted from Stats-after)
+// attributes I/O to the measurer only if nothing else touches the
+// Disk during the window. Readers that share a Disk see each other's
+// page accesses in their deltas. Every per-query delta in this
+// repository is therefore taken under serialized evaluation —
+// core.Directory's mutex, the Coordinator's evalMu — and the obs
+// tracer documents the same requirement. Intra-query parallelism
+// (engine Workers > 1) does not violate the rule: the whole parallel
+// evaluation happens inside one serialized window, so its delta still
+// belongs to that one query. TestStatsDeltaOwnership asserts both
+// halves of the rule.
 type Stats struct {
 	Reads  int64 // pages read
 	Writes int64 // pages written
@@ -62,15 +66,37 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
 }
 
+// statsShards is the number of independent counter shards a Disk
+// maintains. A power of two so shard selection is a mask.
+const statsShards = 32
+
+// statsShard is one cache-line-padded slice of the device's counters.
+// Sharding keeps the hot concurrent-read path free of a single
+// contended counter word; Stats sums the shards.
+type statsShard struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+	_      [32]byte // pad to a cache line against false sharing
+}
+
 // Disk is a simulated block device: fixed-size pages, explicit
-// allocation, counted reads and writes. It is safe for concurrent use.
+// allocation, counted reads and writes. It is safe for concurrent use:
+// reads share a read lock (page contents are immutable while no write
+// runs), structural mutations (Write, Alloc, Free) take the write
+// lock, and the I/O counters are sharded atomics, so concurrent
+// readers — the engine's parallel workers — never serialize on
+// accounting.
 type Disk struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    [][]byte
 	free     []PageID
-	stats    Stats
 	fault    func(op string, id PageID) error
+
+	shards     [statsShards]statsShard
+	nextHandle atomic.Uint32
 }
 
 // Disk-level errors.
@@ -93,11 +119,20 @@ func (d *Disk) PageSize() int { return d.pageSize }
 
 // SetFault installs a fault injector invoked before each operation
 // ("read", "write", "alloc") with the page involved; a non-nil return is
-// surfaced to the caller. Used by failure-injection tests.
+// surfaced to the caller. Used by failure-injection tests. An injector
+// used together with parallel evaluation must itself be safe for
+// concurrent calls (reads invoke it under the shared read lock).
 func (d *Disk) SetFault(f func(op string, id PageID) error) {
 	d.mu.Lock()
 	d.fault = f
 	d.mu.Unlock()
+}
+
+// shardFor picks the counter shard for direct (handle-less) operations:
+// keyed by page id so concurrent readers of different pages touch
+// different cache lines.
+func (d *Disk) shardFor(id PageID) *statsShard {
+	return &d.shards[uint32(id)&(statsShards-1)]
 }
 
 // Alloc reserves a fresh (zeroed) page.
@@ -109,15 +144,17 @@ func (d *Disk) Alloc() (PageID, error) {
 			return 0, err
 		}
 	}
-	d.stats.Allocs++
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
 		d.pages[id] = nil
+		d.shardFor(id).allocs.Add(1)
 		return id, nil
 	}
 	d.pages = append(d.pages, nil)
-	return PageID(len(d.pages) - 1), nil
+	id := PageID(len(d.pages) - 1)
+	d.shardFor(id).allocs.Add(1)
+	return id, nil
 }
 
 // Free releases a page for reuse.
@@ -127,17 +164,24 @@ func (d *Disk) Free(id PageID) error {
 	if int(id) <= 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("%w: %d", ErrBadPage, id)
 	}
-	d.stats.Frees++
+	d.shardFor(id).frees.Add(1)
 	d.pages[id] = nil
 	d.free = append(d.free, id)
 	return nil
 }
 
 // Read copies page id into buf (which must be at least PageSize long)
-// and counts one page read. Unwritten pages read as zeroes.
+// and counts one page read. Unwritten pages read as zeroes. Reads
+// share the device's read lock, so any number may run concurrently.
 func (d *Disk) Read(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	return d.readCounted(id, buf, d.shardFor(id))
+}
+
+// readCounted is the shared read path: the page copy under the read
+// lock, the accounting on the caller's shard.
+func (d *Disk) readCounted(id PageID, buf []byte, sh *statsShard) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) <= 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("%w: %d", ErrBadPage, id)
 	}
@@ -146,7 +190,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 			return err
 		}
 	}
-	d.stats.Reads++
+	sh.reads.Add(1)
 	p := d.pages[id]
 	if p == nil {
 		for i := 0; i < d.pageSize && i < len(buf); i++ {
@@ -174,7 +218,7 @@ func (d *Disk) Write(id PageID, data []byte) error {
 			return err
 		}
 	}
-	d.stats.Writes++
+	d.shardFor(id).writes.Add(1)
 	p := d.pages[id]
 	if p == nil {
 		p = make([]byte, d.pageSize)
@@ -188,24 +232,39 @@ func (d *Disk) Write(id PageID, data []byte) error {
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters: the sum over all
+// shards. Under quiescence (or serialized evaluation — see the
+// ownership rule) the snapshot is exact; concurrent operations land in
+// either the before or the after of a windowed delta, never nowhere.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	var s Stats
+	for i := range d.shards {
+		sh := &d.shards[i]
+		s.Reads += sh.reads.Load()
+		s.Writes += sh.writes.Load()
+		s.Allocs += sh.allocs.Load()
+		s.Frees += sh.frees.Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the I/O counters (page contents are unaffected).
+// Callers must ensure no operation is in flight, the same quiescence
+// every windowed delta already requires.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	d.stats = Stats{}
-	d.mu.Unlock()
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.reads.Store(0)
+		sh.writes.Store(0)
+		sh.allocs.Store(0)
+		sh.frees.Store(0)
+	}
 }
 
 // NumPages returns the number of pages ever allocated and still live.
 func (d *Disk) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.pages) - 1 - len(d.free)
 }
 
@@ -216,8 +275,8 @@ var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'D', '1'}
 
 // WriteTo serializes the whole device.
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	bw := &countWriter{w: w}
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return bw.n, err

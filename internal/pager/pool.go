@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Frame is a buffered page held by a Pool. Callers pin a frame while
@@ -23,9 +24,18 @@ func (f *Frame) SetDirty() { f.dirty = true }
 // Pool is a pinning LRU buffer pool over a Disk. Index structures
 // (B+trees) use it so that hot interior pages cost no repeated I/O while
 // leaf-level traffic is still counted faithfully.
+//
+// Pool bookkeeping (the frame map, LRU order, pin counts) is guarded by
+// an internal mutex, so concurrent readers — the engine's parallel
+// workers traversing one shared B+tree — are safe. Frame *contents* are
+// not guarded: concurrent users may share frames read-only (which is
+// how the read-optimized store uses its index pools after build), but
+// writers that dirty frames must be serialized externally, exactly as
+// build-then-query already does.
 type Pool struct {
 	disk   *Disk
 	cap    int
+	mu     sync.Mutex
 	frames map[PageID]*Frame
 	lru    *list.List // front = most recently used; holds unpinned and pinned alike
 }
@@ -48,6 +58,8 @@ func (p *Pool) Disk() *Disk { return p.disk }
 // Get pins and returns the frame for page id, reading it from disk on a
 // miss (evicting an unpinned frame if the pool is full).
 func (p *Pool) Get(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		f.pins++
 		p.lru.MoveToFront(f.elem)
@@ -71,6 +83,8 @@ func (p *Pool) Alloc() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, err := p.admit(id)
 	if err != nil {
 		return nil, err
@@ -115,6 +129,8 @@ func (p *Pool) discard(f *Frame) {
 
 // Unpin releases one pin on the frame.
 func (p *Pool) Unpin(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("pager: unpin of unpinned frame %d", f.ID))
 	}
@@ -123,6 +139,8 @@ func (p *Pool) Unpin(f *Frame) {
 
 // Flush writes back every dirty frame (keeping them buffered).
 func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.dirty {
 			if err := p.disk.Write(f.ID, f.Data); err != nil {
@@ -135,4 +153,8 @@ func (p *Pool) Flush() error {
 }
 
 // Len reports the number of buffered frames.
-func (p *Pool) Len() int { return len(p.frames) }
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

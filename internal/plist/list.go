@@ -149,9 +149,13 @@ func (w *Writer) Close() (*List, error) {
 	return &List{disk: w.disk, pages: w.pages, size: w.size, count: w.count}, nil
 }
 
-// Reader iterates a list's records in order, buffering one page.
+// Reader iterates a list's records in order, buffering one page. Each
+// Reader owns a pager.ReadHandle, so any number of Readers — including
+// Readers over the same list — may run on different goroutines
+// concurrently (the per-goroutine read contract of DESIGN.md §9).
 type Reader struct {
 	l       *List
+	h       *pager.ReadHandle
 	page    []byte
 	pi      int   // index into l.pages of the page after the buffered one
 	off     int   // offset in page
@@ -161,21 +165,21 @@ type Reader struct {
 
 // Reader returns a fresh iterator over the list.
 func (l *List) Reader() *Reader {
-	return &Reader{l: l, page: make([]byte, l.disk.PageSize())}
+	return &Reader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize())}
 }
 
 // ReaderAt returns an iterator positioned at stream offset off, which
 // must be a record boundary previously obtained from a Writer's Offset
 // or a RandomReader. It reads the containing page immediately.
 func (l *List) ReaderAt(off int64) (*Reader, error) {
-	r := &Reader{l: l, page: make([]byte, l.disk.PageSize())}
+	r := &Reader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize())}
 	if off >= l.size {
 		r.read = l.size
 		return r, nil
 	}
 	ps := int64(l.disk.PageSize())
 	pi := int(off / ps)
-	if err := l.disk.Read(l.pages[pi], r.page); err != nil {
+	if err := r.h.Read(l.pages[pi], r.page); err != nil {
 		return nil, err
 	}
 	r.pi = pi + 1
@@ -188,7 +192,7 @@ func (r *Reader) fill() error {
 	if r.pi >= len(r.l.pages) {
 		return io.EOF
 	}
-	if err := r.l.disk.Read(r.l.pages[r.pi], r.page); err != nil {
+	if err := r.h.Read(r.l.pages[r.pi], r.page); err != nil {
 		return err
 	}
 	r.pi++
@@ -259,9 +263,11 @@ func (w *Writer) Offset() int64 { return w.size }
 // RandomReader reads single records at known stream offsets, caching the
 // most recently read page so that ascending-offset access patterns (the
 // common case: offsets increase with reverse-DN key) cost one page read
-// per page touched.
+// per page touched. Like Reader, each RandomReader owns a
+// pager.ReadHandle and must not be shared between goroutines.
 type RandomReader struct {
 	l       *List
+	h       *pager.ReadHandle
 	page    []byte
 	cur     int // cached page index; -1 if none
 	scratch []byte
@@ -269,7 +275,7 @@ type RandomReader struct {
 
 // RandomReader returns a positioned record reader for the list.
 func (l *List) RandomReader() *RandomReader {
-	return &RandomReader{l: l, page: make([]byte, l.disk.PageSize()), cur: -1}
+	return &RandomReader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize()), cur: -1}
 }
 
 func (rr *RandomReader) byteAt(off int64) (byte, error) {
@@ -279,7 +285,7 @@ func (rr *RandomReader) byteAt(off int64) (byte, error) {
 	ps := int64(rr.l.disk.PageSize())
 	pi := int(off / ps)
 	if pi != rr.cur {
-		if err := rr.l.disk.Read(rr.l.pages[pi], rr.page); err != nil {
+		if err := rr.h.Read(rr.l.pages[pi], rr.page); err != nil {
 			return 0, err
 		}
 		rr.cur = pi
