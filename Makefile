@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race docs
+.PHONY: check vet build test race fuzz docs
 
 check: vet build test race docs
 
@@ -18,12 +18,24 @@ test:
 
 # The concurrency-sensitive layers run under the race detector:
 # the distributed evaluation substrate (pooled client, breakers,
-# chaos failover), the serialized-evaluation core, the shared-Disk
-# pager, the parallel engine and external sorter, and the
-# metrics/tracing subsystem. CI additionally runs
+# chaos failover), the snapshot-swap core (lock-free reads during
+# copy-on-write updates, internal/core/swap_test.go), the shared-Disk
+# pager and per-query arenas, the parallel engine and external sorter,
+# and the metrics/tracing subsystem. CI additionally runs
 # `go test -race ./...` over the whole module.
 race:
 	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/
+
+# Short-budget fuzzing of the parser/matcher surfaces that each carry a
+# differential oracle: the wildcard matcher vs a reference matcher and
+# a regexp, the filter parser's print/parse fixpoint, and the query
+# canonicalizer's cache-key invariance. CI runs this on every push;
+# longer local runs just raise FUZZTIME.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/filter/ -run=^$$ -fuzz=FuzzWildcardMatch -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/filter/ -run=^$$ -fuzz=FuzzParseFilter -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/query/ -run=^$$ -fuzz=FuzzCanonical -fuzztime=$(FUZZTIME)
 
 # Documentation gate: intra-repo markdown links must resolve, and the
 # packages docslint lists must document every exported identifier.

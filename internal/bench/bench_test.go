@@ -215,3 +215,41 @@ func TestTableFormatting(t *testing.T) {
 		}
 	}
 }
+
+// TestE20ConcurrentIdentical asserts the §10 determinism claim at small
+// scale: every quiescent reader count hashes identically to the serial
+// run (divergence panics inside the experiment), the background-update
+// rows complete without error, and the updater actually swapped
+// generations under the readers.
+func TestE20ConcurrentIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	// Run below even the tiny preset: the wide-query stream costs tens
+	// of milliseconds per evaluation, and eight rows multiply it.
+	tab := E20ConcurrentSearch(300, 48)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	hash := ""
+	swapped := false
+	for _, row := range tab.Rows {
+		mode, h := row[1], row[7]
+		swaps, _ := strconv.ParseInt(row[6], 10, 64)
+		if mode == "off" {
+			if hash == "" {
+				hash = h
+			} else if h != hash {
+				t.Errorf("quiescent hash diverged: %s vs %s", h, hash)
+			}
+		} else if swaps > 0 {
+			swapped = true
+		}
+	}
+	if hash == "" {
+		t.Error("no quiescent rows found")
+	}
+	if !swapped {
+		t.Error("background updater never swapped a generation")
+	}
+}

@@ -75,6 +75,7 @@ var Specs = []Spec{
 	{"E17", func(Preset) *Table { return E17Operators([]int{3, 4, 5, 6, 8}) }},
 	{"E18", func(p Preset) *Table { return E18CacheZipf(p.CacheN, p.CacheOps) }},
 	{"E19", func(p Preset) *Table { return E19Parallel(p.CacheN, p.CacheOps) }},
+	{"E20", func(p Preset) *Table { return E20ConcurrentSearch(p.CacheN, p.CacheOps) }},
 	{"A1", func(p Preset) *Table { return AblationStackWindow(p.StackN, []int{2, 4, 16, 64}) }},
 	{"A2", func(Preset) *Table { return AblationBlockSize(4000, []int{1024, 2048, 4096, 8192}) }},
 	{"A3", func(Preset) *Table { return AblationResort(4000) }},

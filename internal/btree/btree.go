@@ -181,7 +181,13 @@ func decodeNode(page []byte) (*node, error) {
 }
 
 func (t *Tree) load(id pager.PageID) (*node, error) {
-	f, err := t.pool.Get(id)
+	return t.loadMetered(id, nil)
+}
+
+// loadMetered reads a node through the pool, charging a miss's disk
+// read to the per-query meter (nil = uncharged).
+func (t *Tree) loadMetered(id pager.PageID, m *pager.Meter) (*node, error) {
+	f, err := t.pool.GetMetered(id, m)
 	if err != nil {
 		return nil, err
 	}
@@ -270,9 +276,16 @@ func (nd *node) leafIndex(key []byte) (int, bool) {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, error) {
+	return t.GetMetered(key, nil)
+}
+
+// GetMetered is Get with per-query I/O attribution: pool misses along
+// the root-to-leaf path are charged to m. Safe for concurrent readers
+// (the pool serializes its own bookkeeping; the meter is atomic).
+func (t *Tree) GetMetered(key []byte, m *pager.Meter) ([]byte, error) {
 	id := t.root
 	for {
-		nd, err := t.load(id)
+		nd, err := t.loadMetered(id, m)
 		if err != nil {
 			return nil, err
 		}
@@ -423,9 +436,14 @@ func (t *Tree) Delete(key []byte) error {
 // Scan calls fn for each (key, value) with lo <= key < hi in key order,
 // stopping if fn returns false. A nil hi means "to the end".
 func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return t.ScanMetered(lo, hi, nil, fn)
+}
+
+// ScanMetered is Scan with per-query I/O attribution (see GetMetered).
+func (t *Tree) ScanMetered(lo, hi []byte, m *pager.Meter, fn func(key, value []byte) bool) error {
 	id := t.root
 	for {
-		nd, err := t.load(id)
+		nd, err := t.loadMetered(id, m)
 		if err != nil {
 			return err
 		}
@@ -443,7 +461,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 				if nd.next == 0 {
 					return nil
 				}
-				nd, err = t.load(nd.next)
+				nd, err = t.loadMetered(nd.next, m)
 				if err != nil {
 					return err
 				}

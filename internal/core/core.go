@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -52,9 +53,11 @@ type Options struct {
 	// this many bytes of materialized results, keyed by (canonical
 	// query, generation) with single-flight deduplication. A cache hit
 	// performs zero page I/O; every Update invalidates all cached
-	// results by bumping the generation (see internal/qcache and
-	// DESIGN.md §7). Entries of cached results are shared between hits
-	// and must be treated as read-only.
+	// results by bumping the generation embedded in the keys — stale
+	// entries become unreachable instantly and age out of the LRU under
+	// byte pressure (see internal/qcache and DESIGN.md §7). Entries of
+	// cached results are shared between hits and must be treated as
+	// read-only.
 	CacheBytes int64
 }
 
@@ -134,73 +137,108 @@ func (b *Builder) Build(opts Options) (*Directory, error) {
 
 // Open builds a Directory from an existing instance.
 func Open(inst *model.Instance, opts Options) (*Directory, error) {
-	d := &Directory{inst: inst, opts: opts}
+	d := &Directory{opts: opts}
 	if opts.CacheBytes > 0 {
 		d.cache = qcache.New(opts.CacheBytes)
 	}
-	if err := d.rebuild(); err != nil {
+	snap, err := buildSnapshot(inst, opts, 1)
+	if err != nil {
 		return nil, err
 	}
+	d.snap.Store(snap)
 	return d, nil
 }
 
-// Directory is a queryable network directory. It is safe for concurrent
-// use: evaluation mutates shared engine state (buffer pools, scratch
-// pages on the simulated disk), so queries and updates are serialized
-// internally — one evaluation at a time, the same discipline a single
-// directory server process applies. Scale-out concurrency is the
-// distributed layer's job (internal/dirserver).
+// Directory is a queryable network directory, safe for concurrent use
+// with lock-free reads: the whole read state — instance, store, engine,
+// strictness, generation — lives in one immutable snapshot behind an
+// atomic pointer. Search/Get/Explain load the pointer and evaluate on a
+// per-query scratch arena (pager.Arena), touching the shared store disk
+// only with reads, so any number of queries run concurrently without a
+// directory-level lock. Update clones the instance, applies the
+// mutation to the clone, builds a new store on a fresh disk off-line,
+// and atomically swaps the snapshot in — readers mid-flight finish
+// against the snapshot they loaded, new readers see the new generation,
+// and a failure at any point (mutation error, store build error) leaves
+// the live directory bit-for-bit untouched. See DESIGN.md §10.
 type Directory struct {
-	mu     sync.Mutex
+	// snap is the current immutable read state. Readers Load it exactly
+	// once per operation and never look back; writers Store a fully
+	// built replacement.
+	snap atomic.Pointer[snapshot]
+	// writeMu serializes writers (Update). Writers exclude only each
+	// other: a rebuild runs entirely off-line on a fresh disk, so
+	// readers proceed throughout.
+	writeMu sync.Mutex
+	opts    Options
+	cache   *qcache.Cache // nil unless Options.CacheBytes > 0
+
+	swaps     atomic.Int64  // completed store swaps (successful Updates)
+	rebuildNS atomic.Int64  // wall time of the last successful off-line rebuild
+	readers   readerTracker // in-flight evaluations per generation (lag gauge)
+}
+
+// snapshot bundles the immutable per-generation read state. Once
+// published via Directory.snap it is never mutated: Update builds a
+// whole new snapshot (new instance, new disk, new store, new engine)
+// and swaps the pointer.
+type snapshot struct {
 	inst   *model.Instance
-	opts   Options
 	st     *store.Store
 	eng    *engine.Engine
 	strict bool // parent-closed forest (enables the ac/dc collapse)
-
-	// gen is the store generation: a monotonic counter bumped by every
-	// rebuild (Build, Update, snapshot restore). Cache keys embed it,
-	// so one Update invalidates every cached result with a single
-	// integer bump — no tracking of which entries changed.
-	gen   atomic.Int64
-	cache *qcache.Cache // nil unless Options.CacheBytes > 0
+	// gen is the store generation: 1 for a freshly opened directory,
+	// +1 per successful Update. Equal generations imply identical store
+	// contents, which is what makes it a one-integer cache-invalidation
+	// token — locally and echoed over the wire (internal/dirserver).
+	gen int64
 }
 
-// rebuild lays the current instance out on a fresh disk. The store is
+// buildSnapshot lays inst out on a fresh disk. The store is
 // read-optimized (contiguous master list, packed indexes), so updates
 // trade a full rebuild for scan-speed reads — the paper's directories
 // are read-mostly, populated by administrators and queried by the
 // network.
-func (d *Directory) rebuild() error {
-	disk := pager.NewDisk(d.opts.PageSize)
-	st, err := store.Build(disk, d.inst, store.Options{AttrIndex: !d.opts.NoAttrIndex})
+func buildSnapshot(inst *model.Instance, opts Options, gen int64) (*snapshot, error) {
+	disk := pager.NewDisk(opts.PageSize)
+	st, err := store.Build(disk, inst, store.Options{AttrIndex: !opts.NoAttrIndex})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	d.st = st
-	d.eng = engine.New(st, d.opts.Engine)
-	d.strict = d.inst.Validate(true) == nil
-	d.gen.Add(1)
-	if d.cache != nil {
-		// Every cached result is stale now (its key embeds the old
-		// generation); reclaim the budget eagerly rather than letting
-		// dead entries age out of the LRU.
-		d.cache.Clear()
-	}
-	return nil
+	return &snapshot{
+		inst:   inst,
+		st:     st,
+		eng:    engine.New(st, opts.Engine),
+		strict: inst.Validate(true) == nil,
+		gen:    gen,
+	}, nil
 }
 
-// Update applies a mutation to the backing instance and rebuilds the
-// disk layout. The mutation sees the live instance; if it returns an
-// error the rebuild is skipped but any partial changes it already made
-// remain (mutate transactionally or not at all).
+// Update applies a mutation to a deep copy of the backing instance,
+// builds the new disk layout off-line, and atomically swaps it in.
+//
+// The call is failure-atomic: fn runs against a clone, so an error
+// (from fn or from the store build) leaves the live directory
+// bit-for-bit untouched — same generation, same query answers, cached
+// results intact. Queries run lock-free throughout; they see either
+// the old snapshot or the new one, never a mix.
 func (d *Directory) Update(fn func(in *model.Instance) error) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := fn(d.inst); err != nil {
-		return err
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	cur := d.snap.Load()
+	next := cur.inst.Clone()
+	if err := fn(next); err != nil {
+		return err // clone discarded; nothing published
 	}
-	return d.rebuild()
+	start := time.Now()
+	snap, err := buildSnapshot(next, d.opts, cur.gen+1)
+	if err != nil {
+		return err // build failed off-line; the old snapshot still serves
+	}
+	d.rebuildNS.Store(int64(time.Since(start)))
+	d.snap.Store(snap)
+	d.swaps.Add(1)
+	return nil
 }
 
 // Result is a materialized query answer. Per Section 4.1, an answer is
@@ -208,9 +246,14 @@ func (d *Directory) Update(fn func(in *model.Instance) error) error {
 // like any instance — can exhibit the full heterogeneity of the model.
 type Result struct {
 	Entries []*model.Entry
-	// IO is the page I/O the evaluation performed (reads + writes of
-	// intermediate and result lists, stacks, sort runs and index pages).
+	// IO is the page I/O the evaluation performed (reads of the shared
+	// store plus all scratch-arena traffic: intermediate and result
+	// lists, stacks, sort runs and index-page misses).
 	IO pager.Stats
+	// Gen is the store generation the query evaluated against — the
+	// snapshot loaded at the start of the search, even if an Update
+	// swapped in a newer store mid-evaluation.
+	Gen int64
 }
 
 // DNs returns the distinguished names of the result entries, in order.
@@ -240,56 +283,45 @@ func (r *Result) AsInstance(schema *model.Schema) (*model.Instance, error) {
 }
 
 // Schema returns the directory's schema.
-func (d *Directory) Schema() *model.Schema {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.st.Schema()
-}
+func (d *Directory) Schema() *model.Schema { return d.snap.Load().st.Schema() }
 
 // Count returns the number of entries.
-func (d *Directory) Count() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.st.Count()
-}
+func (d *Directory) Count() int { return d.snap.Load().st.Count() }
 
-// Engine exposes the evaluation engine (for benchmarks and tools that
-// need streaming results or custom configurations). Callers using it
-// directly bypass the Directory's query serialization and must provide
-// their own.
-func (d *Directory) Engine() *engine.Engine {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.eng
-}
+// Engine exposes the current snapshot's evaluation engine (for
+// benchmarks and tools that need streaming results or custom
+// configurations). The returned engine evaluates on the shared store
+// disk; callers using it directly bypass the per-query arenas and must
+// serialize their own evaluations (or wrap the engine in Session with
+// an arena of their own). It keeps describing the snapshot current at
+// call time even after later Updates swap in new stores.
+func (d *Directory) Engine() *engine.Engine { return d.snap.Load().eng }
 
-// Instance returns the in-memory instance backing the directory.
-func (d *Directory) Instance() *model.Instance { return d.inst }
+// Instance returns the in-memory instance backing the current
+// snapshot. Treat it as read-only: mutations belong in Update.
+func (d *Directory) Instance() *model.Instance { return d.snap.Load().inst }
 
-// Disk exposes the simulated device for I/O accounting.
-func (d *Directory) Disk() *pager.Disk {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.st.Disk()
-}
+// Disk exposes the current snapshot's simulated device for I/O
+// accounting. Like Engine, it is pinned to the snapshot current at
+// call time.
+func (d *Directory) Disk() *pager.Disk { return d.snap.Load().st.Disk() }
 
-// Get fetches one entry by DN.
+// Get fetches one entry by DN. Lock-free: the lookup reads the loaded
+// snapshot's store, which no writer ever mutates.
 func (d *Directory) Get(dn string) (*model.Entry, error) {
 	parsed, err := model.ParseDN(dn)
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.st.Get(parsed)
+	return d.snap.Load().st.Get(parsed)
 }
 
 // Generation returns the store generation: it starts at 1 and
-// increments on every Update (and is fresh after a snapshot restore).
-// Equal generations imply identical store contents, which is what
-// makes it a one-integer cache-invalidation token — locally and echoed
-// over the wire to remote coordinators (internal/dirserver).
-func (d *Directory) Generation() int64 { return d.gen.Load() }
+// increments on every successful Update (and is fresh after a snapshot
+// restore). Equal generations imply identical store contents, which is
+// what makes it a one-integer cache-invalidation token — locally and
+// echoed over the wire to remote coordinators (internal/dirserver).
+func (d *Directory) Generation() int64 { return d.snap.Load().gen }
 
 // CacheStats snapshots the query-result cache's counters (zero when
 // caching is disabled).
@@ -332,16 +364,17 @@ func (d *Directory) SearchLDAP(text string) (*Result, error) {
 }
 
 func (d *Directory) searchCached(keyPrefix string, q query.Query, validate bool) (*Result, error) {
+	// One snapshot load covers the whole search: the cache key's
+	// generation, the evaluation, and the Result's Gen all describe the
+	// same store, even if an Update swaps mid-flight.
+	snap := d.snap.Load()
 	if d.cache == nil {
-		res, _, err := d.evalLocked(q, validate)
+		res, _, err := d.evalSnapshot(snap, q, validate)
 		return res, err
 	}
-	// The generation is read before evaluation; an Update racing this
-	// search serializes against it on d.mu either way, so a result
-	// stored under the older key is at worst promptly unreachable.
-	key := fmt.Sprintf("%sg%d|%s", keyPrefix, d.gen.Load(), query.Canonical(q))
+	key := fmt.Sprintf("%sg%d|%s", keyPrefix, snap.gen, query.Canonical(q))
 	v, hit, err := d.cache.Do(key, func() (any, int64, error) {
-		res, size, err := d.evalLocked(q, validate)
+		res, size, err := d.evalSnapshot(snap, q, validate)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -354,28 +387,30 @@ func (d *Directory) searchCached(keyPrefix string, q query.Query, validate bool)
 	if hit {
 		// Fresh header, shared (read-only) entries: a hit re-executes
 		// no I/O, and the Result must say so.
-		return &Result{Entries: res.Entries}, nil
+		return &Result{Entries: res.Entries, Gen: res.Gen}, nil
 	}
 	return res, nil
 }
 
-// evalLocked evaluates q under the directory lock and returns the
-// materialized result plus its size in list-stream bytes (the result
-// cache's cost measure).
-func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// evalSnapshot evaluates q against one loaded snapshot on a fresh
+// per-query arena and returns the materialized result plus its size in
+// list-stream bytes (the result cache's cost measure). No directory
+// lock is taken: the snapshot's store disk is only read, and all
+// writes land on the arena's private scratch disk, so any number of
+// evaluations run concurrently with exact per-query I/O accounting.
+func (d *Directory) evalSnapshot(snap *snapshot, q query.Query, validate bool) (*Result, int64, error) {
 	if validate {
-		if err := query.Validate(d.st.Schema(), q); err != nil {
+		if err := query.Validate(snap.st.Schema(), q); err != nil {
 			return nil, 0, err
 		}
 		if d.opts.Optimize {
-			q = planner.Optimize(q, planner.Info{StrictForest: d.strict}).Query
+			q = planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query
 		}
 	}
-	disk := d.st.Disk()
-	before := disk.Stats()
-	l, err := d.eng.Eval(q)
+	d.readers.enter(snap.gen)
+	defer d.readers.exit(snap.gen)
+	arena := pager.NewArena(snap.st.Disk())
+	l, err := snap.eng.Session(arena).Eval(q)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -384,7 +419,7 @@ func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, int64, er
 	if err != nil {
 		return nil, 0, err
 	}
-	res := &Result{IO: disk.Stats().Sub(before)}
+	res := &Result{IO: arena.Stats(), Gen: snap.gen}
 	res.Entries = make([]*model.Entry, len(recs))
 	for i, r := range recs {
 		res.Entries[i] = r.Entry
@@ -396,6 +431,8 @@ func (d *Directory) evalLocked(q query.Query, validate bool) (*Result, int64, er
 // the materialized result it returns the span tree recording, for
 // every plan operator, its wall time, input/output cardinalities, and
 // exact pager.Stats delta (dirq -explain renders it; DESIGN.md §8).
+// The tracer windows the per-query arena's counters, so the recorded
+// deltas stay exact even while other queries run concurrently.
 //
 // Two deliberate differences from Search: the result cache is
 // bypassed (a cache hit has no operator tree — tracing answers "what
@@ -409,42 +446,97 @@ func (d *Directory) SearchTraced(text string) (*Result, *obs.Span, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := query.Validate(d.st.Schema(), q); err != nil {
+	snap := d.snap.Load()
+	if err := query.Validate(snap.st.Schema(), q); err != nil {
 		return nil, nil, err
 	}
 	if d.opts.Optimize {
-		q = planner.Optimize(q, planner.Info{StrictForest: d.strict}).Query
+		q = planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query
 	}
-	disk := d.st.Disk()
-	tr := obs.NewTracer(disk)
+	d.readers.enter(snap.gen)
+	defer d.readers.exit(snap.gen)
+	arena := pager.NewArena(snap.st.Disk())
+	tr := obs.NewTracer(arena)
 	ctx := obs.WithTracer(context.Background(), tr)
-	before := disk.Stats()
-	l, err := d.eng.EvalContext(ctx, q)
+	before := arena.Stats()
+	l, err := snap.eng.Session(arena).EvalContext(ctx, q)
 	if err != nil {
 		return nil, tr.Root(), err
 	}
-	evalIO := disk.Stats().Sub(before)
+	evalIO := arena.Stats().Sub(before)
 	recs, err := plist.Drain(l)
 	if err != nil {
 		return nil, tr.Root(), err
 	}
-	res := &Result{IO: evalIO, Entries: make([]*model.Entry, len(recs))}
+	res := &Result{IO: evalIO, Gen: snap.gen, Entries: make([]*model.Entry, len(recs))}
 	for i, r := range recs {
 		res.Entries[i] = r.Entry
 	}
 	return res, tr.Root(), l.Free()
 }
 
+// readerTracker counts in-flight evaluations per generation, feeding
+// the reader-generation-lag gauge. The mutex guards two map operations
+// per query — nanoseconds, not the evaluation itself, so the read path
+// stays effectively lock-free (and entirely uncontended with writers,
+// who never touch the tracker).
+type readerTracker struct {
+	mu     sync.Mutex
+	active map[int64]int
+}
+
+func (t *readerTracker) enter(gen int64) {
+	t.mu.Lock()
+	if t.active == nil {
+		t.active = make(map[int64]int)
+	}
+	t.active[gen]++
+	t.mu.Unlock()
+}
+
+func (t *readerTracker) exit(gen int64) {
+	t.mu.Lock()
+	if n := t.active[gen]; n <= 1 {
+		delete(t.active, gen) // prune at zero: at most a few generations live
+	} else {
+		t.active[gen] = n - 1
+	}
+	t.mu.Unlock()
+}
+
+// oldest returns the smallest generation with an in-flight reader.
+func (t *readerTracker) oldest() (int64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var min int64
+	found := false
+	for g := range t.active {
+		if !found || g < min {
+			min, found = g, true
+		}
+	}
+	return min, found
+}
+
 // RegisterMetrics exposes the directory's state on reg as pull-based
-// gauges: entry count, store generation, live pages, and — when the
-// result cache is enabled — its hit/miss/byte counters. Metric names
-// are listed in DESIGN.md §8.
+// gauges: entry count, store generation, live pages, swap count,
+// last-rebuild duration, reader generation lag, and — when the result
+// cache is enabled — its hit/miss/byte counters. Metric names are
+// listed in DESIGN.md §8.
 func (d *Directory) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("dirkit_dir_entries", "entries in the directory", func() int64 { return int64(d.Count()) })
 	reg.GaugeFunc("dirkit_dir_generation", "store generation (bumps on every Update)", d.Generation)
 	reg.GaugeFunc("dirkit_dir_pages", "live pages on the simulated disk", func() int64 { return int64(d.Disk().NumPages()) })
+	reg.GaugeFunc("dirkit_dir_swaps", "completed copy-on-write store swaps (successful Updates)", d.swaps.Load)
+	reg.GaugeFunc("dirkit_dir_rebuild_ms", "wall time of the last off-line store rebuild (ms)",
+		func() int64 { return d.rebuildNS.Load() / int64(time.Millisecond) })
+	reg.GaugeFunc("dirkit_dir_reader_lag", "generations between the current store and the oldest in-flight reader",
+		func() int64 {
+			if oldest, ok := d.readers.oldest(); ok {
+				return d.Generation() - oldest
+			}
+			return 0
+		})
 	if d.cache != nil {
 		d.cache.RegisterMetrics(reg, "dirkit_dir_cache")
 	}

@@ -42,20 +42,20 @@ func (e *Explain) String() string {
 	return b.String()
 }
 
-// ExplainQuery plans a query string without evaluating it.
+// ExplainQuery plans a query string without evaluating it. Lock-free
+// like Search: it plans against the snapshot loaded at call time.
 func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := query.Validate(d.st.Schema(), q); err != nil {
+	snap := d.snap.Load()
+	if err := query.Validate(snap.st.Schema(), q); err != nil {
 		return nil, err
 	}
 	ex := &Explain{Language: q.Language(), Original: q.String(), Optimized: q.String()}
 	if d.opts.Optimize {
-		res := planner.Optimize(q, planner.Info{StrictForest: d.strict})
+		res := planner.Optimize(q, planner.Info{StrictForest: snap.strict})
 		q = res.Query
 		ex.Optimized = q.String()
 		ex.Rules = res.Rules
@@ -65,7 +65,7 @@ func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 		if !ok {
 			return
 		}
-		p := d.st.ExplainAtomic(a)
+		p := snap.st.ExplainAtomic(a)
 		ex.Atoms = append(ex.Atoms, AtomPlan{
 			Query:     a.String(),
 			Path:      p.Path,

@@ -24,26 +24,28 @@ import (
 // scan).
 var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'S', '1'}
 
-// SaveSnapshot writes the directory's disk image and metadata. The
-// directory is locked for the duration (a consistent snapshot).
+// SaveSnapshot writes the directory's disk image and metadata. It
+// captures the read snapshot current at call time; because store disks
+// are immutable once published (Update builds its replacement on a
+// fresh disk), the image is consistent even while queries and a
+// background Update run concurrently.
 func (d *Directory) SaveSnapshot(w io.Writer) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	snap := d.snap.Load()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	if err := writeSection(bw, []byte(ldif.MarshalSchema(d.st.Schema()))); err != nil {
+	if err := writeSection(bw, []byte(ldif.MarshalSchema(snap.st.Schema()))); err != nil {
 		return err
 	}
-	manifest, err := d.st.Manifest()
+	manifest, err := snap.st.Manifest()
 	if err != nil {
 		return err
 	}
 	if err := writeSection(bw, manifest); err != nil {
 		return err
 	}
-	if _, err := d.st.Disk().WriteTo(bw); err != nil {
+	if _, err := snap.st.Disk().WriteTo(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -87,16 +89,20 @@ func OpenSnapshot(r io.Reader, opts Options) (*Directory, error) {
 	if err := loadInstanceFromStore(st, inst); err != nil {
 		return nil, err
 	}
-	d := &Directory{inst: inst, opts: opts, st: st}
-	d.eng = engine.New(st, opts.Engine)
-	d.strict = inst.Validate(true) == nil
-	// A restore is a generation bump like any other store swap: the
-	// restored Directory starts a fresh generation with an empty cache,
-	// so nothing cached against other contents can ever match.
-	d.gen.Add(1)
+	d := &Directory{opts: opts}
 	if opts.CacheBytes > 0 {
 		d.cache = qcache.New(opts.CacheBytes)
 	}
+	// A restore starts at generation 1 like any fresh Open: the
+	// restored Directory has an empty cache, so nothing cached against
+	// other contents can ever match.
+	d.snap.Store(&snapshot{
+		inst:   inst,
+		st:     st,
+		eng:    engine.New(st, opts.Engine),
+		strict: inst.Validate(true) == nil,
+		gen:    1,
+	})
 	return d, nil
 }
 

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// answers evaluates every query and returns a stable fingerprint of the
+// full answer set (DNs in order).
+func answers(t *testing.T, d *Directory, queries []string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, q := range queries {
+		res, err := d.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		fmt.Fprintf(&b, "%s -> %v\n", q, res.DNs())
+	}
+	return b.String()
+}
+
+var probeQueries = []string{
+	"(dc=com ? sub ? objectClass=*)",
+	"(dc=com ? sub ? surName=jagadish)",
+	"(dc=com ? sub ? priority<=1)",
+}
+
+// TestUpdateErrorIsFailureAtomic is the regression test for the
+// partial-mutation leak: a mutation function that errors midway — after
+// already adding an entry — must leave the directory answering queries
+// exactly as before, at the same generation, with cached results
+// intact.
+func TestUpdateErrorIsFailureAtomic(t *testing.T) {
+	d := smallDirectory(t, Options{CacheBytes: 1 << 20})
+	before := answers(t, d, probeQueries)
+	gen := d.Generation()
+	cachedBefore := d.CacheStats().Entries
+
+	boom := errors.New("boom")
+	err := d.Update(func(in *model.Instance) error {
+		// Partial mutation: this entry lands in the (cloned) instance…
+		e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN("dc=leak, dc=com"))
+		if err != nil {
+			return err
+		}
+		e.AddClass("dcObject")
+		if err := in.Add(e); err != nil {
+			return err
+		}
+		// …and then the mutation fails.
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	if g := d.Generation(); g != gen {
+		t.Errorf("generation changed on failed update: %d -> %d", gen, g)
+	}
+	if d.CacheStats().Entries != cachedBefore {
+		t.Errorf("cache disturbed on failed update: %d -> %d entries", cachedBefore, d.CacheStats().Entries)
+	}
+	if after := answers(t, d, probeQueries); after != before {
+		t.Errorf("failed update changed answers:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	res, err := d.Search("(dc=com ? sub ? objectClass=dcObject)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dn := range res.DNs() {
+		if strings.Contains(dn, "dc=leak") {
+			t.Fatalf("partial mutation leaked into live directory: %v", res.DNs())
+		}
+	}
+}
+
+// TestUpdateBuildFailureKeepsOldSnapshot covers the second half of
+// failure atomicity: the mutation succeeds but the off-line store build
+// fails (here: an attribute value too large for the small page size's
+// B+tree item bound). The old snapshot must keep serving, consistent,
+// at the old generation.
+func TestUpdateBuildFailureKeepsOldSnapshot(t *testing.T) {
+	d := smallDirectory(t, Options{PageSize: 512})
+	before := answers(t, d, probeQueries)
+	gen := d.Generation()
+
+	err := d.Update(func(in *model.Instance) error {
+		e, err := model.NewEntryFromDN(in.Schema(), model.MustParseDN("uid=big, ou=userProfiles, dc=research, dc=att, dc=com"))
+		if err != nil {
+			return err
+		}
+		e.AddClass("inetOrgPerson")
+		// Valid for the model, but its composite index key exceeds the
+		// 512-byte page's B+tree item bound, so store.Build must fail.
+		e.Add("surName", model.String(strings.Repeat("x", 2000)))
+		return in.Add(e)
+	})
+	if err == nil {
+		t.Fatal("expected store build failure")
+	}
+
+	if g := d.Generation(); g != gen {
+		t.Errorf("generation changed on failed rebuild: %d -> %d", gen, g)
+	}
+	if after := answers(t, d, probeQueries); after != before {
+		t.Errorf("failed rebuild changed answers:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// And the directory still accepts a well-formed update afterwards.
+	if err := d.Update(func(in *model.Instance) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if g := d.Generation(); g != gen+1 {
+		t.Errorf("generation after recovery update = %d, want %d", g, gen+1)
+	}
+}
+
+// TestSearchDuringUpdateSeesConsistentGeneration runs lock-free readers
+// against a directory while a writer swaps stores underneath them (run
+// under -race in CI). Every answer must be internally consistent with
+// the generation it reports: generation g answers the query exactly as
+// the instance published at g did — never a torn mix.
+func TestSearchDuringUpdateSeesConsistentGeneration(t *testing.T) {
+	in := workload.GenTOPS(workload.TOPSConfig{Subscribers: 40, Seed: 7})
+	dir, err := Open(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "(dc=com ? sub ? objectClass=TOPSSubscriber)"
+	base, err := dir.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCount := len(base.Entries)
+	startGen := dir.Generation()
+
+	// Generation g serves baseCount + (g - startGen) matching entries:
+	// each update adds exactly one subscriber.
+	const updates = 5
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				res, err := dir.Search(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := baseCount + int(res.Gen-startGen)
+				if len(res.Entries) != want {
+					errs <- fmt.Errorf("gen %d returned %d entries, want %d (torn read)",
+						res.Gen, len(res.Entries), want)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < updates; i++ {
+		err := dir.Update(func(inst *model.Instance) error {
+			dn := fmt.Sprintf("uid=extra%d, ou=userProfiles, dc=research, dc=att, dc=com", i)
+			e, err := model.NewEntryFromDN(inst.Schema(), model.MustParseDN(dn))
+			if err != nil {
+				return err
+			}
+			e.AddClass("TOPSSubscriber")
+			return inst.Add(e)
+		})
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if g := dir.Generation(); g != startGen+updates {
+		t.Errorf("generation = %d, want %d", g, startGen+updates)
+	}
+	final, err := dir.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Entries) != baseCount+updates {
+		t.Errorf("final count = %d, want %d", len(final.Entries), baseCount+updates)
+	}
+}
+
+// TestResultGenerationEcho pins Result.Gen to the snapshot the search
+// evaluated against, including on cache hits.
+func TestResultGenerationEcho(t *testing.T) {
+	d := smallDirectory(t, Options{CacheBytes: 1 << 20})
+	res, err := d.Search(probeQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != d.Generation() {
+		t.Fatalf("Result.Gen = %d, want %d", res.Gen, d.Generation())
+	}
+	hit, err := d.Search(probeQueries[0]) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Gen != res.Gen {
+		t.Fatalf("cache hit Gen = %d, want %d", hit.Gen, res.Gen)
+	}
+	if hit.IO.IO() != 0 {
+		t.Fatalf("cache hit performed I/O: %v", hit.IO)
+	}
+	if err := d.Update(func(*model.Instance) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d.Search(probeQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Gen != res.Gen+1 {
+		t.Fatalf("post-update Gen = %d, want %d", res2.Gen, res.Gen+1)
+	}
+}

@@ -402,7 +402,12 @@ func (s *Server) serveOne(req request) response {
 	if err != nil {
 		return response{Err: err.Error()}
 	}
-	out := response{Entries: make([]string, len(res.Entries)), Gen: s.dir.Generation()}
+	// Echo the generation the evaluation actually ran against (carried
+	// on the Result), not the directory's current generation: an Update
+	// swapping the store mid-evaluation must not stamp old entries with
+	// the new generation, or remote caches would pin stale answers
+	// under a fresh token.
+	out := response{Entries: make([]string, len(res.Entries)), Gen: res.Gen}
 	for i, e := range res.Entries {
 		out.Entries[i] = ldif.MarshalEntry(e)
 	}

@@ -75,6 +75,11 @@ type Engine struct {
 	// Acquisition is always non-blocking with an inline-evaluation
 	// fallback, so nested operators can never deadlock on it.
 	sem chan struct{}
+	// arena, when set, is the per-query workspace of a Session:
+	// intermediates and results are written to its scratch disk and
+	// store reads are charged to its meter, leaving the store's disk
+	// read-only. Nil on the base engine (legacy shared-disk evaluation).
+	arena *pager.Arena
 }
 
 // SetResolver installs an atomic-query resolver consulted instead of the
@@ -99,7 +104,30 @@ func New(st *store.Store, cfg Config) *Engine {
 // Store returns the engine's store.
 func (e *Engine) Store() *store.Store { return e.st }
 
-func (e *Engine) disk() *pager.Disk { return e.st.Disk() }
+// Session returns a per-query view of the engine bound to the given
+// arena: atomic queries evaluate through the store's arena path, every
+// intermediate and result list lands on the arena's scratch disk, and
+// the store's disk is only read (with reads charged to the arena's
+// meter). Sessions share the base engine's store, configuration,
+// resolver, and worker semaphore — the worker budget is global across
+// concurrent sessions — so creating one is a struct copy. Each arena
+// must be used by at most one evaluation at a time; concurrent queries
+// take one session each.
+func (e *Engine) Session(a *pager.Arena) *Engine {
+	s := *e
+	s.arena = a
+	return &s
+}
+
+// disk returns the device operator intermediates are written to: the
+// session's scratch disk, or (legacy shared-disk evaluation) the
+// store's own disk.
+func (e *Engine) disk() *pager.Disk {
+	if e.arena != nil {
+		return e.arena.Scratch()
+	}
+	return e.st.Disk()
+}
 
 func (e *Engine) sortCfg() extsort.Config {
 	return extsort.Config{MemBytes: e.cfg.SortMemBytes, Workers: e.cfg.Workers}
@@ -187,9 +215,15 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 		if e.resolver != nil {
 			return e.resolver(ctx, n)
 		}
+		if e.arena != nil {
+			return e.st.EvalArena(e.arena, n)
+		}
 		return e.st.Eval(n)
 
 	case *query.LDAP:
+		if e.arena != nil {
+			return e.st.EvalLDAPArena(e.arena, n)
+		}
 		return e.st.EvalLDAP(n)
 
 	case *query.Bool:

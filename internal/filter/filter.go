@@ -419,24 +419,60 @@ func (p *parser) parse() (Filter, error) {
 
 func parseAtomText(s string) (*Atom, error) {
 	s = strings.TrimSpace(s)
-	// Longest operators first.
+	// Longest operators first. A candidate split only counts when the
+	// left side is a well-formed attribute name; otherwise the next
+	// operator gets a chance (so "a=b<c" splits at '=', not '<').
 	for _, cand := range []struct {
 		text string
 		op   Op
 	}{
 		{"<=", OpLE}, {">=", OpGE}, {"~=", OpApprox}, {"<", OpLT}, {">", OpGT}, {"=", OpEq},
 	} {
-		if i := strings.Index(s, cand.text); i > 0 {
-			attr := strings.TrimSpace(s[:i])
-			operand := strings.TrimSpace(s[i+len(cand.text):])
-			if cand.op == OpEq && operand == "*" {
-				return Present(attr), nil
-			}
-			if operand == "" && cand.op != OpEq {
-				return nil, fmt.Errorf("%w: missing operand in %q", ErrParse, s)
-			}
-			return NewAtom(attr, cand.op, operand), nil
+		i := strings.Index(s, cand.text)
+		if i <= 0 {
+			continue
+		}
+		attr := strings.TrimSpace(s[:i])
+		if !validAttrName(attr) {
+			continue
+		}
+		operand := strings.TrimSpace(s[i+len(cand.text):])
+		if strings.ContainsAny(operand, "()?") {
+			// The renderer does not escape, so parens in an operand
+			// produce a string that cannot re-parse, and '?' collides
+			// with the query language's base?scope?filter separator.
+			return nil, fmt.Errorf("%w: reserved character in operand %q", ErrParse, operand)
+		}
+		if (cand.op == OpLT || cand.op == OpGT) && strings.HasPrefix(operand, "=") {
+			// "a< =b" would render as "a<=b" and re-parse as OpLE.
+			return nil, fmt.Errorf("%w: ambiguous operand %q after %q", ErrParse, operand, cand.text)
+		}
+		if cand.op == OpEq && operand == "*" {
+			return Present(attr), nil
+		}
+		if operand == "" && cand.op != OpEq {
+			return nil, fmt.Errorf("%w: missing operand in %q", ErrParse, s)
+		}
+		return NewAtom(attr, cand.op, operand), nil
+	}
+	return nil, fmt.Errorf("%w: no atomic filter in %q", ErrParse, s)
+}
+
+// validAttrName restricts attribute names to LDAP attribute-description
+// shape: letters, digits, '-', '_', '.' and ';'. Without this check the
+// parser accepts garbage like "((=))" (attribute "(") and then renders
+// filters that do not re-parse.
+func validAttrName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.', c == ';':
+		default:
+			return false
 		}
 	}
-	return nil, fmt.Errorf("%w: no operator in %q", ErrParse, s)
+	return true
 }

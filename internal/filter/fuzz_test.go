@@ -1,0 +1,114 @@
+package filter
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// wildcardOracle compiles the pattern's literal segments into the
+// equivalent anchored regexp: '*' becomes '.*' (dot-all, so newlines
+// behave like any other byte) and everything else is quoted.
+func wildcardOracle(segments []string) *regexp.Regexp {
+	quoted := make([]string, len(segments))
+	for i, seg := range segments {
+		quoted[i] = regexp.QuoteMeta(seg)
+	}
+	return regexp.MustCompile(`(?s)\A` + strings.Join(quoted, `.*`) + `\z`)
+}
+
+// naiveMatch is an obviously-correct reference matcher: segment 0 is
+// anchored at the front, the last segment at the back, and every middle
+// segment may start at any position after the previous one. Memoized on
+// (segment, offset) so adversarial inputs stay polynomial.
+func naiveMatch(segments []string, s string) bool {
+	if len(segments) == 0 {
+		return s == ""
+	}
+	if len(segments) == 1 {
+		return s == segments[0]
+	}
+	type key struct{ si, off int }
+	memo := map[key]bool{}
+	var rec func(si, off int) bool
+	rec = func(si, off int) bool {
+		seg := segments[si]
+		if si == len(segments)-1 {
+			// Last segment: a '*' precedes it, so it just has to fit
+			// at the very end of what's left.
+			return len(s)-off >= len(seg) && strings.HasSuffix(s, seg)
+		}
+		k := key{si, off}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		res := false
+		for i := off; i+len(seg) <= len(s); i++ {
+			if s[i:i+len(seg)] == seg && rec(si+1, i+len(seg)) {
+				res = true
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	if !strings.HasPrefix(s, segments[0]) {
+		return false
+	}
+	return rec(1, len(segments[0]))
+}
+
+// FuzzWildcardMatch cross-checks the hand-rolled greedy matcher against
+// a naive recursive reference and (for valid UTF-8, which is all the
+// regexp package accepts) a regexp built from the same pattern.
+func FuzzWildcardMatch(f *testing.F) {
+	f.Add("jag*", "jagadish")
+	f.Add("*dish", "jagadish")
+	f.Add("j*ga*sh", "jagadish")
+	f.Add("a*a", "a")
+	f.Add("**", "")
+	f.Add("", "")
+	f.Add("ab*ba", "aba")
+	f.Add("*", "anything\nat all")
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		if len(pattern)+len(s) > 1<<12 {
+			return // keep the quadratic reference matcher cheap
+		}
+		segments := strings.Split(pattern, "*")
+		got := WildcardMatch(segments, s)
+		if want := naiveMatch(segments, s); got != want {
+			t.Fatalf("WildcardMatch(%q, %q) = %v, reference says %v", pattern, s, got, want)
+		}
+		// The regexp package only accepts valid UTF-8.
+		if utf8.ValidString(pattern) && utf8.ValidString(s) {
+			if want := wildcardOracle(segments).MatchString(s); got != want {
+				t.Fatalf("WildcardMatch(%q, %q) = %v, regexp says %v", pattern, s, got, want)
+			}
+		}
+	})
+}
+
+// FuzzParseFilter checks that any filter the parser accepts re-parses
+// from its own rendering to the same rendering (print/parse fixpoint)
+// and that matching never panics.
+func FuzzParseFilter(f *testing.F) {
+	f.Add("(&(objectClass=QHP)(priority<=2))")
+	f.Add("(|(surName=jagadish)(surName=jag*))")
+	f.Add("(!(telephoneNumber=*))")
+	f.Add("surName~=JAG")
+	f.Fuzz(func(t *testing.T, text string) {
+		fl, err := Parse(text)
+		if err != nil {
+			return
+		}
+		rendered := fl.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted filter %q does not re-parse: %v", rendered, text, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("print/parse not a fixpoint: %q -> %q -> %q", text, rendered, back.String())
+		}
+	})
+}

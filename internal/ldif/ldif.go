@@ -3,11 +3,15 @@
 // "attribute: value" line per (attribute, value) pair, blocks separated
 // by blank lines. Lines starting with '#' are comments; a line starting
 // with a single space continues the previous line (RFC 2849-style
-// folding). Values are typed by the schema on load.
+// folding). Values that are not RFC 2849 SAFE-STRINGs (leading space,
+// ':' or '<', trailing space, non-ASCII or control bytes) travel
+// base64-encoded on "attribute:: <base64>" lines. Values are typed by
+// the schema on load.
 package ldif
 
 import (
 	"bufio"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -33,11 +37,11 @@ func Write(w io.Writer, in *model.Instance) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(bw, "dn: %s\n", e.DN()); err != nil {
+		if err := writeAV(bw, "dn", e.DN().String()); err != nil {
 			return err
 		}
 		for _, av := range e.Pairs() {
-			if _, err := fmt.Fprintf(bw, "%s: %s\n", av.Attr, av.Value); err != nil {
+			if err := writeAV(bw, av.Attr, av.Value.String()); err != nil {
 				return err
 			}
 		}
@@ -185,9 +189,9 @@ func UnmarshalSchema(text string) (*model.Schema, error) {
 // line) — the wire format of the distributed directory protocol.
 func MarshalEntry(e *model.Entry) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "dn: %s\n", e.DN())
+	writeAV(&b, "dn", e.DN().String())
 	for _, av := range e.Pairs() {
-		fmt.Fprintf(&b, "%s: %s\n", av.Attr, av.Value)
+		writeAV(&b, av.Attr, av.Value.String())
 	}
 	return b.String()
 }
@@ -248,10 +252,58 @@ func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
 	return e, nil
 }
 
+// writeAV emits one "attr: value" line, switching to the RFC 2849
+// base64 form ("attr:: <base64>") when the value is not a SAFE-STRING —
+// our line-oriented reader would otherwise mangle it.
+func writeAV(w io.Writer, attr, val string) error {
+	if needsBase64(val) {
+		_, err := fmt.Fprintf(w, "%s:: %s\n", attr, base64.StdEncoding.EncodeToString([]byte(val)))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s: %s\n", attr, val)
+	return err
+}
+
+// needsBase64 reports whether val falls outside RFC 2849's SAFE-STRING
+// grammar: it may not start with space, ':' or '<', may not end with
+// space (our parser trims), and may not contain NUL, CR, LF or bytes
+// outside ASCII.
+func needsBase64(val string) bool {
+	if val == "" {
+		return false
+	}
+	switch val[0] {
+	case ' ', ':', '<':
+		return true
+	}
+	if val[len(val)-1] == ' ' {
+		return true
+	}
+	for i := 0; i < len(val); i++ {
+		switch c := val[i]; {
+		case c == 0, c == '\r', c == '\n', c >= 0x80:
+			return true
+		}
+	}
+	return false
+}
+
+// splitLine splits "attr: value" or the base64 form "attr:: <base64>"
+// (decoded here, per RFC 2849). A double colon is what distinguishes an
+// encoded value from a plain value that merely starts with ':'.
 func splitLine(line string) (attr, val string, err error) {
 	i := strings.Index(line, ":")
 	if i <= 0 {
 		return "", "", fmt.Errorf("line %q lacks a colon", line)
 	}
-	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), nil
+	attr = strings.TrimSpace(line[:i])
+	rest := line[i+1:]
+	if strings.HasPrefix(rest, ":") {
+		raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(rest[1:]))
+		if err != nil {
+			return "", "", fmt.Errorf("line %q: bad base64 value: %v", line, err)
+		}
+		return attr, string(raw), nil
+	}
+	return attr, strings.TrimSpace(rest), nil
 }

@@ -3,6 +3,7 @@ package ldif
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -222,5 +223,98 @@ func TestCommentsAndBlankRuns(t *testing.T) {
 	}
 	if in.Len() != 1 {
 		t.Fatalf("entries = %d", in.Len())
+	}
+}
+
+func TestBase64Values(t *testing.T) {
+	unsafe := []string{
+		":starts with colon",
+		"<looks like a url ref",
+		" leading space",
+		"trailing space ",
+		"café utf-8",
+		"line\nbreak",
+		"carriage\rreturn",
+	}
+	s := model.DefaultSchema()
+	in := model.NewInstance(s)
+	root, err := model.NewEntryFromDN(s, model.MustParseDN("dc=com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AddClass("dcObject")
+	if err := in.Add(root); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range unsafe {
+		e, err := model.NewEntryFromDN(s, model.MustParseDN(fmt.Sprintf("uid=u%d, dc=com", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AddClass("inetOrgPerson")
+		e.Add("commonName", model.String(v))
+		if err := in.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(buf.String()), "commonname:: ") {
+		t.Fatalf("unsafe values not base64-encoded:\n%s", buf.String())
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), s)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	for i, v := range unsafe {
+		e, ok := back.Get(model.MustParseDN(fmt.Sprintf("uid=u%d, dc=com", i)))
+		if !ok {
+			t.Fatalf("entry u%d missing", i)
+		}
+		cn, _ := e.First("commonName")
+		if cn.Str() != v {
+			t.Errorf("value %d: got %q, want %q", i, cn.Str(), v)
+		}
+	}
+}
+
+func TestBase64SplitLine(t *testing.T) {
+	attr, val, err := splitLine("commonName:: aGVsbG8sIHdvcmxk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != "commonName" || val != "hello, world" {
+		t.Fatalf("got %q=%q", attr, val)
+	}
+	// A plain value that merely starts with ':' is NOT base64.
+	attr, val, err = splitLine("commonName: :colon start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != ":colon start" {
+		t.Fatalf("plain value mangled: %q", val)
+	}
+	if _, _, err := splitLine("commonName:: !!!notb64"); err == nil {
+		t.Fatal("bad base64 accepted")
+	}
+}
+
+func TestBase64MarshalEntryRoundTrip(t *testing.T) {
+	s := model.DefaultSchema()
+	e, err := model.NewEntryFromDN(s, model.MustParseDN("uid=x, dc=com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddClass("inetOrgPerson")
+	e.Add("commonName", model.String("héllo 世界"))
+	block := MarshalEntry(e)
+	back, err := UnmarshalEntry(s, block)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, block)
+	}
+	if !back.Equal(e) {
+		t.Fatalf("round trip changed entry:\n%s", block)
 	}
 }

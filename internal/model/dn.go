@@ -234,15 +234,18 @@ func keyDepth(k string) int {
 }
 
 // escapeDNValue escapes characters that are structural in the DN text
-// form (comma, plus, equals, backslash).
+// form (comma, plus, equals, backslash) plus leading/trailing spaces,
+// which the parser would otherwise trim away (RFC 4514 §2.4).
 func escapeDNValue(v string) string {
-	if !strings.ContainsAny(v, ",+=\\") {
+	if !strings.ContainsAny(v, ",+=\\") &&
+		(v == "" || (v[0] != ' ' && v[len(v)-1] != ' ')) {
 		return v
 	}
 	var b strings.Builder
 	for i := 0; i < len(v); i++ {
 		c := v[i]
-		if c == ',' || c == '+' || c == '=' || c == '\\' {
+		if c == ',' || c == '+' || c == '=' || c == '\\' ||
+			(c == ' ' && (i == 0 || i == len(v)-1)) {
 			b.WriteByte('\\')
 		}
 		b.WriteByte(c)
@@ -264,19 +267,23 @@ func ParseDN(s string) (DN, error) {
 	}
 	var dn DN
 	for _, comp := range splitUnescaped(s, ',') {
-		comp = strings.TrimSpace(comp)
+		comp = trimUnescapedSpace(comp)
 		if comp == "" {
 			return nil, fmt.Errorf("%w: empty RDN in %q", ErrBadDN, s)
 		}
 		var rdn RDN
 		for _, avaText := range splitUnescaped(comp, '+') {
-			avaText = strings.TrimSpace(avaText)
+			avaText = trimUnescapedSpace(avaText)
 			eq := indexUnescaped(avaText, '=')
 			if eq <= 0 {
 				return nil, fmt.Errorf("%w: component %q lacks attr=value", ErrBadDN, avaText)
 			}
 			attr := strings.TrimSpace(avaText[:eq])
-			val := unescapeDNValue(strings.TrimSpace(avaText[eq+1:]))
+			raw := trimUnescapedSpace(avaText[eq+1:])
+			if hasUnterminatedEscape(raw) {
+				return nil, fmt.Errorf("%w: unterminated escape in %q", ErrBadDN, avaText)
+			}
+			val := unescapeDNValue(raw)
 			if attr == "" {
 				return nil, fmt.Errorf("%w: empty attribute in %q", ErrBadDN, avaText)
 			}
@@ -285,6 +292,30 @@ func ParseDN(s string) (DN, error) {
 		dn = append(dn, rdn)
 	}
 	return dn, nil
+}
+
+// trimUnescapedSpace trims surrounding whitespace but keeps a trailing
+// space that is backslash-escaped (the RFC 4514 way to put significant
+// leading/trailing spaces in a value).
+func trimUnescapedSpace(s string) string {
+	s = strings.TrimLeft(s, " \t")
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		if s[len(s)-1] == ' ' && hasUnterminatedEscape(s[:len(s)-1]) {
+			break // escaped trailing space: significant
+		}
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// hasUnterminatedEscape reports whether s ends in an odd run of
+// backslashes, i.e. the next byte (or end of string) is escaped.
+func hasUnterminatedEscape(s string) bool {
+	n := 0
+	for i := len(s) - 1; i >= 0 && s[i] == '\\'; i-- {
+		n++
+	}
+	return n%2 == 1
 }
 
 // MustParseDN is ParseDN for static strings; it panics on error.

@@ -232,3 +232,33 @@ func TestSubtreeHighBoundsRange(t *testing.T) {
 		t.Error("sibling inside subtree range")
 	}
 }
+
+func TestParseDNRejectsUnterminatedEscape(t *testing.T) {
+	for _, s := range []string{`dc=a\`, `dc=a\\\`, `dc=a\, dc=b\`} {
+		if _, err := ParseDN(s); err == nil {
+			t.Errorf("ParseDN(%q) accepted a trailing lone backslash", s)
+		}
+	}
+	// An even run of backslashes is a complete escape, not an error.
+	d, err := ParseDN(`dc=a\\`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.RDN()[0].Value; got != `a\` {
+		t.Errorf("value = %q, want %q", got, `a\`)
+	}
+}
+
+func TestDNSpaceEscapeRoundTrip(t *testing.T) {
+	for _, val := range []string{" leading", "trailing ", " both ", "  double  "} {
+		d := DN{RDN{{Attr: "dc", Value: val}}, RDN{{Attr: "dc", Value: "com"}}}
+		back, err := ParseDN(d.String())
+		if err != nil {
+			t.Fatalf("%q: %v", d.String(), err)
+		}
+		if !back.Equal(d) {
+			t.Errorf("round trip of value %q: rendered %q, got back value %q",
+				val, d.String(), back.RDN()[0].Value)
+		}
+	}
+}

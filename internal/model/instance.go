@@ -91,6 +91,26 @@ func (in *Instance) Remove(dn DN) bool {
 // shared; callers must not mutate it.
 func (in *Instance) Entries() []*Entry { return in.entries }
 
+// Clone returns a deep copy of the instance: every entry is cloned (see
+// Entry.Clone — DNs are shared, attribute-value slices are copied), so
+// mutations of the copy are invisible to the original. This is the
+// isolation that makes core.Directory.Update failure-atomic: the
+// mutation function runs against a clone, and an error discards the
+// clone with the live instance untouched.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		schema:  in.schema,
+		entries: make([]*Entry, len(in.entries)),
+		byKey:   make(map[string]*Entry, len(in.byKey)),
+	}
+	for i, e := range in.entries {
+		c := e.Clone()
+		out.entries[i] = c
+		out.byKey[c.Key()] = c
+	}
+	return out
+}
+
 // Range calls fn for each entry whose key is in [lo, hi), in key order,
 // stopping early if fn returns false. With lo = dn.Key() and
 // hi = lo + 0xFF this enumerates exactly the subtree rooted at dn — the

@@ -181,14 +181,23 @@ func fmtDur(d time.Duration) string {
 // evaluation, which is also what makes the recorded pager.Stats deltas
 // exact (see the ownership rule on pager.Stats).
 type Tracer struct {
-	disk  *pager.Disk
+	src   StatsSource
 	stack []*Span
 	roots []*Span
 }
 
-// NewTracer creates a tracer recording page-I/O deltas from disk.
-func NewTracer(disk *pager.Disk) *Tracer {
-	return &Tracer{disk: disk}
+// StatsSource is anything whose cumulative page-I/O counters a Tracer
+// can window: a shared *pager.Disk (exact only under the serialized
+// evaluation of the ownership rule) or a per-query *pager.Arena (exact
+// even while other queries run, because the arena's counters are
+// private to the one evaluation being traced).
+type StatsSource interface {
+	Stats() pager.Stats
+}
+
+// NewTracer creates a tracer recording page-I/O deltas from src.
+func NewTracer(src StatsSource) *Tracer {
+	return &Tracer{src: src}
 }
 
 // Start opens a span as a child of the currently open span (nil-safe).
@@ -196,7 +205,7 @@ func (t *Tracer) Start(op, detail string) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{Op: op, Detail: detail, Start: time.Now(), startIO: t.disk.Stats()}
+	sp := &Span{Op: op, Detail: detail, Start: time.Now(), startIO: t.src.Stats()}
 	if n := len(t.stack); n > 0 {
 		parent := t.stack[n-1]
 		parent.Children = append(parent.Children, sp)
@@ -231,7 +240,7 @@ func (t *Tracer) Fail(sp *Span, err error) {
 
 func (t *Tracer) close(sp *Span) {
 	sp.Dur = time.Since(sp.Start)
-	sp.IO = t.disk.Stats().Sub(sp.startIO)
+	sp.IO = t.src.Stats().Sub(sp.startIO)
 	// Pop back to sp; a mismatched End (a span closed twice, or out of
 	// order) pops conservatively rather than corrupting ancestors.
 	for n := len(t.stack); n > 0; n-- {

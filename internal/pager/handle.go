@@ -20,6 +20,7 @@ package pager
 type ReadHandle struct {
 	d     *Disk
 	shard *statsShard
+	meter *Meter // optional per-query attribution sink
 	local Stats
 }
 
@@ -31,6 +32,16 @@ func (d *Disk) NewReadHandle() *ReadHandle {
 	return &ReadHandle{d: d, shard: &d.shards[i&(statsShards-1)]}
 }
 
+// NewMeteredReadHandle is NewReadHandle with a per-query Meter attached:
+// every read through the handle additionally lands one increment on m,
+// attributing shared-device I/O to the query that owns the meter. A nil
+// meter yields a plain handle.
+func (d *Disk) NewMeteredReadHandle(m *Meter) *ReadHandle {
+	h := d.NewReadHandle()
+	h.meter = m
+	return h
+}
+
 // Read copies page id into buf exactly like Disk.Read, counting the
 // read both globally (on the handle's shard) and locally.
 func (h *ReadHandle) Read(id PageID, buf []byte) error {
@@ -38,6 +49,9 @@ func (h *ReadHandle) Read(id PageID, buf []byte) error {
 		return err
 	}
 	h.local.Reads++
+	if h.meter != nil {
+		h.meter.reads.Add(1)
+	}
 	return nil
 }
 

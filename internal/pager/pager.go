@@ -236,6 +236,9 @@ func (d *Disk) Write(id PageID, data []byte) error {
 // shards. Under quiescence (or serialized evaluation — see the
 // ownership rule) the snapshot is exact; concurrent operations land in
 // either the before or the after of a windowed delta, never nowhere.
+// Code that needs per-query exactness on a concurrently shared disk
+// should not take windowed deltas here at all — it should evaluate on
+// an Arena, whose Stats are query-private by construction.
 func (d *Disk) Stats() Stats {
 	var s Stats
 	for i := range d.shards {

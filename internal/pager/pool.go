@@ -58,6 +58,14 @@ func (p *Pool) Disk() *Disk { return p.disk }
 // Get pins and returns the frame for page id, reading it from disk on a
 // miss (evicting an unpinned frame if the pool is full).
 func (p *Pool) Get(id PageID) (*Frame, error) {
+	return p.GetMetered(id, nil)
+}
+
+// GetMetered is Get with per-query I/O attribution: a miss's disk read
+// is additionally counted on m ("whoever misses pays" — hits cost no
+// I/O and charge nobody, which is what makes pool hit rates visible in
+// per-query meters). A nil meter behaves exactly like Get.
+func (p *Pool) GetMetered(id PageID, m *Meter) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
@@ -73,6 +81,7 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 		p.discard(f)
 		return nil, err
 	}
+	m.Add(Stats{Reads: 1})
 	return f, nil
 }
 

@@ -165,14 +165,26 @@ type Reader struct {
 
 // Reader returns a fresh iterator over the list.
 func (l *List) Reader() *Reader {
-	return &Reader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize())}
+	return l.MeteredReader(nil)
+}
+
+// MeteredReader is Reader with a per-query pager.Meter attached to the
+// underlying read handle, so iterating a list on a shared device counts
+// into the owning query's meter (nil meter = plain Reader).
+func (l *List) MeteredReader(m *pager.Meter) *Reader {
+	return &Reader{l: l, h: l.disk.NewMeteredReadHandle(m), page: make([]byte, l.disk.PageSize())}
 }
 
 // ReaderAt returns an iterator positioned at stream offset off, which
 // must be a record boundary previously obtained from a Writer's Offset
 // or a RandomReader. It reads the containing page immediately.
 func (l *List) ReaderAt(off int64) (*Reader, error) {
-	r := &Reader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize())}
+	return l.MeteredReaderAt(off, nil)
+}
+
+// MeteredReaderAt is ReaderAt with a per-query meter (see MeteredReader).
+func (l *List) MeteredReaderAt(off int64, m *pager.Meter) (*Reader, error) {
+	r := &Reader{l: l, h: l.disk.NewMeteredReadHandle(m), page: make([]byte, l.disk.PageSize())}
 	if off >= l.size {
 		r.read = l.size
 		return r, nil
@@ -275,7 +287,13 @@ type RandomReader struct {
 
 // RandomReader returns a positioned record reader for the list.
 func (l *List) RandomReader() *RandomReader {
-	return &RandomReader{l: l, h: l.disk.NewReadHandle(), page: make([]byte, l.disk.PageSize()), cur: -1}
+	return l.MeteredRandomReader(nil)
+}
+
+// MeteredRandomReader is RandomReader with a per-query meter (see
+// MeteredReader).
+func (l *List) MeteredRandomReader(m *pager.Meter) *RandomReader {
+	return &RandomReader{l: l, h: l.disk.NewMeteredReadHandle(m), page: make([]byte, l.disk.PageSize()), cur: -1}
 }
 
 func (rr *RandomReader) byteAt(off int64) (byte, error) {

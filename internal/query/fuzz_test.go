@@ -1,0 +1,36 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzCanonical checks the cache-key invariants on anything the parser
+// accepts: a parsed query's String() must itself parse, printing must
+// not change the canonical key (else semantically identical queries
+// split cache slots), and canonicalization must be deterministic.
+func FuzzCanonical(f *testing.F) {
+	f.Add("(dc=att, dc=com ? sub ? objectClass=QHP)")
+	f.Add("(& (dc=com ? sub ? tag=a) (dc=com ? sub ? tag=b))")
+	f.Add("(- (dc=com ? sub ? tag=a) (dc=com ? base ? tag=b))")
+	f.Add("(> (dc=com ? sub ? objectClass=QHP) (dc=com ? sub ? priority<=2))")
+	f.Add("(g (dc=com ? sub ? objectClass=QHP) min(priority))")
+	f.Add("(ldap dc=com ? sub ? (&(objectClass=QHP)(priority<=2)))")
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		key := Canonical(q)
+		if key != Canonical(q) {
+			t.Fatalf("Canonical not deterministic for %q", text)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() %q of accepted query %q does not re-parse: %v", rendered, text, err)
+		}
+		if key2 := Canonical(q2); key2 != key {
+			t.Fatalf("print/parse changed canonical key:\n  input  %q\n  render %q\n  key    %q\n  key2   %q", text, rendered, key, key2)
+		}
+	})
+}

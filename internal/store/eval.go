@@ -9,9 +9,35 @@ import (
 	"repro/internal/extsort"
 	"repro/internal/filter"
 	"repro/internal/model"
+	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/query"
 )
+
+// evalEnv binds one atomic evaluation to its output device and its I/O
+// attribution sink. Two configurations exist:
+//
+//   - the legacy environment (out = the store's own disk, no meter):
+//     intermediates and results land next to the data, and callers
+//     account I/O with windowed Disk.Stats deltas under serialized
+//     evaluation — the pre-snapshot-swap discipline, still used by the
+//     distributed Coordinator and by direct store/engine tools;
+//   - an arena environment (out = the arena's scratch disk, meter = the
+//     arena's): the store disk is only read, every written page goes to
+//     query-private scratch, and base-disk reads are charged to the
+//     meter — which is what lets any number of evaluations run
+//     concurrently with exact per-query accounting.
+type evalEnv struct {
+	s   *Store
+	out *pager.Disk  // destination for spools, sort runs, result lists
+	m   *pager.Meter // charged for reads of the store's disk (nil = uncharged)
+}
+
+func (s *Store) legacyEnv() *evalEnv { return &evalEnv{s: s, out: s.disk} }
+
+func (s *Store) arenaEnv(a *pager.Arena) *evalEnv {
+	return &evalEnv{s: s, out: a.Scratch(), m: a.Meter()}
+}
 
 // Eval evaluates an atomic query (Definition 4.1), producing a list of
 // the matching entries sorted by reverse-DN key. When the attribute
@@ -19,14 +45,29 @@ import (
 // presence, integer comparisons, wildcard strings), evaluation uses the
 // B+tree (and, for wildcards, the suffix index); otherwise it scans the
 // scope's contiguous master range.
+//
+// Result and intermediate lists are written to the store's own disk;
+// callers needing concurrent evaluation use EvalArena instead.
 func (s *Store) Eval(q *query.Atomic) (*plist.List, error) {
+	return s.legacyEnv().eval(q)
+}
+
+// EvalArena is Eval with all written pages placed on the arena's
+// private scratch disk and all reads of the store's disk charged to the
+// arena's meter. The store's disk is never written, so any number of
+// EvalArena calls (on distinct arenas) may run concurrently.
+func (s *Store) EvalArena(a *pager.Arena, q *query.Atomic) (*plist.List, error) {
+	return s.arenaEnv(a).eval(q)
+}
+
+func (env *evalEnv) eval(q *query.Atomic) (*plist.List, error) {
 	if q.Scope == query.ScopeBase {
 		// Base scope names exactly one entry: a DN-index point lookup
 		// beats any attribute-index plan.
-		return s.evalBase(q)
+		return env.evalBase(q)
 	}
-	if s.attr != nil && !s.preferScan(q) {
-		l, handled, err := s.indexEval(q)
+	if env.s.attr != nil && !env.s.preferScanMetered(q, env.m) {
+		l, handled, err := env.indexEval(q)
 		if err != nil {
 			return nil, err
 		}
@@ -34,19 +75,20 @@ func (s *Store) Eval(q *query.Atomic) (*plist.List, error) {
 			return l, nil
 		}
 	}
-	return s.EvalScan(q)
+	return env.evalScan(q)
 }
 
-func (s *Store) evalBase(q *query.Atomic) (*plist.List, error) {
-	w := plist.NewWriter(s.disk)
-	v, err := s.dn.Get([]byte(q.Base.Key()))
+func (env *evalEnv) evalBase(q *query.Atomic) (*plist.List, error) {
+	s := env.s
+	w := plist.NewWriter(env.out)
+	v, err := s.dn.GetMetered([]byte(q.Base.Key()), env.m)
 	if errors.Is(err, btree.ErrNotFound) {
 		return w.Close()
 	}
 	if err != nil {
 		return nil, err
 	}
-	rr := s.master.RandomReader()
+	rr := s.master.MeteredRandomReader(env.m)
 	rec, _, err := rr.ReadAt(decodeOffset(v))
 	if err != nil {
 		return nil, err
@@ -62,8 +104,17 @@ func (s *Store) evalBase(q *query.Atomic) (*plist.List, error) {
 // EvalScan evaluates an atomic query by scanning the scope range,
 // ignoring any indexes — the baseline for experiment E15.
 func (s *Store) EvalScan(q *query.Atomic) (*plist.List, error) {
-	return s.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
-		return q.Filter.Matches(s.schema, e)
+	return s.legacyEnv().evalScan(q)
+}
+
+// EvalScanArena is EvalScan in an arena environment (see EvalArena).
+func (s *Store) EvalScanArena(a *pager.Arena, q *query.Atomic) (*plist.List, error) {
+	return s.arenaEnv(a).evalScan(q)
+}
+
+func (env *evalEnv) evalScan(q *query.Atomic) (*plist.List, error) {
+	return env.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
+		return q.Filter.Matches(env.s.schema, e)
 	})
 }
 
@@ -72,8 +123,17 @@ func (s *Store) EvalScan(q *query.Atomic) (*plist.List, error) {
 // the paper's baseline language; its single-scan evaluation is exactly
 // what deployed servers do.
 func (s *Store) EvalLDAP(q *query.LDAP) (*plist.List, error) {
-	return s.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
-		return q.Filter.Matches(s.schema, e)
+	return s.legacyEnv().evalLDAP(q)
+}
+
+// EvalLDAPArena is EvalLDAP in an arena environment (see EvalArena).
+func (s *Store) EvalLDAPArena(a *pager.Arena, q *query.LDAP) (*plist.List, error) {
+	return s.arenaEnv(a).evalLDAP(q)
+}
+
+func (env *evalEnv) evalLDAP(q *query.LDAP) (*plist.List, error) {
+	return env.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
+		return q.Filter.Matches(env.s.schema, e)
 	})
 }
 
@@ -90,20 +150,21 @@ func scopeOK(baseKey string, baseDepth int, scope query.Scope, key string) bool 
 	}
 }
 
-func (s *Store) scanEval(base model.DN, scope query.Scope, match func(*model.Entry) bool) (*plist.List, error) {
+func (env *evalEnv) scanEval(base model.DN, scope query.Scope, match func(*model.Entry) bool) (*plist.List, error) {
+	s := env.s
 	k := base.Key()
 	hi := model.SubtreeHigh(k)
 	depth := base.Depth()
-	w := plist.NewWriter(s.disk)
+	w := plist.NewWriter(env.out)
 
-	off, found, err := s.seekOffset(k)
+	off, found, err := s.seekOffsetMetered(k, env.m)
 	if err != nil {
 		return nil, err
 	}
 	if !found {
 		return w.Close()
 	}
-	rd, err := s.master.ReaderAt(off)
+	rd, err := s.master.MeteredReaderAt(off, env.m)
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +195,13 @@ func (s *Store) scanEval(base model.DN, scope query.Scope, match func(*model.Ent
 // indexEval attempts index-supported evaluation. handled reports whether
 // the filter shape was supported; if false the caller falls back to a
 // scan.
-func (s *Store) indexEval(q *query.Atomic) (l *plist.List, handled bool, err error) {
+func (env *evalEnv) indexEval(q *query.Atomic) (l *plist.List, handled bool, err error) {
+	s := env.s
 	attr := q.Filter.Attr
 	t, ok := s.schema.AttrType(attr)
 	if !ok {
 		// Unknown attribute: nothing can match.
-		empty, err := plist.Build(s.disk, nil)
+		empty, err := plist.Build(env.out, nil)
 		return empty, true, err
 	}
 	kind := model.TypeKind(t)
@@ -147,13 +209,13 @@ func (s *Store) indexEval(q *query.Atomic) (l *plist.List, handled bool, err err
 	switch q.Filter.Op {
 	case filter.OpPresent:
 		lo := attrPrefix(attr)
-		return s.collectFetch(q, [][2][]byte{{lo, prefixEnd(lo)}}, false)
+		return env.collectFetch(q, [][2][]byte{{lo, prefixEnd(lo)}}, false)
 
 	case filter.OpEq:
 		if kind == model.KindString && containsStar(q.Filter.Operand) {
 			sfx := s.suffix[attr]
 			if sfx == nil {
-				empty, err := plist.Build(s.disk, nil)
+				empty, err := plist.Build(env.out, nil)
 				return empty, true, err
 			}
 			var ranges [][2][]byte
@@ -161,16 +223,16 @@ func (s *Store) indexEval(q *query.Atomic) (l *plist.List, handled bool, err err
 				p := valuePrefix(attr, []byte(sfx.Values()[vi]))
 				ranges = append(ranges, [2][]byte{p, prefixEnd(p)})
 			}
-			return s.collectFetch(q, ranges, len(ranges) <= 1)
+			return env.collectFetch(q, ranges, len(ranges) <= 1)
 		}
 		v, perr := model.ParseValue(t, q.Filter.Operand)
 		if perr != nil {
 			// E.g. non-numeric operand on an int attribute: no match.
-			empty, err := plist.Build(s.disk, nil)
+			empty, err := plist.Build(env.out, nil)
 			return empty, true, err
 		}
 		p := valuePrefix(attr, ordValue(v))
-		return s.collectFetch(q, [][2][]byte{{p, prefixEnd(p)}}, true)
+		return env.collectFetch(q, [][2][]byte{{p, prefixEnd(p)}}, true)
 
 	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE:
 		if kind != model.KindInt {
@@ -178,11 +240,11 @@ func (s *Store) indexEval(q *query.Atomic) (l *plist.List, handled bool, err err
 		}
 		v, perr := model.ParseValue(t, q.Filter.Operand)
 		if perr != nil {
-			empty, err := plist.Build(s.disk, nil)
+			empty, err := plist.Build(env.out, nil)
 			return empty, true, err
 		}
 		lo, hi := s.intRange(attr, q.Filter.Op, v.Int())
-		return s.collectFetch(q, [][2][]byte{{lo, hi}}, false)
+		return env.collectFetch(q, [][2][]byte{{lo, hi}}, false)
 
 	default:
 		return nil, false, nil // approx etc.: scan
@@ -230,17 +292,18 @@ func prefixEnd(prefix []byte) []byte {
 // in key order and entries stream straight out; otherwise hits are
 // spooled, externally sorted, and de-duplicated (an entry matching
 // several values appears once — lists are sets of entries).
-func (s *Store) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bool) (*plist.List, bool, error) {
+func (env *evalEnv) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bool) (*plist.List, bool, error) {
+	s := env.s
 	baseKey := q.Base.Key()
 	baseHi := model.SubtreeHigh(baseKey)
 	depth := q.Base.Depth()
 
 	if ordered && len(ranges) <= 1 {
-		w := plist.NewWriter(s.disk)
-		rr := s.master.RandomReader()
+		w := plist.NewWriter(env.out)
+		rr := s.master.MeteredRandomReader(env.m)
 		if len(ranges) == 1 {
 			var inner error
-			err := s.attr.Scan(ranges[0][0], ranges[0][1], func(k, v []byte) bool {
+			err := s.attr.ScanMetered(ranges[0][0], ranges[0][1], env.m, func(k, v []byte) bool {
 				rk := splitRevKey(k)
 				if rk < baseKey || rk >= baseHi || !scopeOK(baseKey, depth, q.Scope, rk) {
 					return true
@@ -268,10 +331,10 @@ func (s *Store) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bool) 
 	}
 
 	// General path: spool (key, offset) hits, sort, dedupe, fetch.
-	spool := plist.NewWriter(s.disk).Unordered()
+	spool := plist.NewWriter(env.out).Unordered()
 	for _, r := range ranges {
 		var inner error
-		err := s.attr.Scan(r[0], r[1], func(k, v []byte) bool {
+		err := s.attr.ScanMetered(r[0], r[1], env.m, func(k, v []byte) bool {
 			rk := splitRevKey(k)
 			if rk < baseKey || rk >= baseHi || !scopeOK(baseKey, depth, q.Scope, rk) {
 				return true
@@ -293,15 +356,15 @@ func (s *Store) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bool) 
 	if err != nil {
 		return nil, false, err
 	}
-	sorted, err := extsort.Sort(s.disk, hits.Reader(), extsort.Config{})
+	sorted, err := extsort.Sort(env.out, hits.Reader(), extsort.Config{})
 	if err != nil {
 		return nil, false, err
 	}
 	if err := hits.Free(); err != nil {
 		return nil, false, err
 	}
-	w := plist.NewWriter(s.disk)
-	rr := s.master.RandomReader()
+	w := plist.NewWriter(env.out)
+	rr := s.master.MeteredRandomReader(env.m)
 	rd := sorted.Reader()
 	last := ""
 	first := true

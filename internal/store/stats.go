@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/model"
+	"repro/internal/pager"
 	"repro/internal/query"
 )
 
@@ -125,16 +126,22 @@ func (c *catalog) intRangeCount(st *attrStats, lo, hi int64) int64 {
 // scanBytes returns the exact master-byte extent of the query's scope
 // range, measured through the DN index (two point probes).
 func (s *Store) scanBytes(q *query.Atomic) (int64, error) {
+	return s.scanBytesMetered(q, nil)
+}
+
+// scanBytesMetered is scanBytes with the two DN-index probes charged to
+// the per-query meter (nil = uncharged).
+func (s *Store) scanBytesMetered(q *query.Atomic, m *pager.Meter) (int64, error) {
 	lo := q.Base.Key()
 	hi := model.SubtreeHigh(lo)
-	start, okStart, err := s.seekOffset(lo)
+	start, okStart, err := s.seekOffsetMetered(lo, m)
 	if err != nil {
 		return 0, err
 	}
 	if !okStart {
 		return 0, nil
 	}
-	end, okEnd, err := s.seekOffset(hi)
+	end, okEnd, err := s.seekOffsetMetered(hi, m)
 	if err != nil {
 		return 0, err
 	}
@@ -203,6 +210,12 @@ func indexSupported(s *Store, q *query.Atomic) bool {
 // higher cost factor. Once the weighted hit volume approaches the
 // scope's byte extent, the contiguous scan wins.
 func (s *Store) preferScan(q *query.Atomic) bool {
+	return s.preferScanMetered(q, nil)
+}
+
+// preferScanMetered is preferScan with its DN-index probes charged to
+// the per-query meter.
+func (s *Store) preferScanMetered(q *query.Atomic, m *pager.Meter) bool {
 	if s.stats == nil {
 		return false
 	}
@@ -210,7 +223,7 @@ func (s *Store) preferScan(q *query.Atomic) bool {
 	if !ok {
 		return true // shapes the index cannot serve anyway
 	}
-	scan, err := s.scanBytes(q)
+	scan, err := s.scanBytesMetered(q, m)
 	if err != nil || scan == 0 {
 		return false
 	}

@@ -169,9 +169,15 @@ func (s *Store) masterBytes() int64 { return s.master.Size() }
 // seekOffset returns the master stream offset of the first entry whose
 // key is >= lo, or (0, false) if none.
 func (s *Store) seekOffset(lo string) (int64, bool, error) {
+	return s.seekOffsetMetered(lo, nil)
+}
+
+// seekOffsetMetered is seekOffset with the DN-index probe charged to the
+// per-query meter (nil = uncharged).
+func (s *Store) seekOffsetMetered(lo string, m *pager.Meter) (int64, bool, error) {
 	var off int64
 	found := false
-	err := s.dn.Scan([]byte(lo), nil, func(_, v []byte) bool {
+	err := s.dn.ScanMetered([]byte(lo), nil, m, func(_, v []byte) bool {
 		off = decodeOffset(v)
 		found = true
 		return false
