@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz docs
+.PHONY: check vet build test race fuzz docs crash
 
 check: vet build test race docs
 
@@ -21,21 +21,36 @@ test:
 # chaos failover), the snapshot-swap core (lock-free reads during
 # copy-on-write updates, internal/core/swap_test.go), the shared-Disk
 # pager and per-query arenas, the parallel engine and external sorter,
-# and the metrics/tracing subsystem. CI additionally runs
-# `go test -race ./...` over the whole module.
+# the durable checkpoint store (checkpoint-during-swap chaos), and the
+# metrics/tracing subsystem. CI additionally runs `go test -race ./...`
+# over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/
 
 # Short-budget fuzzing of the parser/matcher surfaces that each carry a
 # differential oracle: the wildcard matcher vs a reference matcher and
-# a regexp, the filter parser's print/parse fixpoint, and the query
-# canonicalizer's cache-key invariance. CI runs this on every push;
-# longer local runs just raise FUZZTIME.
+# a regexp, the filter parser's print/parse fixpoint, the query
+# canonicalizer's cache-key invariance, and the durable-store decode
+# paths (checksum envelopes, the manifest, and the full snapshot open
+# path must never panic or overallocate on hostile bytes). CI runs this
+# on every push; longer local runs just raise FUZZTIME.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/filter/ -run=^$$ -fuzz=FuzzWildcardMatch -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/filter/ -run=^$$ -fuzz=FuzzParseFilter -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/query/ -run=^$$ -fuzz=FuzzCanonical -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run=^$$ -fuzz=FuzzOpenSnapshot -fuzztime=$(FUZZTIME)
+
+# The kill -9 soak: a child dirserve under a live write stream is
+# SIGKILLed at random points (alternate rounds with storage fault
+# injection) and must recover to at least the last durably acknowledged
+# generation, answering queries byte-identically to a reference
+# reconstruction. CRASH_ITERS crash cycles per run.
+CRASH_ITERS ?= 30
+crash:
+	DIRKIT_CRASH_ITERS=$(CRASH_ITERS) $(GO) test ./internal/durable/crashtest/ -count=1 -v
 
 # Documentation gate: intra-repo markdown links must resolve, and the
 # packages docslint lists must document every exported identifier.

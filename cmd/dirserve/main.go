@@ -13,6 +13,18 @@
 // query):
 //
 //	dirserve -gen forest -n 2000 -admin 127.0.0.1:9090 -slowlog slow.jsonl -slow-ms 50
+//
+// With -data the directory is durable: on boot the newest intact
+// checkpoint generation is recovered (corrupt ones are verified against
+// their checksums and rolled past); -gen/-ldif/-open only seed an empty
+// store. With -mutable the server accepts "add"/"del" requests, and
+// with -checkpoint-every 0 each one is checkpointed through the
+// write-temp → fsync → rename → fsync-dir protocol before it is
+// acknowledged — an acked write survives kill -9. A positive
+// -checkpoint-every trades that guarantee for amortized periodic
+// checkpoints; SIGTERM always takes a final checkpoint after draining.
+//
+//	dirserve -gen paper -data /var/lib/dirkit -mutable -checkpoint-every 0
 package main
 
 import (
@@ -25,10 +37,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dirserver"
+	"repro/internal/durable"
 	"repro/internal/engine"
+	"repro/internal/faultfs"
 	"repro/internal/ldif"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/pager"
 	"repro/internal/workload"
 )
 
@@ -42,6 +57,13 @@ var (
 	slowIO       = flag.Int64("slow-io", 0, "log queries costing at least this many page I/Os (0 disables the I/O threshold)")
 	cacheBytes   = flag.Int64("cache", 0, "enable the served directory's query-result cache with this byte budget (0 = off)")
 	workers      = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
+
+	dataDir   = flag.String("data", "", "durable store directory: recover on boot, checkpoint while serving (off when empty)")
+	ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint cadence: 0 = synchronously before acknowledging each write, >0 = periodic background checkpoints")
+	keepGens  = flag.Int("keep", 0, "checkpoint generations to retain for rollback (0 = the durable store's default)")
+	mutable   = flag.Bool("mutable", false, `accept "add" and "del" requests (read-only without it)`)
+	faultProb = flag.Float64("fault-prob", 0, "inject storage faults (torn/short writes, fsync errors) with this probability — crash-harness use only")
+	faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for -fault-prob injection")
 )
 
 // options assembles the served directory's core.Options from the flags.
@@ -60,6 +82,28 @@ func main() {
 	)
 	flag.Parse()
 
+	// Open the durable store first: an existing checkpoint beats every
+	// bootstrap source, so a restart resumes the durable lineage rather
+	// than regenerating from -gen and forking history.
+	var ds *durable.Store
+	if *dataDir != "" {
+		var err error
+		if ds, err = openDurable(); err != nil {
+			fatal(err)
+		}
+		dir, info, err := core.Recover(ds, options())
+		if err != nil {
+			fatal(err)
+		}
+		if !info.Fresh {
+			fmt.Printf("dirserve: recovered generation %d from %s (skipped %d corrupt)\n", info.Gen, *dataDir, info.Skipped)
+			serve(dir, ds, *addr)
+			return
+		}
+		// Fresh store: fall through to the bootstrap sources below; the
+		// seeded directory is checkpointed as generation 1 before serving.
+	}
+
 	if *snapPath != "" {
 		f, err := os.Open(*snapPath)
 		if err != nil {
@@ -70,7 +114,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		serve(dir, *addr)
+		serve(dir, ds, *addr)
 		return
 	}
 
@@ -104,7 +148,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	serve(dir, *addr)
+	serve(dir, ds, *addr)
+}
+
+// openDurable opens (creating if needed) the -data checkpoint store,
+// removing any *.tmp residue a crash left behind. With -fault-prob the
+// filesystem is wrapped in the deterministic fault injector — the crash
+// harness's way of testing the commit protocol against torn writes and
+// failing fsyncs.
+func openDurable() (*durable.Store, error) {
+	fs, err := pager.DirFS(*dataDir)
+	if err != nil {
+		return nil, err
+	}
+	if *faultProb > 0 {
+		fs = faultfs.Wrap(fs, faultfs.Config{
+			Seed:       *faultSeed,
+			TornWrite:  *faultProb,
+			ShortWrite: *faultProb / 2,
+			SyncErr:    *faultProb / 2,
+		})
+	}
+	return durable.Open(fs, durable.Options{Keep: *keepGens})
 }
 
 // slowLog builds the slow-query log from the -slowlog/-slow-ms/-slow-io
@@ -124,16 +189,58 @@ func slowLog() *obs.SlowLog {
 	return obs.NewSlowLog(w, *slowMs, *slowIO)
 }
 
-func serve(dir *core.Directory, addr string) {
+func serve(dir *core.Directory, ds *durable.Store, addr string) {
 	reg := obs.NewRegistry()
 	dir.RegisterMetrics(reg)
-	srv, err := dirserver.ServeWith(dir, addr, dirserver.ServerConfig{
+	cfg := dirserver.ServerConfig{
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		Grace:        *grace,
+		Mutable:      *mutable,
 		Metrics:      obs.NewQueryMetrics(reg, "dirkit_server"),
 		SlowLog:      slowLog(),
-	})
+	}
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if ds != nil {
+		ds.RegisterMetrics(reg, "dirkit_durable")
+		// Seed generation 1 before listening: a server that crashes on
+		// its very first write still has a rung to recover to.
+		if _, err := dir.Checkpoint(ds); err != nil {
+			fatal(err)
+		}
+		if *ckptEvery == 0 {
+			// Durable acks: the write path checkpoints synchronously
+			// before replying, so an acknowledged add/del survives
+			// kill -9 from the instant the client sees it.
+			cfg.AfterUpdate = func() error {
+				_, err := dir.Checkpoint(ds)
+				return err
+			}
+			close(ckptDone)
+		} else {
+			// Amortized mode: a background loop checkpoints on a cadence;
+			// writes between ticks are acknowledged from memory only.
+			go func() {
+				defer close(ckptDone)
+				t := time.NewTicker(*ckptEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-ckptStop:
+						return
+					case <-t.C:
+						if _, err := dir.Checkpoint(ds); err != nil {
+							fmt.Fprintln(os.Stderr, "dirserve: checkpoint:", err)
+						}
+					}
+				}
+			}()
+		}
+	} else {
+		close(ckptDone)
+	}
+	srv, err := dirserver.ServeWith(dir, addr, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -161,6 +268,19 @@ func serve(dir *core.Directory, addr string) {
 	s := <-sig
 	fmt.Printf("dirserve: %v — draining for up to %v\n", s, *grace)
 	_ = srv.Close()
+	if ds != nil {
+		// The drain above completed or excluded every in-flight Update;
+		// one final checkpoint makes whatever generation survived the
+		// drain durable. The background loop is stopped first so the two
+		// never race on a half-drained state.
+		close(ckptStop)
+		<-ckptDone
+		if gen, err := dir.Checkpoint(ds); err != nil {
+			fmt.Fprintln(os.Stderr, "dirserve: final checkpoint:", err)
+		} else {
+			fmt.Printf("dirserve: checkpointed generation %d\n", gen)
+		}
+	}
 	fmt.Println("dirserve: shut down")
 }
 

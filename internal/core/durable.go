@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/durable"
+)
+
+// Checkpoint durably persists the read snapshot current at call time
+// into ds, keyed by its generation, and reports the generation written.
+// It never blocks readers or writers: the snapshot is one immutable
+// value loaded from the atomic pointer, so serialization proceeds
+// while queries evaluate and while an Update builds the next
+// generation off-line. Checkpointing an already-persisted generation
+// is a no-op (the common case for periodic checkpoint loops between
+// writes).
+//
+// The durable store acknowledges only after the full
+// write-temp → fsync → rename → fsync-dir protocol; a nil return
+// therefore means this generation survives kill -9 from here on.
+func (d *Directory) Checkpoint(ds *durable.Store) (int64, error) {
+	snap := d.snap.Load()
+	if newest, ok := ds.Newest(); ok && newest == snap.gen {
+		return snap.gen, nil
+	}
+	err := ds.Commit(snap.gen, func(w io.Writer) error {
+		return writeSnapshot(snap, w)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return snap.gen, nil
+}
+
+// RecoverInfo describes what Recover found.
+type RecoverInfo struct {
+	// Gen is the generation the directory was restored to (0 when
+	// Fresh).
+	Gen int64
+	// Skipped counts newer generations that failed verification and
+	// were rolled past (and dropped from the store).
+	Skipped int
+	// Fresh reports an empty durable store: no generation existed, and
+	// the caller should build the directory from its bootstrap source
+	// and checkpoint it.
+	Fresh bool
+}
+
+// Recover reconstructs a Directory from the newest intact generation
+// in ds, walking the recovery ladder: generations are verified
+// newest-first (envelope checksums in the durable store, then the full
+// snapshot decode here), corrupt ones are counted, dropped, and rolled
+// past. The restored Directory continues the durable lineage — its
+// generation is the recovered one, so the next Update produces gen+1
+// and the next Checkpoint slots right after the recovered segment.
+//
+// An empty store is not an error: the returned info has Fresh set and
+// the Directory is nil — bootstrap, then Checkpoint. A store whose
+// every generation is corrupt returns durable.ErrNoIntactGeneration;
+// refusing to serve beats serving a torn state.
+func Recover(ds *durable.Store, opts Options) (*Directory, RecoverInfo, error) {
+	var info RecoverInfo
+	gens := ds.Generations()
+	if len(gens) == 0 {
+		info.Fresh = true
+		return nil, info, nil
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		gen := gens[i]
+		payload, err := ds.Load(gen)
+		if err != nil {
+			// The durable store's checksums rejected the segment.
+			info.Skipped++
+			continue
+		}
+		dir, err := openSnapshotGen(bytes.NewReader(payload), opts, gen)
+		if err != nil {
+			// Checksum-intact but semantically undecodable — possible
+			// only for images that were corrupt before they were
+			// committed. Still just a rung on the ladder.
+			info.Skipped++
+			continue
+		}
+		if info.Skipped > 0 {
+			// Drop the corrupt newer rungs so the write path resumes
+			// cleanly from this lineage.
+			if err := ds.Rollback(gen); err != nil {
+				return nil, info, fmt.Errorf("core: pruning corrupt generations: %w", err)
+			}
+		}
+		info.Gen = gen
+		return dir, info, nil
+	}
+	return nil, info, fmt.Errorf("core: recover: %w", durable.ErrNoIntactGeneration)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,84 +25,113 @@ import (
 // scan).
 var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'S', '1'}
 
+// ErrCorruptSnapshot marks a snapshot stream whose structure is broken:
+// truncated or wrong magic, a truncated section header, a section body
+// shorter than its declared length, or an implausible declared size.
+// I/O failures of the underlying reader are wrapped but keep their own
+// identity; structural damage is always errors.Is-able as this.
+// internal/durable's recovery ladder relies on the distinction to
+// count corrupt-segment skips separately from transport problems.
+var ErrCorruptSnapshot = errors.New("core: corrupt snapshot")
+
 // SaveSnapshot writes the directory's disk image and metadata. It
 // captures the read snapshot current at call time; because store disks
 // are immutable once published (Update builds its replacement on a
 // fresh disk), the image is consistent even while queries and a
 // background Update run concurrently.
 func (d *Directory) SaveSnapshot(w io.Writer) error {
-	snap := d.snap.Load()
+	return writeSnapshot(d.snap.Load(), w)
+}
+
+// writeSnapshot serializes one immutable read snapshot. Taking the
+// snapshot as a parameter (rather than re-loading d.snap) is what makes
+// checkpointing non-blocking: Checkpoint pins one generation and
+// serializes it while readers and writers proceed on the atomic
+// pointer.
+func writeSnapshot(snap *snapshot, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return err
+		return fmt.Errorf("core: write snapshot magic: %w", err)
 	}
 	if err := writeSection(bw, []byte(ldif.MarshalSchema(snap.st.Schema()))); err != nil {
-		return err
+		return fmt.Errorf("core: write schema section: %w", err)
 	}
 	manifest, err := snap.st.Manifest()
 	if err != nil {
-		return err
+		return fmt.Errorf("core: marshal store manifest: %w", err)
 	}
 	if err := writeSection(bw, manifest); err != nil {
-		return err
+		return fmt.Errorf("core: write manifest section: %w", err)
 	}
 	if _, err := snap.st.Disk().WriteTo(bw); err != nil {
-		return err
+		return fmt.Errorf("core: write disk image: %w", err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush snapshot: %w", err)
+	}
+	return nil
 }
 
 // OpenSnapshot reconstructs a queryable Directory from a snapshot.
 // Options must agree with the snapshot's layout where it matters
 // (PageSize is taken from the image; NoAttrIndex from the manifest).
+// Structural damage — truncation anywhere, wrong magic, lying section
+// lengths — is reported as ErrCorruptSnapshot.
+//
+// The restored Directory starts at generation 1 like any fresh Open
+// (nothing cached against other contents can ever match). Recover is
+// the restore path that instead preserves the on-disk generation, for
+// callers continuing a durable lineage.
 func OpenSnapshot(r io.Reader, opts Options) (*Directory, error) {
+	return openSnapshotGen(r, opts, 1)
+}
+
+// openSnapshotGen is OpenSnapshot with an explicit starting generation.
+func openSnapshotGen(r io.Reader, opts Options, gen int64) (*Directory, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: truncated magic: %v", ErrCorruptSnapshot, err)
 	}
 	if magic != snapshotMagic {
-		return nil, errors.New("core: not a directory snapshot")
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, magic[:])
 	}
 	schemaText, err := readSection(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("schema section: %w", err)
 	}
 	schema, err := ldif.UnmarshalSchema(string(schemaText))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: undecodable schema: %v", ErrCorruptSnapshot, err)
 	}
 	manifest, err := readSection(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("manifest section: %w", err)
 	}
 	disk, err := pager.ReadDisk(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: disk image: %v", ErrCorruptSnapshot, err)
 	}
 	st, err := store.Reopen(disk, schema, manifest)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reopen store: %v", ErrCorruptSnapshot, err)
 	}
 	// Rebuild the in-memory instance from the master list so updates
 	// (mutate + rebuild) keep working after a restore.
 	inst := model.NewInstance(schema)
 	if err := loadInstanceFromStore(st, inst); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: master list: %v", ErrCorruptSnapshot, err)
 	}
 	d := &Directory{opts: opts}
 	if opts.CacheBytes > 0 {
 		d.cache = qcache.New(opts.CacheBytes)
 	}
-	// A restore starts at generation 1 like any fresh Open: the
-	// restored Directory has an empty cache, so nothing cached against
-	// other contents can ever match.
 	d.snap.Store(&snapshot{
 		inst:   inst,
 		st:     st,
 		eng:    engine.New(st, opts.Engine),
 		strict: inst.Validate(true) == nil,
-		gen:    1,
+		gen:    gen,
 	})
 	return d, nil
 }
@@ -133,18 +163,24 @@ func writeSection(w io.Writer, b []byte) error {
 	return err
 }
 
+// readSection reads one length-prefixed section. The declared length is
+// never trusted with an up-front allocation: the body is copied
+// incrementally, so a lying header on a truncated stream costs only
+// the bytes actually present (FuzzOpenSnapshot leans on this — a
+// 4-byte header must not be able to demand a gigabyte).
 func readSection(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: truncated section header: %v", ErrCorruptSnapshot, err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > 1<<30 {
-		return nil, fmt.Errorf("core: snapshot section too large (%d bytes)", n)
+		return nil, fmt.Errorf("%w: section declares %d bytes", ErrCorruptSnapshot, n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
+	var buf bytes.Buffer
+	copied, err := io.CopyN(&buf, r, int64(n))
+	if err != nil {
+		return nil, fmt.Errorf("%w: section truncated at %d of %d bytes: %v", ErrCorruptSnapshot, copied, n, err)
 	}
-	return b, nil
+	return buf.Bytes(), nil
 }

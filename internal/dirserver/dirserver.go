@@ -110,7 +110,9 @@ func (r *Registry) Zones() []string {
 
 // request is one protocol message: a query to evaluate at the server.
 // Kind is "atomic" (the distributed-evaluation workhorse), "query" (a
-// full L0..L3 tree evaluated where it lands), or "ldap".
+// full L0..L3 tree evaluated where it lands), "ldap", or — on servers
+// started with ServerConfig.Mutable — "add" (Query carries one LDIF
+// entry block) or "del" (Query carries a DN).
 type request struct {
 	Kind  string `json:"kind"`
 	Query string `json:"query"`
@@ -152,6 +154,19 @@ type ServerConfig struct {
 	// first, so a single bad line never silently kills a pooled
 	// connection.
 	MaxBadRequests int
+	// Mutable enables the "add" and "del" request kinds. Read-only
+	// servers (the default) answer both with an error and leave the
+	// directory untouched.
+	Mutable bool
+	// AfterUpdate, when non-nil, runs synchronously after each
+	// successful mutation and before the reply is written. dirserve
+	// installs a durable checkpoint here: the client's acknowledgment
+	// then means the new generation has survived the full
+	// write-temp → fsync → rename → fsync-dir protocol, so an ack
+	// followed by kill -9 still recovers to (at least) that state. An
+	// AfterUpdate error is reported to the client in place of success —
+	// the mutation is applied in memory but was never promised durable.
+	AfterUpdate func() error
 	// Metrics, when non-nil, records every served request: count,
 	// latency, page I/O and result-cardinality histograms.
 	Metrics *obs.QueryMetrics
@@ -368,8 +383,11 @@ func isNetShutdown(err error) bool {
 func (s *Server) serveOne(req request) response {
 	start := time.Now()
 	var res *core.Result
+	var gen int64
 	var err error
 	switch req.Kind {
+	case "add", "del":
+		gen, err = s.applyWrite(req)
 	case "atomic":
 		var q query.Query
 		q, err = query.Parse(req.Query)
@@ -402,6 +420,11 @@ func (s *Server) serveOne(req request) response {
 	if err != nil {
 		return response{Err: err.Error()}
 	}
+	if req.Kind == "add" || req.Kind == "del" {
+		// A write acknowledgment: no entries, just the generation the
+		// mutation produced (already durable if AfterUpdate says so).
+		return response{Gen: gen}
+	}
 	// Echo the generation the evaluation actually ran against (carried
 	// on the Result), not the directory's current generation: an Update
 	// swapping the store mid-evaluation must not stamp old entries with
@@ -412,6 +435,50 @@ func (s *Server) serveOne(req request) response {
 		out.Entries[i] = ldif.MarshalEntry(e)
 	}
 	return out
+}
+
+// applyWrite executes one "add" or "del" mutation and returns the
+// generation it produced (under concurrent writers: a generation that
+// includes it). Malformed input fails before Update so the directory
+// never swaps; the AfterUpdate hook (durable checkpoint) runs before
+// the acknowledgment, so a successful reply is a durability promise
+// when the server is configured that way.
+func (s *Server) applyWrite(req request) (int64, error) {
+	if !s.cfg.Mutable {
+		return 0, fmt.Errorf("dirserver: read-only server rejects kind %q", req.Kind)
+	}
+	var mutate func(in *model.Instance) error
+	switch req.Kind {
+	case "add":
+		mutate = func(in *model.Instance) error {
+			e, err := ldif.UnmarshalEntry(in.Schema(), req.Query)
+			if err != nil {
+				return fmt.Errorf("dirserver: add: %w", err)
+			}
+			return in.Add(e)
+		}
+	case "del":
+		dn, err := model.ParseDN(req.Query)
+		if err != nil {
+			return 0, fmt.Errorf("dirserver: del: %w", err)
+		}
+		mutate = func(in *model.Instance) error {
+			if !in.Remove(dn) {
+				return fmt.Errorf("dirserver: del: no entry %q", req.Query)
+			}
+			return nil
+		}
+	}
+	if err := s.dir.Update(mutate); err != nil {
+		return 0, err
+	}
+	gen := s.dir.Generation()
+	if s.cfg.AfterUpdate != nil {
+		if err := s.cfg.AfterUpdate(); err != nil {
+			return 0, fmt.Errorf("dirserver: update applied but not durable: %w", err)
+		}
+	}
+	return gen, nil
 }
 
 // CoordinatorConfig tunes the coordinator's client and failover

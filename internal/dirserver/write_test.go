@@ -1,0 +1,132 @@
+package dirserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+const testEntryLDIF = "dn: uid=wtest, ou=userProfiles, dc=research, dc=att, dc=com\nobjectClass: inetOrgPerson\nuid: wtest\n"
+
+func TestWritePathAddDelRoundTrip(t *testing.T) {
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked int
+	srv, err := ServeWith(dir, "127.0.0.1:0", ServerConfig{
+		Mutable:     true,
+		AfterUpdate: func() error { acked++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(dir.Schema(), ClientConfig{})
+	defer cl.Close()
+	ctx := context.Background()
+
+	_, gen, err := cl.CallWithGen(ctx, srv.Addr(), "add", testEntryLDIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("add acked gen %d, want 2", gen)
+	}
+	if acked != 1 {
+		t.Fatalf("AfterUpdate ran %d times, want 1", acked)
+	}
+	res, _, err := cl.CallWithGen(ctx, srv.Addr(), "query", "(dc=com ? sub ? uid=wtest)")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("query after add: %v entries, %v", res, err)
+	}
+	_, gen, err = cl.CallWithGen(ctx, srv.Addr(), "del", "uid=wtest, ou=userProfiles, dc=research, dc=att, dc=com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 {
+		t.Fatalf("del acked gen %d, want 3", gen)
+	}
+	res, _, err = cl.CallWithGen(ctx, srv.Addr(), "query", "(dc=com ? sub ? uid=wtest)")
+	if err != nil || len(res) != 0 {
+		t.Fatalf("query after del: %v entries, %v", res, err)
+	}
+}
+
+func TestWritePathRejectedOnReadOnlyServer(t *testing.T) {
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(dir, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(dir.Schema(), ClientConfig{})
+	defer cl.Close()
+
+	_, _, err = cl.CallWithGen(context.Background(), srv.Addr(), "add", testEntryLDIF)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("err = %v, want remote read-only rejection", err)
+	}
+	if dir.Generation() != 1 {
+		t.Fatalf("read-only server mutated: gen %d", dir.Generation())
+	}
+}
+
+func TestWritePathMalformedInputLeavesDirectoryUntouched(t *testing.T) {
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeWith(dir, "127.0.0.1:0", ServerConfig{Mutable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(dir.Schema(), ClientConfig{})
+	defer cl.Close()
+	ctx := context.Background()
+
+	cases := []struct{ kind, q string }{
+		{"add", "not ldif at all"},
+		{"add", "dn: uid=orphan, ou=nowhere, dc=example\nobjectClass: inetOrgPerson\n"}, // no parent
+		{"del", "uid=missing, ou=userProfiles, dc=research, dc=att, dc=com"},
+	}
+	for _, tc := range cases {
+		if _, _, err := cl.CallWithGen(ctx, srv.Addr(), tc.kind, tc.q); !errors.Is(err, ErrRemote) {
+			t.Fatalf("%s %q: err = %v, want ErrRemote", tc.kind, tc.q, err)
+		}
+	}
+	if dir.Generation() != 1 {
+		t.Fatalf("failed writes advanced generation to %d", dir.Generation())
+	}
+}
+
+func TestWritePathAfterUpdateFailureIsReported(t *testing.T) {
+	dir, err := core.Open(workload.PaperInstance(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeWith(dir, "127.0.0.1:0", ServerConfig{
+		Mutable:     true,
+		AfterUpdate: func() error { return fmt.Errorf("disk on fire") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(dir.Schema(), ClientConfig{})
+	defer cl.Close()
+
+	_, _, err = cl.CallWithGen(context.Background(), srv.Addr(), "add", testEntryLDIF)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("err = %v, want not-durable rejection", err)
+	}
+}

@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func newStore(t *testing.T, opts Options) (*Store, pager.FileSystem) {
+	t.Helper()
+	fs, err := pager.DirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fs
+}
+
+func commitString(t *testing.T, s *Store, gen int64, payload string) {
+	t.Helper()
+	err := s.Commit(gen, func(w io.Writer) error {
+		_, err := io.WriteString(w, payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("commit gen %d: %v", gen, err)
+	}
+}
+
+func TestCommitRecoverRoundTrip(t *testing.T) {
+	s, fs := newStore(t, Options{})
+	commitString(t, s, 1, "generation one")
+	commitString(t, s, 2, "generation two")
+
+	gen, payload, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || string(payload) != "generation two" {
+		t.Fatalf("recovered gen %d %q", gen, payload)
+	}
+
+	// A reopened store (fresh process) recovers the same state.
+	back, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, payload, err = back.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || string(payload) != "generation two" {
+		t.Fatalf("reopened store recovered gen %d %q", gen, payload)
+	}
+	if got := back.Generations(); fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("generations %v", got)
+	}
+}
+
+func TestRecoverEmptyStore(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	if _, _, err := s.Recover(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty store Recover = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKeepPrunesOldGenerations(t *testing.T) {
+	s, fs := newStore(t, Options{Keep: 2})
+	for g := int64(1); g <= 5; g++ {
+		commitString(t, s, g, fmt.Sprintf("gen %d", g))
+	}
+	if got := s.Generations(); fmt.Sprint(got) != "[4 5]" {
+		t.Fatalf("generations %v, want [4 5]", got)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, segSuffix) {
+			segs++
+		}
+	}
+	if segs != 2 {
+		t.Fatalf("%d segment files on disk (%v), want 2", segs, names)
+	}
+	if s.Stats().Pruned != 3 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
+
+func TestRecommitGenerationReplaces(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	commitString(t, s, 3, "first lineage")
+	commitString(t, s, 3, "second lineage")
+	gen, payload, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || string(payload) != "second lineage" {
+		t.Fatalf("recovered gen %d %q", gen, payload)
+	}
+	if got := s.Generations(); fmt.Sprint(got) != "[3]" {
+		t.Fatalf("generations %v", got)
+	}
+}
+
+func TestOpenRemovesOrphanedTempFiles(t *testing.T) {
+	fs, err := pager.DirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitString(t, s, 1, "committed")
+	// Simulate a crash mid-commit: a temp file that never got renamed.
+	f, err := fs.Create(segName(2) + tmpSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("torn half-written segment"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().OrphansRemoved != 1 {
+		t.Fatalf("stats: %+v", back.Stats())
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, tmpSuffix) {
+			t.Fatalf("orphan %s survived Open", n)
+		}
+	}
+	gen, _, err := back.Recover()
+	if err != nil || gen != 1 {
+		t.Fatalf("recover after orphan cleanup: gen %d, %v", gen, err)
+	}
+}
+
+func TestOpenSurvivesMissingManifest(t *testing.T) {
+	s, fs := newStore(t, Options{})
+	commitString(t, s, 1, "gen one")
+	commitString(t, s, 2, "gen two")
+	if err := fs.Remove(manifestName); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, payload, err := back.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || string(payload) != "gen two" {
+		t.Fatalf("scan fallback recovered gen %d %q", gen, payload)
+	}
+}
+
+func TestLoadUnknownGeneration(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	commitString(t, s, 1, "x")
+	if _, err := s.Load(9); err == nil {
+		t.Fatal("Load(9) succeeded on a store holding only gen 1")
+	}
+}
+
+func TestCommitSerializeErrorLeavesStoreUntouched(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	commitString(t, s, 1, "good")
+	boom := errors.New("boom")
+	err := s.Commit(2, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	gen, payload, err := s.Recover()
+	if err != nil || gen != 1 || string(payload) != "good" {
+		t.Fatalf("after failed serialize: gen %d %q %v", gen, payload, err)
+	}
+}

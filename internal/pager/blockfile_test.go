@@ -1,0 +1,100 @@
+package pager
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestDirFSRoundTrip(t *testing.T) {
+	fs, err := DirFS(t.TempDir() + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("a.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("a.tmp", "a.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncRoot(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a.seg" {
+		t.Fatalf("List = %v, want [a.seg]", names)
+	}
+	if n, err := fs.Size("a.seg"); err != nil || n != int64(len("hello durable")) {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	r, err := fs.Open("a.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 13)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello durable" {
+		t.Fatalf("read back %q", buf)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("a.seg"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Open after Remove: %v, want not-exist", err)
+	}
+}
+
+func TestDirFSRenameIsReplace(t *testing.T) {
+	fs, err := DirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, data string) {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte(data), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("m", "old")
+	write("m.tmp", "new!")
+	if err := fs.Rename("m.tmp", "m"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "new!" {
+		t.Fatalf("rename did not replace: %q", buf)
+	}
+}

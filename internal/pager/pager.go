@@ -329,33 +329,47 @@ func ReadDisk(r io.Reader) (*Disk, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	d := NewDisk(int(binary.LittleEndian.Uint32(hdr[0:])))
+	pageSize := int(binary.LittleEndian.Uint32(hdr[0:]))
+	if pageSize <= 0 || pageSize > 1<<24 {
+		return nil, fmt.Errorf("pager: implausible page size %d", pageSize)
+	}
+	d := NewDisk(pageSize)
 	nPages := int(binary.LittleEndian.Uint32(hdr[4:]))
 	nFree := int(binary.LittleEndian.Uint32(hdr[8:]))
-	if nPages < 1 {
+	if nPages < 1 || nFree < 0 || nFree > nPages {
 		return nil, errors.New("pager: corrupt snapshot header")
 	}
+	// Declared counts are never trusted with an up-front allocation:
+	// the slices grow as bytes actually arrive, so a lying header on a
+	// truncated stream fails at the truncation point instead of
+	// demanding gigabytes (core's FuzzOpenSnapshot feeds exactly such
+	// headers through here).
 	var id [4]byte
 	for i := 0; i < nFree; i++ {
 		if _, err := io.ReadFull(br, id[:]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pager: truncated free list: %w", err)
 		}
-		d.free = append(d.free, PageID(binary.LittleEndian.Uint32(id[:])))
+		f := PageID(binary.LittleEndian.Uint32(id[:]))
+		if int(f) < 1 || int(f) >= nPages {
+			return nil, fmt.Errorf("pager: free-list page %d out of range", f)
+		}
+		d.free = append(d.free, f)
 	}
-	d.pages = make([][]byte, nPages)
+	d.pages = d.pages[:1]
 	var present [1]byte
 	for i := 1; i < nPages; i++ {
 		if _, err := io.ReadFull(br, present[:]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pager: truncated page directory: %w", err)
 		}
 		if present[0] == 0 {
+			d.pages = append(d.pages, nil)
 			continue
 		}
 		p := make([]byte, d.pageSize)
 		if _, err := io.ReadFull(br, p); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pager: truncated page image: %w", err)
 		}
-		d.pages[i] = p
+		d.pages = append(d.pages, p)
 	}
 	return d, nil
 }
