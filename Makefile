@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz docs crash
+.PHONY: check vet build test race fuzz docs crash bench-smoke
 
-check: vet build test race docs
+check: vet build test race docs bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,19 +21,22 @@ test:
 # chaos failover), the snapshot-swap core (lock-free reads during
 # copy-on-write updates, internal/core/swap_test.go), the shared-Disk
 # pager and per-query arenas, the parallel engine and external sorter,
-# the durable checkpoint store (checkpoint-during-swap chaos), and the
-# metrics/tracing subsystem. CI additionally runs `go test -race ./...`
-# over the whole module.
+# the durable checkpoint store (checkpoint-during-swap chaos), the
+# metrics/tracing subsystem, and the vector index plus its store-level
+# knn paths (concurrent searches against copy-on-write swaps). CI
+# additionally runs `go test -race ./...` over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/
 
 # Short-budget fuzzing of the parser/matcher surfaces that each carry a
 # differential oracle: the wildcard matcher vs a reference matcher and
 # a regexp, the filter parser's print/parse fixpoint, the query
-# canonicalizer's cache-key invariance, and the durable-store decode
+# canonicalizer's cache-key invariance, the durable-store decode
 # paths (checksum envelopes, the manifest, and the full snapshot open
-# path must never panic or overallocate on hostile bytes). CI runs this
-# on every push; longer local runs just raise FUZZTIME.
+# path must never panic or overallocate on hostile bytes), and the
+# LDIF binary-vector round trip (base64 wire form and textual form
+# must both be bit-lossless). CI runs this on every push; longer local
+# runs just raise FUZZTIME.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/filter/ -run=^$$ -fuzz=FuzzWildcardMatch -fuzztime=$(FUZZTIME)
@@ -42,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run=^$$ -fuzz=FuzzOpenSnapshot -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ldif/ -run=^$$ -fuzz=FuzzVectorRoundTrip -fuzztime=$(FUZZTIME)
 
 # The kill -9 soak: a child dirserve under a live write stream is
 # SIGKILLed at random points (alternate rounds with storage fault
@@ -56,3 +60,10 @@ crash:
 # packages docslint lists must document every exported identifier.
 docs:
 	$(GO) run ./tools/docslint
+
+# Benchmark smoke: the scoped-knn experiment runs end to end at the
+# quick preset. E22 self-checks — scoped recall != 1.0 against the
+# brute-force oracle panics the run — so this doubles as an exactness
+# gate on the vector index.
+bench-smoke:
+	$(GO) run ./cmd/dirbench -quick -only E22 >/dev/null

@@ -19,10 +19,12 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "paper", "paper | forest | qos | tops")
-		n    = flag.Int("n", 200, "size parameter")
-		seed = flag.Int64("seed", 1, "generator seed")
-		out  = flag.String("o", "", "output file (default stdout)")
+		kind      = flag.String("kind", "paper", "paper | forest | qos | tops")
+		n         = flag.Int("n", 200, "size parameter")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		vecDim    = flag.Int("vecdim", 0, "forest only: embedding dimension (0 = no embeddings)")
+		vecSpread = flag.Float64("vecspread", 0.05, "forest only: intra-cluster standard deviation of per-subtree embeddings")
+		out       = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
@@ -31,7 +33,7 @@ func main() {
 	case "paper":
 		in = workload.PaperInstance()
 	case "forest":
-		in = workload.RandomForest(workload.ForestConfig{N: *n, Seed: *seed})
+		in = workload.RandomForest(workload.ForestConfig{N: *n, Seed: *seed, VecDim: *vecDim, VecSpread: *vecSpread})
 	case "qos":
 		in = workload.GenQoS(workload.QoSConfig{Domains: 1 + *n/50, PoliciesPerDomain: 50, Seed: *seed})
 	case "tops":

@@ -19,6 +19,7 @@ type Preset struct {
 	StackN   int   // chain length for ablation A1
 	CacheN   int   // directory size for E18 (0 = default)
 	CacheOps int   // Zipf draws for E18 (0 = default)
+	VecN     []int // forest sizes for E22 (clustered embeddings)
 }
 
 // Quick is sized for CI and go test; Full for cmd/dirbench reports.
@@ -34,6 +35,7 @@ var (
 		StackN:   120,
 		CacheN:   1500,
 		CacheOps: 400,
+		VecN:     []int{1500, 3000},
 	}
 	Full = Preset{
 		Linear:   []int{2000, 4000, 8000, 16000, 32000},
@@ -46,6 +48,7 @@ var (
 		StackN:   120,
 		CacheN:   4000,
 		CacheOps: 1200,
+		VecN:     []int{4000, 8000, 16000},
 	}
 )
 
@@ -76,6 +79,7 @@ var Specs = []Spec{
 	{"E18", func(p Preset) *Table { return E18CacheZipf(p.CacheN, p.CacheOps) }},
 	{"E19", func(p Preset) *Table { return E19Parallel(p.CacheN, p.CacheOps) }},
 	{"E20", func(p Preset) *Table { return E20ConcurrentSearch(p.CacheN, p.CacheOps) }},
+	{"E22", func(p Preset) *Table { return E22VectorScope(p.VecN) }},
 	{"A1", func(p Preset) *Table { return AblationStackWindow(p.StackN, []int{2, 4, 16, 64}) }},
 	{"A2", func(Preset) *Table { return AblationBlockSize(4000, []int{1024, 2048, 4096, 8192}) }},
 	{"A3", func(Preset) *Table { return AblationResort(4000) }},

@@ -23,8 +23,8 @@ type Explain struct {
 // AtomPlan is the plan for one atomic leaf.
 type AtomPlan struct {
 	Query     string
-	Path      string // base-point | index | scan
-	EstHits   int64  // -1 if the catalog cannot estimate
+	Path      string // base-point | index | scan | knn-index | knn-scan
+	EstHits   int64  // -1 if the catalog cannot estimate; k for knn
 	ScanBytes int64
 }
 

@@ -187,11 +187,11 @@ func expectedDirectory(t *testing.T, gen int64) *core.Directory {
 // compareQueries runs the L0–L3 probe set against the child and against
 // the locally reconstructed directory, demanding byte-identical LDIF.
 var probeQueries = []string{
-	"(dc=com ? sub ? objectClass=*)",                                  // whole tree
+	"(dc=com ? sub ? objectClass=*)",                                    // whole tree
 	"(ou=userProfiles, dc=research, dc=att, dc=com ? sub ? uid=crash*)", // the write stream
-	"(dc=com ? sub ? surName=jagadish)",                               // point lookup
-	"(dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)",             // subtree filter
-	"(g (dc=com ? sub ? dc=*) count($$) > 0)",                         // grouped L3
+	"(dc=com ? sub ? surName=jagadish)",                                 // point lookup
+	"(dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)",               // subtree filter
+	"(g (dc=com ? sub ? dc=*) count($$) > 0)",                           // grouped L3
 }
 
 func compareQueries(t *testing.T, cl *dirserver.Client, addr string, want *core.Directory, gen int64) {

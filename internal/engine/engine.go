@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"repro/internal/extsort"
+	"repro/internal/filter"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pager"
@@ -214,6 +215,12 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 	case *query.Atomic:
 		if e.resolver != nil {
 			return e.resolver(ctx, n)
+		}
+		if sp != nil && n.Filter.Op == filter.OpKNN {
+			// Surface the knn access-path choice (knn-index vs knn-scan)
+			// on the operator's span, so trace trees and dirq -explain
+			// show which plan ran alongside its exact page I/O.
+			sp.Tag("knn", e.st.ExplainAtomic(n).Path)
 		}
 		if e.arena != nil {
 			return e.st.EvalArena(e.arena, n)

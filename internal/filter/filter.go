@@ -37,6 +37,7 @@ const (
 	OpGT
 	OpGE
 	OpApprox // ~= treated as case-insensitive equality
+	OpKNN    // knn(attr, [v1,...], k): k nearest neighbors by L2 distance
 )
 
 func (o Op) String() string {
@@ -55,6 +56,8 @@ func (o Op) String() string {
 		return ">="
 	case OpApprox:
 		return "~="
+	case OpKNN:
+		return "knn"
 	default:
 		return "?"
 	}
@@ -73,10 +76,17 @@ type Filter interface {
 }
 
 // Atom is an atomic filter: one attribute, one operator, one operand.
+// For OpKNN the operand is the query vector Vec plus the neighbor count
+// K, and the filter is not a per-entry predicate: it selects the K
+// entries of the scoped candidate set nearest to Vec (squared L2,
+// ties broken by reverse-DN key). Matches then only reports candidacy —
+// whether the entry carries a vector of the right dimension.
 type Atom struct {
 	Attr    string
 	Op      Op
 	Operand string // textual operand; for OpEq on strings may hold '*'
+	Vec     []float32
+	K       int
 	pattern []string
 	isPat   bool
 	intVal  int64
@@ -109,6 +119,19 @@ func Present(attr string) *Atom { return NewAtom(attr, OpPresent, "") }
 // Eq returns the equality/wildcard filter attr=operand.
 func Eq(attr, operand string) *Atom { return NewAtom(attr, OpEq, operand) }
 
+// MaxKNNK bounds the neighbor count a knn filter may request; it keeps
+// hostile query text from demanding absurd result sets.
+const MaxKNNK = 1 << 20
+
+// NewKNN builds the k-nearest-neighbor filter knn(attr, vec, k). The
+// vector is copied. Dimension agreement with the schema is checked at
+// query validation time, not here.
+func NewKNN(attr string, vec []float32, k int) *Atom {
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	return &Atom{Attr: model.NormalizeAttr(attr), Op: OpKNN, Vec: cp, K: k}
+}
+
 // Atomic reports true.
 func (a *Atom) Atomic() bool { return true }
 
@@ -116,13 +139,26 @@ func (a *Atom) String() string {
 	if a.Op == OpPresent {
 		return a.Attr + "=*"
 	}
+	if a.Op == OpKNN {
+		return "knn(" + a.Attr + "," + model.FormatVector(a.Vec) + "," + strconv.Itoa(a.K) + ")"
+	}
 	return a.Attr + a.Op.String() + a.Operand
 }
 
 // Matches implements the satisfaction relation r |= F of Section 4.1.
+// For OpKNN it reports candidacy only (see Atom); true top-k selection
+// happens in the store's evaluation, which sees the whole candidate set.
 func (a *Atom) Matches(s *model.Schema, r *model.Entry) bool {
 	if a.Op == OpPresent {
 		return r.Has(a.Attr)
+	}
+	if a.Op == OpKNN {
+		for _, v := range r.Values(a.Attr) {
+			if v.Kind() == model.KindVector && len(v.Vec()) == len(a.Vec) {
+				return true
+			}
+		}
+		return false
 	}
 	t, ok := s.AttrType(a.Attr)
 	if !ok {
@@ -165,6 +201,15 @@ func (a *Atom) matchValue(t model.TypeName, v model.Value) bool {
 			return false
 		}
 		return v.DN().Equal(want)
+	case model.KindVector:
+		if a.Op != OpEq && a.Op != OpApprox {
+			return false
+		}
+		want, err := model.ParseVector(a.Operand)
+		if err != nil {
+			return false
+		}
+		return v.Equal(model.VectorValue(want))
 	default: // string
 		sv := v.Str()
 		switch a.Op {
@@ -342,9 +387,21 @@ func (p *parser) parse() (Filter, error) {
 		return nil, fmt.Errorf("%w: empty filter", ErrParse)
 	}
 	if p.s[p.i] != '(' {
-		// Bare atomic form.
+		// Bare atomic form. Parens balance so that bare knn(...) — whose
+		// argument list is parenthesized — consumes through its own
+		// closing paren rather than stopping at it.
 		start := p.i
-		for p.i < len(p.s) && p.s[p.i] != ')' {
+		depth := 0
+		for p.i < len(p.s) {
+			switch p.s[p.i] {
+			case '(':
+				depth++
+			case ')':
+				if depth == 0 {
+					return parseAtomText(p.s[start:p.i])
+				}
+				depth--
+			}
 			p.i++
 		}
 		return parseAtomText(p.s[start:p.i])
@@ -419,6 +476,12 @@ func (p *parser) parse() (Filter, error) {
 
 func parseAtomText(s string) (*Atom, error) {
 	s = strings.TrimSpace(s)
+	// The knn(...) function form is recognized before the binary
+	// operators — its argument list contains no top-level operator, and
+	// its parens would otherwise trip the reserved-character check.
+	if len(s) >= 4 && strings.EqualFold(s[:4], "knn(") {
+		return parseKNNText(s)
+	}
 	// Longest operators first. A candidate split only counts when the
 	// left side is a well-formed attribute name; otherwise the next
 	// operator gets a chance (so "a=b<c" splits at '=', not '<').
@@ -456,6 +519,50 @@ func parseAtomText(s string) (*Atom, error) {
 		return NewAtom(attr, cand.op, operand), nil
 	}
 	return nil, fmt.Errorf("%w: no atomic filter in %q", ErrParse, s)
+}
+
+// parseKNNText parses "knn(attr,[v1,...],k)". The argument list splits
+// at commas outside the vector's brackets; the vector follows the model
+// text form (finite float32 components), and k must be a positive
+// integer no larger than MaxKNNK.
+func parseKNNText(s string) (*Atom, error) {
+	if !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("%w: unterminated knn filter %q", ErrParse, s)
+	}
+	inner := s[4 : len(s)-1]
+	var args []string
+	depth, start := 0, 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, inner[start:])
+	if len(args) != 3 {
+		return nil, fmt.Errorf("%w: knn wants (attr,vector,k), got %d argument(s) in %q", ErrParse, len(args), s)
+	}
+	attr := strings.TrimSpace(args[0])
+	if !validAttrName(attr) {
+		return nil, fmt.Errorf("%w: bad attribute %q in knn filter", ErrParse, attr)
+	}
+	vec, err := model.ParseVector(args[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: knn vector: %v", ErrParse, err)
+	}
+	kText := strings.TrimSpace(args[2])
+	k, err := strconv.Atoi(kText)
+	if err != nil || k < 1 || k > MaxKNNK || strconv.Itoa(k) != kText {
+		return nil, fmt.Errorf("%w: knn count %q (want 1..%d)", ErrParse, args[2], MaxKNNK)
+	}
+	return NewKNN(attr, vec, k), nil
 }
 
 // validAttrName restricts attribute names to LDAP attribute-description

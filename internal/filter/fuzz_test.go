@@ -97,6 +97,16 @@ func FuzzParseFilter(f *testing.F) {
 	f.Add("(|(surName=jagadish)(surName=jag*))")
 	f.Add("(!(telephoneNumber=*))")
 	f.Add("surName~=JAG")
+	f.Add("knn(embedding,[0.5,-1.25],3)")
+	f.Add("knn(embedding,[1e30,-1e-30,0],10)")
+	f.Add("(&(objectClass=device)knn(embedding,[1,2],1))")
+	f.Add("knn(embedding,[],1)")     // empty vector: reject
+	f.Add("knn(embedding,[NaN],1)")  // non-finite: reject
+	f.Add("knn(embedding,[1,2)")     // unclosed bracket: reject
+	f.Add("knn(embedding,[1,2],0)")  // k < 1: reject
+	f.Add("knn(embedding,[1,2],+3)") // non-canonical k: reject
+	f.Add("knn(embedding,[1,,2],2)") // empty component: reject
+	f.Add("knn(,[1],1)")             // missing attribute: reject
 	f.Fuzz(func(t *testing.T, text string) {
 		fl, err := Parse(text)
 		if err != nil {

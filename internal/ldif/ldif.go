@@ -12,9 +12,11 @@ package ldif
 import (
 	"bufio"
 	"encoding/base64"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/model"
@@ -41,7 +43,7 @@ func Write(w io.Writer, in *model.Instance) error {
 			return err
 		}
 		for _, av := range e.Pairs() {
-			if err := writeAV(bw, av.Attr, av.Value.String()); err != nil {
+			if err := writeValue(bw, av.Attr, av.Value); err != nil {
 				return err
 			}
 		}
@@ -191,7 +193,7 @@ func MarshalEntry(e *model.Entry) string {
 	var b strings.Builder
 	writeAV(&b, "dn", e.DN().String())
 	for _, av := range e.Pairs() {
-		writeAV(&b, av.Attr, av.Value.String())
+		writeValue(&b, av.Attr, av.Value)
 	}
 	return b.String()
 }
@@ -218,7 +220,7 @@ func UnmarshalEntry(schema *model.Schema, block string) (*model.Entry, error) {
 }
 
 func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
-	attr, val, err := splitLine(lines[0])
+	attr, val, _, err := splitLine(lines[0])
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +233,7 @@ func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
 	}
 	e := model.NewEntry(dn)
 	for _, line := range lines[1:] {
-		attr, val, err := splitLine(line)
+		attr, val, wasB64, err := splitLine(line)
 		if err != nil {
 			return nil, err
 		}
@@ -239,8 +241,14 @@ func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown attribute %q", attr)
 		}
-		v, err := model.ParseValue(t, val)
-		if err != nil {
+		var v model.Value
+		if dim, isVec := model.VectorDim(t); isVec && wasB64 {
+			// Base64-carried vectors are the binary form; the textual
+			// "[...]" form (hand-written files) goes through ParseValue.
+			if v, err = parseVectorBytes(val, dim); err != nil {
+				return nil, err
+			}
+		} else if v, err = model.ParseValue(t, val); err != nil {
 			return nil, err
 		}
 		if model.NormalizeAttr(attr) == model.ObjectClass {
@@ -250,6 +258,46 @@ func parseEntry(schema *model.Schema, lines []string) (*model.Entry, error) {
 		e.Add(attr, v)
 	}
 	return e, nil
+}
+
+// writeValue emits one attribute-value line. Vector values travel as
+// "attr:: <base64>" over their binary form — little-endian IEEE 754
+// float32s, 4 bytes per component (RFC 2849 carries arbitrary octet
+// strings this way). Everything else uses the textual writeAV form.
+func writeValue(w io.Writer, attr string, v model.Value) error {
+	if v.Kind() == model.KindVector {
+		_, err := fmt.Fprintf(w, "%s:: %s\n", attr, base64.StdEncoding.EncodeToString(vectorBytes(v.Vec())))
+		return err
+	}
+	return writeAV(w, attr, v.String())
+}
+
+// vectorBytes serializes a vector as little-endian float32s — the same
+// byte order internal/plist uses on disk.
+func vectorBytes(vec []float32) []byte {
+	b := make([]byte, 0, 4*len(vec))
+	for _, f := range vec {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
+	}
+	return b
+}
+
+// parseVectorBytes is the inverse of vectorBytes, validating the length
+// against the schema dimension and rejecting non-finite components
+// (mirroring model.ParseVector).
+func parseVectorBytes(raw string, dim int) (model.Value, error) {
+	if len(raw) != 4*dim {
+		return model.Value{}, fmt.Errorf("vector value has %d bytes, want %d (dimension %d)", len(raw), 4*dim, dim)
+	}
+	vec := make([]float32, dim)
+	for i := range vec {
+		f := math.Float32frombits(binary.LittleEndian.Uint32([]byte(raw[4*i:])))
+		if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+			return model.Value{}, fmt.Errorf("vector component %d is not finite", i)
+		}
+		vec[i] = f
+	}
+	return model.VectorValue(vec), nil
 }
 
 // writeAV emits one "attr: value" line, switching to the RFC 2849
@@ -290,20 +338,22 @@ func needsBase64(val string) bool {
 
 // splitLine splits "attr: value" or the base64 form "attr:: <base64>"
 // (decoded here, per RFC 2849). A double colon is what distinguishes an
-// encoded value from a plain value that merely starts with ':'.
-func splitLine(line string) (attr, val string, err error) {
+// encoded value from a plain value that merely starts with ':'. wasB64
+// reports which form the line used — callers that expect binary values
+// (vectors) only accept them from the encoded form.
+func splitLine(line string) (attr, val string, wasB64 bool, err error) {
 	i := strings.Index(line, ":")
 	if i <= 0 {
-		return "", "", fmt.Errorf("line %q lacks a colon", line)
+		return "", "", false, fmt.Errorf("line %q lacks a colon", line)
 	}
 	attr = strings.TrimSpace(line[:i])
 	rest := line[i+1:]
 	if strings.HasPrefix(rest, ":") {
 		raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(rest[1:]))
 		if err != nil {
-			return "", "", fmt.Errorf("line %q: bad base64 value: %v", line, err)
+			return "", "", false, fmt.Errorf("line %q: bad base64 value: %v", line, err)
 		}
-		return attr, string(raw), nil
+		return attr, string(raw), true, nil
 	}
-	return attr, strings.TrimSpace(rest), nil
+	return attr, strings.TrimSpace(rest), false, nil
 }

@@ -281,22 +281,22 @@ func TestBase64Values(t *testing.T) {
 }
 
 func TestBase64SplitLine(t *testing.T) {
-	attr, val, err := splitLine("commonName:: aGVsbG8sIHdvcmxk")
+	attr, val, wasB64, err := splitLine("commonName:: aGVsbG8sIHdvcmxk")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if attr != "commonName" || val != "hello, world" {
-		t.Fatalf("got %q=%q", attr, val)
+	if attr != "commonName" || val != "hello, world" || !wasB64 {
+		t.Fatalf("got %q=%q wasB64=%v", attr, val, wasB64)
 	}
 	// A plain value that merely starts with ':' is NOT base64.
-	attr, val, err = splitLine("commonName: :colon start")
+	attr, val, wasB64, err = splitLine("commonName: :colon start")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if val != ":colon start" {
-		t.Fatalf("plain value mangled: %q", val)
+	if val != ":colon start" || wasB64 {
+		t.Fatalf("plain value mangled: %q wasB64=%v", val, wasB64)
 	}
-	if _, _, err := splitLine("commonName:: !!!notb64"); err == nil {
+	if _, _, _, err := splitLine("commonName:: !!!notb64"); err == nil {
 		t.Fatal("bad base64 accepted")
 	}
 }

@@ -1,0 +1,195 @@
+package ldif
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// vecSchema is a minimal schema with a dim-dimensional embedding
+// attribute, mirroring what dirgen emits for vector workloads.
+func vecSchema(dim int) *model.Schema {
+	s := model.NewSchema()
+	s.MustDefineAttr("dc", model.TypeString)
+	s.MustDefineAttr("uid", model.TypeString)
+	s.MustDefineAttr("emb", model.VectorType(dim))
+	s.MustDefineClass("dcObject", "dc")
+	s.MustDefineClass("device", "uid", "emb")
+	return s
+}
+
+func vecEntry(t *testing.T, uid string, vecs ...[]float32) *model.Entry {
+	t.Helper()
+	e := model.NewEntry(model.MustParseDN(fmt.Sprintf("uid=%s, dc=com", uid)))
+	e.AddClass("device")
+	e.Add("uid", model.String(uid))
+	for _, v := range vecs {
+		e.Add("emb", model.VectorValue(v))
+	}
+	return e
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	s := vecSchema(4)
+	in := model.NewInstance(s)
+	root := model.NewEntry(model.MustParseDN("dc=com"))
+	root.AddClass("dcObject")
+	root.Add("dc", model.String("com"))
+	in.MustAdd(root)
+	vectors := [][]float32{
+		{0, 0, 0, 0},
+		{1.5, -2.25, 3.125, -0.0078125},
+		{float32(math.SmallestNonzeroFloat32), -float32(math.SmallestNonzeroFloat32), math.MaxFloat32, -math.MaxFloat32},
+		{float32(math.Pi), float32(math.E), float32(math.Sqrt2), 1e-30},
+	}
+	for i, v := range vectors {
+		in.MustAdd(vecEntry(t, fmt.Sprintf("u%d", i), v))
+	}
+	// A multi-valued vector attribute survives too.
+	in.MustAdd(vecEntry(t, "multi", vectors[1], vectors[3]))
+
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Vectors must travel base64-encoded, never textual.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "emb:") && !strings.HasPrefix(line, "emb:: ") {
+			t.Fatalf("vector emitted in textual form: %q", line)
+		}
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), nil) // self-describing: schema from #schema directives
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	if back.Len() != in.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", back.Len(), in.Len())
+	}
+	for _, e := range in.Entries() {
+		g, ok := back.Get(e.DN())
+		if !ok {
+			t.Fatalf("entry %s missing", e.DN())
+		}
+		want, got := e.Values("emb"), g.Values("emb")
+		if len(want) != len(got) {
+			t.Fatalf("%s: vector count %d vs %d", e.DN(), len(got), len(want))
+		}
+		for i := range want {
+			wv, gv := want[i].Vec(), got[i].Vec()
+			for j := range wv {
+				if math.Float32bits(wv[j]) != math.Float32bits(gv[j]) {
+					t.Errorf("%s: emb[%d][%d] = %x, want %x (not bit-identical)",
+						e.DN(), i, j, math.Float32bits(gv[j]), math.Float32bits(wv[j]))
+				}
+			}
+		}
+	}
+}
+
+func TestVectorTextualForm(t *testing.T) {
+	// Hand-written files may use the textual "[...]" form; it parses
+	// through model.ParseValue.
+	text := "dn: uid=x, dc=com\nuid: x\nemb: [1,2.5,-3,0.25]\nobjectClass: device\n"
+	in, err := Read(strings.NewReader(text), vecSchema(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := in.Get(model.MustParseDN("uid=x, dc=com"))
+	v, _ := e.First("emb")
+	want := []float32{1, 2.5, -3, 0.25}
+	for i, f := range v.Vec() {
+		if f != want[i] {
+			t.Fatalf("emb = %v, want %v", v.Vec(), want)
+		}
+	}
+}
+
+func TestVectorBinaryErrors(t *testing.T) {
+	enc := func(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+	nan := vectorBytes([]float32{1, 2, 3, float32(math.NaN())})
+	cases := map[string]string{
+		"short":     enc(make([]byte, 12)), // 3 floats for dim 4
+		"long":      enc(make([]byte, 20)), // 5 floats for dim 4
+		"unaligned": enc(make([]byte, 15)), // not a multiple of 4
+		"nan":       enc(nan),              // non-finite component
+		"inf":       enc(vectorBytes([]float32{0, 0, 0, float32(math.Inf(1))})),
+	}
+	for name, b64 := range cases {
+		text := "dn: uid=x, dc=com\nuid: x\nemb:: " + b64 + "\nobjectClass: device\n"
+		if _, err := Read(strings.NewReader(text), vecSchema(4)); err == nil {
+			t.Errorf("%s: bad binary vector accepted", name)
+		}
+	}
+}
+
+func TestVectorMarshalEntryRoundTrip(t *testing.T) {
+	s := vecSchema(3)
+	e := vecEntry(t, "wire", []float32{-1.25, 1e-10, 42})
+	block := MarshalEntry(e)
+	if !strings.Contains(block, "emb:: ") {
+		t.Fatalf("MarshalEntry did not base64 the vector:\n%s", block)
+	}
+	back, err := UnmarshalEntry(s, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(e) {
+		t.Fatalf("wire round trip changed entry:\n%s", block)
+	}
+}
+
+// FuzzVectorRoundTrip is the differential check: any finite float32
+// vector must survive emit→parse bit-identically, and the binary and
+// textual forms must agree.
+func FuzzVectorRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 128, 63})                // [0, 1]
+	f.Add([]byte{255, 255, 127, 127, 1, 0, 0, 0})           // [MaxFloat32, tiny denormal]
+	f.Add(vectorBytes([]float32{float32(math.Pi), -1e-38})) // round numbers rarely stress formatting
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw)%4 != 0 || len(raw)/4 > 64 {
+			t.Skip()
+		}
+		dim := len(raw) / 4
+		vec := make([]float32, dim)
+		for i := range vec {
+			u := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			vec[i] = math.Float32frombits(u)
+			if math.IsNaN(float64(vec[i])) || math.IsInf(float64(vec[i]), 0) {
+				t.Skip() // rejected by construction; covered by TestVectorBinaryErrors
+			}
+		}
+		s := vecSchema(dim)
+		e := model.NewEntry(model.MustParseDN("uid=f, dc=com"))
+		e.AddClass("device")
+		e.Add("uid", model.String("f"))
+		e.Add("emb", model.VectorValue(vec))
+
+		// Binary wire form.
+		back, err := UnmarshalEntry(s, MarshalEntry(e))
+		if err != nil {
+			t.Fatalf("binary round trip: %v", err)
+		}
+		bv, _ := back.First("emb")
+		for i, f32 := range bv.Vec() {
+			if math.Float32bits(f32) != math.Float32bits(vec[i]) {
+				t.Fatalf("binary: component %d = %x, want %x", i, math.Float32bits(f32), math.Float32bits(vec[i]))
+			}
+		}
+		// Textual form (model.FormatVector uses shortest round-tripping
+		// decimals, so it is lossless too).
+		tv, err := model.ParseValue(model.VectorType(dim), model.FormatVector(vec))
+		if err != nil {
+			t.Fatalf("textual round trip: %v", err)
+		}
+		for i, f32 := range tv.Vec() {
+			if math.Float32bits(f32) != math.Float32bits(vec[i]) {
+				t.Fatalf("textual: component %d = %x, want %x", i, math.Float32bits(f32), math.Float32bits(vec[i]))
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -18,6 +19,35 @@ const (
 	TypeDN     TypeName = "distinguishedName"
 )
 
+// VectorType names the parameterized embedding type of dimension dim,
+// e.g. VectorType(8) == "vector(8)". Vector attributes hold
+// fixed-dimension float32 embeddings; the schema's typing function ψ
+// enforces the dimension on every value.
+func VectorType(dim int) TypeName {
+	return TypeName("vector(" + strconv.Itoa(dim) + ")")
+}
+
+// VectorDim reports the dimension of a vector type name, or false if t
+// is not a well-formed vector type. Well-formed means "vector(N)" with
+// N a positive decimal integer (bounded at MaxVectorDim).
+func VectorDim(t TypeName) (int, bool) {
+	s := string(t)
+	if !strings.HasPrefix(s, "vector(") || !strings.HasSuffix(s, ")") {
+		return 0, false
+	}
+	inner := s[len("vector(") : len(s)-1]
+	n, err := strconv.Atoi(inner)
+	if err != nil || n <= 0 || n > MaxVectorDim || strconv.Itoa(n) != inner {
+		return 0, false
+	}
+	return n, true
+}
+
+// MaxVectorDim bounds the dimension a vector type may declare. It keeps
+// hostile schema text (fuzzers, wire input) from demanding absurd
+// per-value allocations; real embedding models sit far below it.
+const MaxVectorDim = 4096
+
 // Kind discriminates the runtime representation of a Value.
 type Kind uint8
 
@@ -28,6 +58,7 @@ const (
 	KindString
 	KindInt
 	KindDN
+	KindVector
 )
 
 func (k Kind) String() string {
@@ -38,6 +69,8 @@ func (k Kind) String() string {
 		return "int"
 	case KindDN:
 		return "dn"
+	case KindVector:
+		return "vector"
 	default:
 		return "invalid"
 	}
@@ -52,6 +85,9 @@ func TypeKind(t TypeName) Kind {
 	case TypeDN:
 		return KindDN
 	default:
+		if _, ok := VectorDim(t); ok {
+			return KindVector
+		}
 		return KindString
 	}
 }
@@ -63,6 +99,7 @@ type Value struct {
 	s    string
 	i    int64
 	dn   DN
+	vec  []float32
 }
 
 // String constructs a string value.
@@ -73,6 +110,15 @@ func Int(i int64) Value { return Value{kind: KindInt, i: i} }
 
 // DNValue constructs a distinguished-name value (an entry reference).
 func DNValue(dn DN) Value { return Value{kind: KindDN, dn: dn} }
+
+// VectorValue constructs an embedding value over a copy of v, so the
+// caller's slice stays free to reuse (entry values are immutable by
+// convention).
+func VectorValue(v []float32) Value {
+	cp := make([]float32, len(v))
+	copy(cp, v)
+	return Value{kind: KindVector, vec: cp}
+}
 
 // Kind reports the runtime kind of v.
 func (v Value) Kind() Kind { return v.kind }
@@ -87,6 +133,10 @@ func (v Value) Int() int64 { return v.i }
 // KindDN.
 func (v Value) DN() DN { return v.dn }
 
+// Vec returns the embedding payload. It is only meaningful for
+// KindVector. Callers must not mutate the returned slice.
+func (v Value) Vec() []float32 { return v.vec }
+
 // String renders the value in its directory text form: integers in
 // decimal, DNs in RFC 2253-style comma form, strings verbatim.
 func (v Value) String() string {
@@ -97,6 +147,8 @@ func (v Value) String() string {
 		return strconv.FormatInt(v.i, 10)
 	case KindDN:
 		return v.dn.String()
+	case KindVector:
+		return FormatVector(v.vec)
 	default:
 		return ""
 	}
@@ -116,6 +168,16 @@ func (v Value) Equal(w Value) bool {
 		return v.i == w.i
 	case KindDN:
 		return v.dn.Equal(w.dn)
+	case KindVector:
+		if len(v.vec) != len(w.vec) {
+			return false
+		}
+		for i := range v.vec {
+			if v.vec[i] != w.vec[i] {
+				return false
+			}
+		}
+		return true
 	default:
 		return true
 	}
@@ -141,6 +203,19 @@ func (v Value) Compare(w Value) int {
 		return 0
 	case KindDN:
 		return strings.Compare(v.dn.Key(), w.dn.Key())
+	case KindVector:
+		if d := len(v.vec) - len(w.vec); d != 0 {
+			return d
+		}
+		for i := range v.vec {
+			switch {
+			case v.vec[i] < w.vec[i]:
+				return -1
+			case v.vec[i] > w.vec[i]:
+				return 1
+			}
+		}
+		return 0
 	default:
 		return 0
 	}
@@ -161,7 +236,66 @@ func ParseValue(t TypeName, text string) (Value, error) {
 			return Value{}, fmt.Errorf("model: value %q is not a DN: %v", text, err)
 		}
 		return DNValue(dn), nil
+	case KindVector:
+		vec, err := ParseVector(text)
+		if err != nil {
+			return Value{}, err
+		}
+		if dim, ok := VectorDim(t); ok && len(vec) != dim {
+			return Value{}, fmt.Errorf("model: vector has %d components, type %s wants %d", len(vec), t, dim)
+		}
+		return Value{kind: KindVector, vec: vec}, nil
 	default:
 		return String(text), nil
 	}
+}
+
+// FormatVector renders an embedding in its directory text form
+// "[v1,v2,...]". Components use the shortest decimal that round-trips
+// the float32 exactly, so FormatVector∘ParseVector is the identity on
+// finite vectors.
+func FormatVector(vec []float32) string {
+	var b strings.Builder
+	b.Grow(2 + 8*len(vec))
+	b.WriteByte('[')
+	for i, f := range vec {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(float64(f), 'g', -1, 32))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ParseVector parses the "[v1,v2,...]" text form of an embedding.
+// Components must be finite float32s (NaN and ±Inf have no total order
+// and are rejected); the empty vector "[]" is rejected too, since no
+// vector type has dimension zero.
+func ParseVector(text string) ([]float32, error) {
+	s := strings.TrimSpace(text)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("model: vector %q is not bracketed", text)
+	}
+	inner := s[1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return nil, fmt.Errorf("model: empty vector %q", text)
+	}
+	parts := strings.Split(inner, ",")
+	if len(parts) > MaxVectorDim {
+		return nil, fmt.Errorf("model: vector has %d components, max %d", len(parts), MaxVectorDim)
+	}
+	vec := make([]float32, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+		if err != nil {
+			return nil, fmt.Errorf("model: vector component %q: %v", p, err)
+		}
+		f32 := float32(f)
+		if math.IsNaN(f) || math.IsInf(float64(f32), 0) {
+			return nil, fmt.Errorf("model: vector component %q is not finite", p)
+		}
+		vec[i] = f32
+	}
+	return vec, nil
 }

@@ -100,10 +100,20 @@ func rewriteBool(b *query.Bool, rules *[]string) query.Query {
 			*rules = append(*rules, "and-disjoint-empty")
 			return emptyLike(b.Q1)
 		case relFirstDeeper: // base1 under base2: narrow a2 to base1
+			// Moving a knn filter to a deeper base would shrink its
+			// candidate set and change its top-k answer — knn is a
+			// property of the whole scoped set, not a per-entry
+			// predicate, so it must stay at its declared scope.
+			if a2.Filter.Op == filter.OpKNN {
+				return b
+			}
 			*rules = append(*rules, "and-narrow-scope")
 			return &query.Bool{Op: query.OpAnd, Q1: a1,
 				Q2: &query.Atomic{Base: a1.Base, Scope: query.ScopeSub, Filter: a2.Filter}}
 		case relSecondDeeper:
+			if a1.Filter.Op == filter.OpKNN {
+				return b
+			}
 			*rules = append(*rules, "and-narrow-scope")
 			return &query.Bool{Op: query.OpAnd,
 				Q1: &query.Atomic{Base: a2.Base, Scope: query.ScopeSub, Filter: a1.Filter},

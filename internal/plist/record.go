@@ -13,6 +13,7 @@ package plist
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/model"
 )
@@ -76,6 +77,14 @@ func appendValue(b []byte, v model.Value) []byte {
 		b = appendVarint(b, v.Int())
 	case model.KindDN:
 		b = appendDN(b, v.DN())
+	case model.KindVector:
+		vec := v.Vec()
+		b = appendUvarint(b, uint64(len(vec)))
+		for _, f := range vec {
+			var tmp [4]byte
+			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(f))
+			b = append(b, tmp[:]...)
+		}
 	}
 	return b
 }
@@ -191,6 +200,20 @@ func (d *decoder) value() (model.Value, error) {
 	case model.KindDN:
 		dn, err := d.dn()
 		return model.DNValue(dn), err
+	case model.KindVector:
+		n, err := d.uvarint()
+		if err != nil {
+			return model.Value{}, err
+		}
+		if n > uint64(len(d.b)-d.i)/4 {
+			return model.Value{}, errTruncated
+		}
+		vec := make([]float32, n)
+		for i := range vec {
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[d.i:]))
+			d.i += 4
+		}
+		return model.VectorValue(vec), nil
 	default:
 		return model.Value{}, fmt.Errorf("plist: bad value kind %d", k)
 	}

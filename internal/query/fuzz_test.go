@@ -15,6 +15,12 @@ func FuzzCanonical(f *testing.F) {
 	f.Add("(> (dc=com ? sub ? objectClass=QHP) (dc=com ? sub ? priority<=2))")
 	f.Add("(g (dc=com ? sub ? objectClass=QHP) min(priority))")
 	f.Add("(ldap dc=com ? sub ? (&(objectClass=QHP)(priority<=2)))")
+	f.Add("(dc=com ? sub ? knn(embedding,[0.5,-1.25],3))")
+	f.Add("(& (dc=com ? sub ? knn(embedding,[1,2],5)) (dc=com ? sub ? tag=a))")
+	f.Add("(dc=com ? one ? knn(embedding,[1e30,-0],1))")
+	f.Add("(dc=com ? sub ? knn(embedding,[1,2],99999999999999999999))") // k overflow: reject
+	f.Add("(dc=com ? sub ? knn(embedding,[Inf],1))")                    // non-finite: reject
+	f.Add("(ldap dc=com ? sub ? knn(embedding,[1],1))")                 // knn not in LDAP: reject
 	f.Fuzz(func(t *testing.T, text string) {
 		q, err := Parse(text)
 		if err != nil {

@@ -76,7 +76,38 @@ func ParseLDAP(s string) (*LDAP, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := rejectKNN(f); err != nil {
+		return nil, err
+	}
 	return &LDAP{Base: dn, Scope: scope, Filter: f}, nil
+}
+
+// rejectKNN refuses knn atoms inside LDAP composite filters. LDAP
+// filters are per-entry predicates; knn is a property of the whole
+// candidate set (its top k), so it only composes as an L1–L3 atomic
+// query, never under &, |, !.
+func rejectKNN(f filter.Filter) error {
+	switch g := f.(type) {
+	case *filter.Atom:
+		if g.Op == filter.OpKNN {
+			return fmt.Errorf("%w: knn is not allowed in LDAP filters (use an atomic query)", ErrParse)
+		}
+	case filter.And:
+		for _, k := range g {
+			if err := rejectKNN(k); err != nil {
+				return err
+			}
+		}
+	case filter.Or:
+		for _, k := range g {
+			if err := rejectKNN(k); err != nil {
+				return err
+			}
+		}
+	case filter.Not:
+		return rejectKNN(g.F)
+	}
+	return nil
 }
 
 type parser struct {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/filter"
 	"repro/internal/model"
 )
 
@@ -24,7 +25,7 @@ func Validate(s *model.Schema, q Query) error {
 		}
 		switch n := node.(type) {
 		case *Atomic:
-			err = validateFilterAttr(s, n.Filter.Attr)
+			err = validateFilterAtom(s, n.Filter)
 		case *Hier:
 			if n.AggSel != nil {
 				err = validateAggSel(s, n.AggSel, true)
@@ -53,6 +54,31 @@ func Validate(s *model.Schema, q Query) error {
 func validateFilterAttr(s *model.Schema, attr string) error {
 	if _, ok := s.AttrType(attr); !ok {
 		return fmt.Errorf("%w: unknown attribute %q in filter", ErrValidate, attr)
+	}
+	return nil
+}
+
+// validateFilterAtom type-checks one atomic filter. Beyond attribute
+// existence, knn filters must target a vector-typed attribute whose
+// declared dimension matches the query vector, with a positive k.
+func validateFilterAtom(s *model.Schema, a *filter.Atom) error {
+	t, ok := s.AttrType(a.Attr)
+	if !ok {
+		return fmt.Errorf("%w: unknown attribute %q in filter", ErrValidate, a.Attr)
+	}
+	if a.Op != filter.OpKNN {
+		return nil
+	}
+	dim, isVec := model.VectorDim(t)
+	if !isVec {
+		return fmt.Errorf("%w: knn attribute %q has type %s, need a vector type", ErrValidate, a.Attr, t)
+	}
+	if len(a.Vec) != dim {
+		return fmt.Errorf("%w: knn vector has %d components, attribute %q wants %d",
+			ErrValidate, len(a.Vec), a.Attr, dim)
+	}
+	if a.K < 1 {
+		return fmt.Errorf("%w: knn count %d must be positive", ErrValidate, a.K)
 	}
 	return nil
 }

@@ -63,8 +63,13 @@ func (s *Store) EvalArena(a *pager.Arena, q *query.Atomic) (*plist.List, error) 
 func (env *evalEnv) eval(q *query.Atomic) (*plist.List, error) {
 	if q.Scope == query.ScopeBase {
 		// Base scope names exactly one entry: a DN-index point lookup
-		// beats any attribute-index plan.
+		// beats any attribute-index plan. For knn the single entry is the
+		// whole candidate set, so candidacy (Filter.Matches) is the
+		// entire test.
 		return env.evalBase(q)
+	}
+	if q.Filter.Op == filter.OpKNN {
+		return env.evalKNN(q)
 	}
 	if env.s.attr != nil && !env.s.preferScanMetered(q, env.m) {
 		l, handled, err := env.indexEval(q)
@@ -113,6 +118,12 @@ func (s *Store) EvalScanArena(a *pager.Arena, q *query.Atomic) (*plist.List, err
 }
 
 func (env *evalEnv) evalScan(q *query.Atomic) (*plist.List, error) {
+	if q.Filter.Op == filter.OpKNN && q.Scope != query.ScopeBase {
+		// A per-entry scan cannot express top-k; the forced-scan path for
+		// knn is the brute-force selection — which keeps EvalScan exact,
+		// so it stays usable as the oracle for every access path.
+		return env.knnScan(q)
+	}
 	return env.scanEval(q.Base, q.Scope, func(e *model.Entry) bool {
 		return q.Filter.Matches(env.s.schema, e)
 	})
@@ -205,6 +216,12 @@ func (env *evalEnv) indexEval(q *query.Atomic) (l *plist.List, handled bool, err
 		return empty, true, err
 	}
 	kind := model.TypeKind(t)
+	if kind == model.KindVector {
+		// Embeddings have no composite-key postings (the flat vector
+		// index replaces them); every scalar-filter shape over a vector
+		// attribute falls back to the scope scan.
+		return nil, false, nil
+	}
 
 	switch q.Filter.Op {
 	case filter.OpPresent:

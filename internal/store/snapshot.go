@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/strindex"
+	"repro/internal/vindex"
 )
 
 // Manifest locates the store's structures on a snapshotted disk. The
@@ -26,6 +28,10 @@ type Manifest struct {
 	AttrRoot    pager.PageID   `json:"attrRoot,omitempty"` // 0 when unindexed
 	AttrLen     int            `json:"attrLen,omitempty"`
 	PoolPages   int            `json:"poolPages"`
+	// Vecs carries one flat-vector-index manifest per vector-typed
+	// attribute (ordered by attribute name); the posting pages travel in
+	// the disk image like every other structure.
+	Vecs []vindex.Manifest `json:"vecs,omitempty"`
 }
 
 // Manifest returns the JSON manifest describing this store's on-disk
@@ -44,6 +50,14 @@ func (s *Store) Manifest() ([]byte, error) {
 	if s.attr != nil {
 		m.AttrRoot = s.attr.Root()
 		m.AttrLen = s.attr.Len()
+	}
+	attrs := make([]string, 0, len(s.vecs))
+	for attr := range s.vecs {
+		attrs = append(attrs, attr)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		m.Vecs = append(m.Vecs, s.vecs[attr].Manifest())
 	}
 	return json.Marshal(m)
 }
@@ -64,6 +78,16 @@ func Reopen(disk *pager.Disk, schema *model.Schema, manifest []byte) (*Store, er
 		master: plist.Restore(disk, m.MasterPages, m.MasterSize, m.MasterCount),
 		dn:     btree.Open(disk, m.PoolPages, m.DNRoot, m.DNLen),
 		count:  m.Count,
+	}
+	if len(m.Vecs) > 0 {
+		s.vecs = make(map[string]*vindex.Index, len(m.Vecs))
+		for _, vm := range m.Vecs {
+			ix, err := vindex.Restore(disk, vm)
+			if err != nil {
+				return nil, err
+			}
+			s.vecs[vm.Attr] = ix
+		}
 	}
 	if m.AttrRoot == 0 {
 		return s, nil

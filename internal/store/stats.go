@@ -28,6 +28,9 @@ type attrStats struct {
 func newCatalog() *catalog { return &catalog{attrs: make(map[string]*attrStats)} }
 
 func (c *catalog) observe(attr string, v model.Value) {
+	if v.Kind() == model.KindVector {
+		return // embeddings are summarized by the vector index itself
+	}
 	st := c.attrs[attr]
 	if st == nil {
 		st = &attrStats{strCounts: make(map[string]int64)}
@@ -57,12 +60,15 @@ func (c *catalog) finish(totalBytes, count int64) {
 // postings an atomic filter selects, and whether the estimate is
 // usable.
 func (c *catalog) estimateHits(s *Store, q *query.Atomic) (int64, bool) {
+	t, _ := s.schema.AttrType(q.Filter.Attr)
+	kind := model.TypeKind(t)
+	if kind == model.KindVector {
+		return 0, false // not catalogued; vector filters always scan or use vindex
+	}
 	st := c.attrs[q.Filter.Attr]
 	if st == nil {
 		return 0, true // attribute absent: nothing matches
 	}
-	t, _ := s.schema.AttrType(q.Filter.Attr)
-	kind := model.TypeKind(t)
 	switch q.Filter.Op {
 	case filter.OpPresent:
 		return st.postings, true
@@ -153,10 +159,11 @@ func (s *Store) scanBytesMetered(q *query.Atomic, m *pager.Meter) (int64, error)
 
 // Plan describes how the store would evaluate an atomic query.
 type Plan struct {
-	// Path is one of "base-point", "index", or "scan".
+	// Path is one of "base-point", "index", "scan", "knn-index", or
+	// "knn-scan".
 	Path string
 	// EstHits is the catalog's posting estimate (index-supported shapes
-	// only; -1 when unavailable).
+	// only; -1 when unavailable). For knn it is the requested k.
 	EstHits int64
 	// ScanBytes is the scope range's exact master extent.
 	ScanBytes int64
@@ -172,6 +179,16 @@ func (s *Store) ExplainAtomic(q *query.Atomic) Plan {
 	}
 	if sb, err := s.scanBytes(q); err == nil {
 		p.ScanBytes = sb
+	}
+	if q.Filter.Op == filter.OpKNN {
+		p.EstHits = int64(q.Filter.K)
+		ix := s.VectorIndex(q.Filter.Attr)
+		if ix != nil && !s.preferKNNScanMetered(q, ix, nil) {
+			p.Path = "knn-index"
+		} else {
+			p.Path = "knn-scan"
+		}
+		return p
 	}
 	if s.stats != nil {
 		if est, ok := s.stats.estimateHits(s, q); ok {

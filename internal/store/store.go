@@ -27,6 +27,7 @@ import (
 	"repro/internal/pager"
 	"repro/internal/plist"
 	"repro/internal/strindex"
+	"repro/internal/vindex"
 )
 
 // Options configures Build.
@@ -47,7 +48,8 @@ type Store struct {
 	attr   *btree.Tree // nil without AttrIndex
 	suffix map[string]*strindex.SuffixIndex
 	trie   map[string]*strindex.Trie
-	stats  *catalog // nil without AttrIndex
+	vecs   map[string]*vindex.Index // per vector attribute; nil without AttrIndex
+	stats  *catalog                 // nil without AttrIndex
 	count  int
 }
 
@@ -72,6 +74,8 @@ func Build(disk *pager.Disk, in *model.Instance, opts Options) (*Store, error) {
 
 	w := plist.NewWriter(disk)
 	strVals := make(map[string]map[string]bool) // attr -> distinct string values
+	vb := make(map[string]*vindex.Builder)      // attr -> vector-index builder
+	var entryVecs map[string][][]float32        // per-entry vector values, reused
 	for _, e := range in.Entries() {
 		off := w.Offset()
 		if err := w.Append(plist.FromEntry(e)); err != nil {
@@ -83,7 +87,27 @@ func Build(disk *pager.Disk, in *model.Instance, opts Options) (*Store, error) {
 		if s.attr == nil {
 			continue
 		}
+		for k := range entryVecs {
+			delete(entryVecs, k)
+		}
 		for _, av := range e.Pairs() {
+			if av.Value.Kind() == model.KindVector {
+				// Vectors are indexed by the flat vector index, not the
+				// composite-key B+tree (there is no useful total order to
+				// range-scan an embedding by).
+				t, ok := s.schema.AttrType(av.Attr)
+				if !ok {
+					continue
+				}
+				if _, isVec := model.VectorDim(t); !isVec {
+					continue
+				}
+				if entryVecs == nil {
+					entryVecs = make(map[string][][]float32)
+				}
+				entryVecs[av.Attr] = append(entryVecs[av.Attr], av.Value.Vec())
+				continue
+			}
 			ov := ordValue(av.Value)
 			if err := s.attr.Insert(compositeKey(av.Attr, ov, e.Key()), offsetValue(off)); err != nil {
 				return nil, err
@@ -98,6 +122,18 @@ func Build(disk *pager.Disk, in *model.Instance, opts Options) (*Store, error) {
 				set[av.Value.Str()] = true
 			}
 		}
+		for attr, vecs := range entryVecs {
+			b := vb[attr]
+			if b == nil {
+				t, _ := s.schema.AttrType(attr)
+				dim, _ := model.VectorDim(t)
+				b = vindex.NewBuilder(disk, attr, dim)
+				vb[attr] = b
+			}
+			if err := b.Add(e.Key(), off, vecs); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if s.master, err = w.Close(); err != nil {
 		return nil, err
@@ -108,6 +144,14 @@ func Build(disk *pager.Disk, in *model.Instance, opts Options) (*Store, error) {
 	if s.attr != nil {
 		if err := s.attr.Flush(); err != nil {
 			return nil, err
+		}
+		s.vecs = make(map[string]*vindex.Index, len(vb))
+		for attr, b := range vb {
+			ix, err := b.Close()
+			if err != nil {
+				return nil, err
+			}
+			s.vecs[attr] = ix
 		}
 		s.stats.finish(s.master.Size(), s.master.Count())
 		for attr, set := range strVals {
@@ -143,6 +187,12 @@ func (s *Store) MasterPages() int { return s.master.Pages() }
 
 // Indexed reports whether the attribute index was built.
 func (s *Store) Indexed() bool { return s.attr != nil }
+
+// VectorIndex returns the flat vector index for attr, or nil when the
+// attribute is not vector-typed or the store was built without indexes.
+func (s *Store) VectorIndex(attr string) *vindex.Index {
+	return s.vecs[model.NormalizeAttr(attr)]
+}
 
 // ErrNoEntry is returned by Get for absent DNs.
 var ErrNoEntry = errors.New("store: no such entry")

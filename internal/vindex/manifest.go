@@ -1,0 +1,61 @@
+package vindex
+
+import (
+	"fmt"
+
+	"repro/internal/pager"
+	"repro/internal/plist"
+)
+
+// Manifest locates one index on a snapshotted disk: the posting list's
+// pages plus the in-memory fence array. It embeds in the store manifest
+// (JSON), so the vector index round-trips through the snapshot format —
+// and hence through core.Checkpoint and core.Recover — exactly like the
+// master list and the B+trees.
+type Manifest struct {
+	// Attr is the indexed attribute name.
+	Attr string `json:"attr"`
+	// Dim is the embedding dimension.
+	Dim int `json:"dim"`
+	// Pages lists the posting stream's pages in order.
+	Pages []pager.PageID `json:"pages"`
+	// Size is the posting stream's byte length.
+	Size int64 `json:"size"`
+	// Count is the number of postings.
+	Count int64 `json:"count"`
+	// FenceKeys holds the sparse fence keys, ascending.
+	FenceKeys []string `json:"fenceKeys"`
+	// FenceOffs holds the stream offset of each fenced posting.
+	FenceOffs []int64 `json:"fenceOffs"`
+}
+
+// Manifest returns the index's snapshot manifest.
+func (ix *Index) Manifest() Manifest {
+	return Manifest{
+		Attr:      ix.attr,
+		Dim:       ix.dim,
+		Pages:     ix.list.PageIDs(),
+		Size:      ix.list.Size(),
+		Count:     ix.list.Count(),
+		FenceKeys: append([]string(nil), ix.fenceK...),
+		FenceOffs: append([]int64(nil), ix.fenceO...),
+	}
+}
+
+// Restore reattaches an index to a snapshotted disk from its manifest.
+func Restore(disk *pager.Disk, m Manifest) (*Index, error) {
+	if m.Dim <= 0 {
+		return nil, fmt.Errorf("vindex: manifest for %q has dimension %d", m.Attr, m.Dim)
+	}
+	if len(m.FenceKeys) != len(m.FenceOffs) {
+		return nil, fmt.Errorf("vindex: manifest for %q has %d fence keys but %d offsets",
+			m.Attr, len(m.FenceKeys), len(m.FenceOffs))
+	}
+	return &Index{
+		attr:   m.Attr,
+		dim:    m.Dim,
+		list:   plist.Restore(disk, m.Pages, m.Size, m.Count),
+		fenceK: append([]string(nil), m.FenceKeys...),
+		fenceO: append([]int64(nil), m.FenceOffs...),
+	}, nil
+}

@@ -1,0 +1,259 @@
+package vindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// buildRandom builds an index over n synthetic postings with sortable
+// keys k0000, k0001, ... and returns the postings for oracle checks.
+func buildRandom(t *testing.T, disk *pager.Disk, n, dim int, seed int64) (*Index, []Posting) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(disk, "emb", dim)
+	var ps []Posting
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		nv := 1
+		if r.Intn(5) == 0 {
+			nv = 2 // multi-valued attribute
+		}
+		vecs := make([][]float32, nv)
+		for j := range vecs {
+			v := make([]float32, dim)
+			for d := range v {
+				v[d] = float32(r.NormFloat64())
+			}
+			vecs[j] = v
+		}
+		ps = append(ps, Posting{Key: key, Off: int64(i * 100), Vecs: vecs})
+		if err := b.Add(key, int64(i*100), vecs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ps
+}
+
+// naiveSearch is the obviously-correct oracle: filter, rank by
+// (minimum distance, key), take k.
+func naiveSearch(ps []Posting, lo, hi string, accept func(string) bool, q []float32, k int) []Neighbor {
+	var all []Neighbor
+	for _, p := range ps {
+		if p.Key < lo || (hi != "" && p.Key >= hi) {
+			continue
+		}
+		if accept != nil && !accept(p.Key) {
+			continue
+		}
+		best := SquaredL2(p.Vecs[0], q)
+		for _, v := range p.Vecs[1:] {
+			if d := SquaredL2(v, q); d < best {
+				best = d
+			}
+		}
+		all = append(all, Neighbor{Key: p.Key, Off: p.Off, Dist: best})
+	}
+	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestSearchMatchesOracle(t *testing.T) {
+	disk := pager.NewDisk(512)
+	ix, ps := buildRandom(t, disk, 300, 6, 1)
+	r := rand.New(rand.NewSource(2))
+	ranges := []struct{ lo, hi string }{
+		{"", ""},           // everything
+		{"k0050", "k0060"}, // one fence interval
+		{"k0000", "k0001"}, // single posting
+		{"k0123", "k0223"}, // mid-range, fence-unaligned
+		{"k0299", ""},      // tail
+		{"zzz", ""},        // empty
+		{"k0100", "k0100"}, // empty half-open range
+	}
+	for _, k := range []int{1, 3, 17, 300, 1000} {
+		for _, rng := range ranges {
+			q := make([]float32, 6)
+			for d := range q {
+				q[d] = float32(r.NormFloat64())
+			}
+			got, err := ix.Search(rng.lo, rng.hi, nil, q, k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveSearch(ps, rng.lo, rng.hi, nil, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d range=%v: %d results, want %d", k, rng, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d range=%v result %d: %+v, want %+v", k, rng, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchAcceptFilter(t *testing.T) {
+	disk := pager.NewDisk(512)
+	ix, ps := buildRandom(t, disk, 200, 4, 3)
+	accept := func(key string) bool { return strings.HasSuffix(key, "0") || strings.HasSuffix(key, "5") }
+	q := []float32{0.1, -0.2, 0.3, -0.4}
+	got, err := ix.Search("", "", accept, q, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveSearch(ps, "", "", accept, q, 7)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSearchTieBreakByKey(t *testing.T) {
+	disk := pager.NewDisk(512)
+	b := NewBuilder(disk, "emb", 2)
+	// All postings equidistant from the origin: ranking is purely by key.
+	keys := []string{"a", "b", "c", "d", "e"}
+	for i, k := range keys {
+		if err := b.Add(k, int64(i), [][]float32{{1, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Search("", "", nil, []float32{0, 0}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Key != "a" || got[1].Key != "b" || got[2].Key != "c" {
+		t.Fatalf("tie-break violated: %+v", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(pager.NewDisk(512), "emb", 3)
+	if err := b.Add("b", 0, [][]float32{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("a", 1, [][]float32{{1, 2, 3}}); err == nil {
+		t.Fatal("unsorted add accepted")
+	}
+	if _, err := b.Close(); err == nil {
+		t.Fatal("Close after failed Add must fail")
+	}
+
+	b = NewBuilder(pager.NewDisk(512), "emb", 3)
+	if err := b.Add("a", 0, [][]float32{{1, 2}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSearchDimMismatch(t *testing.T) {
+	disk := pager.NewDisk(512)
+	ix, _ := buildRandom(t, disk, 10, 4, 5)
+	if _, err := ix.Search("", "", nil, []float32{1, 2}, 3, nil); err == nil {
+		t.Fatal("query dimension mismatch accepted")
+	}
+}
+
+func TestSearchMetersIO(t *testing.T) {
+	disk := pager.NewDisk(512)
+	ix, _ := buildRandom(t, disk, 500, 8, 7)
+	var m pager.Meter
+	if _, err := ix.Search("", "", nil, make([]float32, 8), 5, &m); err != nil {
+		t.Fatal(err)
+	}
+	full := m.Stats().Reads
+	if full == 0 {
+		t.Fatal("full-range search reported zero page reads")
+	}
+	var m2 pager.Meter
+	if _, err := ix.Search("k0200", "k0216", nil, make([]float32, 8), 5, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if sub := m2.Stats().Reads; sub >= full {
+		t.Fatalf("narrow range read %d pages, full range %d — fences not seeking", sub, full)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	disk := pager.NewDisk(512)
+	ix, ps := buildRandom(t, disk, 120, 5, 9)
+	m := ix.Manifest()
+	back, err := Restore(disk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Attr() != ix.Attr() || back.Dim() != ix.Dim() || back.Count() != ix.Count() || back.Bytes() != ix.Bytes() {
+		t.Fatalf("restored index metadata differs: %+v vs original", m)
+	}
+	q := []float32{0.5, -0.5, 0.25, -0.25, 0}
+	got, err := back.Search("k0010", "k0110", nil, q, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveSearch(ps, "k0010", "k0110", nil, q, 9)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored search result %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	bad := m
+	bad.Dim = 0
+	if _, err := Restore(disk, bad); err == nil {
+		t.Fatal("zero-dimension manifest accepted")
+	}
+	bad = m
+	bad.FenceKeys = bad.FenceKeys[:1]
+	if _, err := Restore(disk, bad); err == nil {
+		t.Fatal("mismatched fence arrays accepted")
+	}
+}
+
+func TestCollectorMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		k := 1 + r.Intn(20)
+		var all []Neighbor
+		c := NewCollector(k)
+		for i := 0; i < n; i++ {
+			// Coarse distances force plenty of ties.
+			nb := Neighbor{Key: fmt.Sprintf("k%03d", r.Intn(500)), Dist: float64(r.Intn(4))}
+			all = append(all, nb)
+			c.Offer(nb)
+		}
+		sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		got := c.Sorted()
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(all))
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d result %d: %+v, want %+v", trial, i, got[i], all[i])
+			}
+		}
+	}
+}

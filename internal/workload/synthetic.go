@@ -23,6 +23,16 @@ type ForestConfig struct {
 	// RefsPerEntry is the maximum number of DN references per entry
 	// (default 2).
 	RefsPerEntry int
+	// VecDim, when positive, gives every entry an "emb" embedding of
+	// that dimension, clustered per subtree: each top-level subtree
+	// draws a Gaussian centroid and its entries scatter around it with
+	// standard deviation VecSpread. Subtree-scoped knn over such data is
+	// selective — nearest neighbors of a subtree's centroid live in that
+	// subtree — which is what Experiment E22 measures.
+	VecDim int
+	// VecSpread is the intra-cluster standard deviation (default 0.05;
+	// centroids are uniform in [-1, 1] per coordinate).
+	VecSpread float64
 	// Seed makes the generator deterministic.
 	Seed int64
 }
@@ -45,6 +55,9 @@ func (c ForestConfig) withDefaults() ForestConfig {
 	} else if c.RefsPerEntry == 0 {
 		c.RefsPerEntry = 2
 	}
+	if c.VecSpread <= 0 {
+		c.VecSpread = 0.05
+	}
 	return c
 }
 
@@ -61,16 +74,38 @@ func ForestSchema() *model.Schema {
 	return s
 }
 
+// ForestVecSchema is ForestSchema plus a dim-dimensional "emb"
+// embedding attribute; the schema RandomForest uses when VecDim is set.
+func ForestVecSchema(dim int) *model.Schema {
+	s := model.NewSchema()
+	s.MustDefineAttr("n", model.TypeString)
+	s.MustDefineAttr("tag", model.TypeString)
+	s.MustDefineAttr("val", model.TypeInt)
+	s.MustDefineAttr("ref", model.TypeDN)
+	s.MustDefineAttr("emb", model.VectorType(dim))
+	s.MustDefineClass("node", "n", "tag", "val", "ref", "emb")
+	return s
+}
+
 // RandomForest generates a random directory forest per the config.
 func RandomForest(cfg ForestConfig) *model.Instance {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
-	in := model.NewInstance(ForestSchema())
+	schema := ForestSchema()
+	if cfg.VecDim > 0 {
+		schema = ForestVecSchema(cfg.VecDim)
+	}
+	in := model.NewInstance(schema)
 	dns := []model.DN{nil}
+	// centroids[i] is the embedding cluster center of dns[i]'s top-level
+	// subtree; a fresh root child draws a fresh centroid, descendants
+	// inherit it.
+	centroids := [][]float64{nil}
 	for i := 0; i < cfg.N; i++ {
-		parent := dns[r.Intn(len(dns))]
+		pi := r.Intn(len(dns))
+		parent := dns[pi]
 		if len(parent) >= cfg.MaxDepth {
-			parent = nil
+			parent, pi = nil, 0
 		}
 		dn := parent.Child(model.RDN{{Attr: "n", Value: fmt.Sprintf("e%d", i)}})
 		e, err := model.NewEntryFromDN(in.Schema(), dn)
@@ -82,8 +117,24 @@ func RandomForest(cfg ForestConfig) *model.Instance {
 		for j := r.Intn(cfg.MaxVals + 1); j > 0; j-- {
 			e.Add("val", model.Int(int64(r.Intn(cfg.ValRange))))
 		}
+		var centroid []float64
+		if cfg.VecDim > 0 {
+			centroid = centroids[pi]
+			if centroid == nil { // new top-level subtree
+				centroid = make([]float64, cfg.VecDim)
+				for d := range centroid {
+					centroid[d] = 2*r.Float64() - 1
+				}
+			}
+			vec := make([]float32, cfg.VecDim)
+			for d := range vec {
+				vec[d] = float32(centroid[d] + r.NormFloat64()*cfg.VecSpread)
+			}
+			e.Add("emb", model.VectorValue(vec))
+		}
 		in.MustAdd(e)
 		dns = append(dns, dn)
+		centroids = append(centroids, centroid)
 	}
 	if cfg.RefsPerEntry > 0 {
 		es := in.Entries()

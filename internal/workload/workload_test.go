@@ -148,6 +148,59 @@ func TestRandomForestValid(t *testing.T) {
 	}
 }
 
+func TestRandomForestEmbeddingsClustered(t *testing.T) {
+	in := RandomForest(ForestConfig{N: 400, Seed: 9, VecDim: 8})
+	if err := in.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	// Every entry carries exactly one embedding of the right dimension,
+	// and the generator is deterministic.
+	for _, e := range in.Entries() {
+		vs := e.Values("emb")
+		if len(vs) != 1 || len(vs[0].Vec()) != 8 {
+			t.Fatalf("%s: emb = %v", e.DN(), vs)
+		}
+	}
+	again := RandomForest(ForestConfig{N: 400, Seed: 9, VecDim: 8})
+	for i, e := range in.Entries() {
+		if !e.Equal(again.Entries()[i]) {
+			t.Fatalf("entry %d differs across runs", i)
+		}
+	}
+	// Cluster structure: entries sharing a top-level subtree sit far
+	// closer together than entries from different subtrees.
+	top := func(e *model.Entry) string { dn := e.DN(); return dn[len(dn)-1].String() }
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			s += d * d
+		}
+		return s
+	}
+	var within, across float64
+	var nw, na int
+	es := in.Entries()
+	for i := 0; i < len(es); i += 7 {
+		for j := i + 1; j < len(es); j += 13 {
+			vi, _ := es[i].First("emb")
+			vj, _ := es[j].First("emb")
+			d := dist(vi.Vec(), vj.Vec())
+			if top(es[i]) == top(es[j]) {
+				within, nw = within+d, nw+1
+			} else {
+				across, na = across+d, na+1
+			}
+		}
+	}
+	if nw == 0 || na == 0 {
+		t.Skip("sample missed one of the pair classes")
+	}
+	if within/float64(nw)*4 > across/float64(na) {
+		t.Errorf("clusters not separated: mean within = %g, mean across = %g", within/float64(nw), across/float64(na))
+	}
+}
+
 func TestGenQoSShape(t *testing.T) {
 	in := GenQoS(QoSConfig{Domains: 3, PoliciesPerDomain: 10, Seed: 2})
 	if err := in.Validate(true); err != nil {

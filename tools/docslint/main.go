@@ -30,6 +30,7 @@ import (
 var docPackages = []string{
 	"internal/obs",
 	"internal/engine",
+	"internal/vindex",
 }
 
 // skipDirs are never scanned for markdown.
