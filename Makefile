@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz docs crash bench-smoke
+.PHONY: check vet build test race fuzz docs crash bench-smoke obs-smoke
 
 check: vet build test race docs bench-smoke
 
@@ -22,11 +22,15 @@ test:
 # copy-on-write updates, internal/core/swap_test.go), the shared-Disk
 # pager and per-query arenas, the parallel engine and external sorter,
 # the durable checkpoint store (checkpoint-during-swap chaos), the
-# metrics/tracing subsystem, and the vector index plus its store-level
-# knn paths (concurrent searches against copy-on-write swaps). CI
-# additionally runs `go test -race ./...` over the whole module.
+# metrics/tracing subsystem, the query-statistics store (concurrent
+# folds from traced evaluations), and the vector index plus its
+# store-level knn paths (concurrent searches against copy-on-write
+# swaps). The dirserver package includes the cross-process trace-merge
+# chaos tests (trace_chaos_test.go), so the merged-tree conservation
+# invariant runs under the race detector here. CI additionally runs
+# `go test -race ./...` over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/ ./internal/qstats/
 
 # Short-budget fuzzing of the parser/matcher surfaces that each carry a
 # differential oracle: the wildcard matcher vs a reference matcher and
@@ -67,3 +71,10 @@ docs:
 # gate on the vector index.
 bench-smoke:
 	$(GO) run ./cmd/dirbench -quick -only E22 >/dev/null
+
+# Observability smoke: boot a real dirserve child with the flight
+# recorder and admin listener on, run 50 traced queries against it,
+# and assert the flight recorder, /metrics, and the slow-query log all
+# agree on what happened (counts, trace IDs, span trees).
+obs-smoke:
+	$(GO) run ./tools/obssmoke

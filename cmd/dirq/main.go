@@ -14,6 +14,22 @@
 // -retries tune the pooled client's deadline and retry budget:
 //
 //	dirq -server 127.0.0.1:7001 -timeout 2s -retries 1 -q '(dc=com ? sub ? objectClass=dcObject)'
+//
+// With -peers the query is evaluated through a federating Coordinator:
+// each "dn@addr" pair (pairs separated by ";") registers a zone served
+// by a remote dirserve, and atomics under those subtrees are shipped to
+// the owning replica. Combined with -explain the evaluation is traced
+// end to end — a 128-bit trace ID rides the wire, every replica returns
+// its span subtree, and dirq prints ONE merged tree with per-hop
+// wire/serve/queue time split and the cross-process page-I/O
+// conservation check (local + Σ remote = total):
+//
+//	dirq -peers 'dc=com@127.0.0.1:7001' -explain -q '(dc=com ? sub ? objectClass=dcObject)'
+//
+// With -stats DIR observed per-operator statistics persist across runs:
+// on boot the newest intact qstats checkpoint in DIR is recovered and
+// feeds EXPLAIN's observed-vs-estimated columns; after the run the
+// updated store is checkpointed back through the durable envelope.
 package main
 
 import (
@@ -28,9 +44,12 @@ import (
 	"repro/internal/apps/qos"
 	"repro/internal/core"
 	"repro/internal/dirserver"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/ldif"
 	"repro/internal/model"
+	"repro/internal/pager"
+	"repro/internal/qstats"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
@@ -56,6 +75,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request deadline for -server calls")
 		retries     = flag.Int("retries", 2, "transient-failure retries for -server calls")
 		workers     = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
+		peers       = flag.String("peers", "", `federate through a Coordinator: ";"-separated "dn@addr" zone registrations (-explain traces across the wire)`)
+		statsDir    = flag.String("stats", "", "durable query-statistics directory: recover observed profiles on boot (feeds EXPLAIN), checkpoint after the run")
 	)
 	flag.Parse()
 	opts := core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
@@ -87,6 +108,17 @@ func main() {
 		}
 	}
 	fmt.Printf("directory: %d entries\n", dir.Count())
+
+	// A durable statistics store makes EXPLAIN's observed columns
+	// persistent: recover past observations now, checkpoint the grown
+	// store when the run completes.
+	var qflush func()
+	if *statsDir != "" {
+		var err error
+		if qflush, err = attachStats(dir, *statsDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *saveSnap != "" {
 		f, err := os.Create(*saveSnap)
@@ -127,6 +159,18 @@ func main() {
 		fmt.Print(ex)
 	}
 
+	if *peers != "" {
+		if *queryStr == "" {
+			fmt.Fprintln(os.Stderr, "dirq: -peers needs -q")
+			os.Exit(2)
+		}
+		runFederated(dir, *peers, *queryStr, *explain, *quiet)
+		if qflush != nil {
+			qflush()
+		}
+		return
+	}
+
 	switch {
 	case *queryStr != "" && *explain:
 		runTraced(dir, *queryStr, *quiet)
@@ -146,6 +190,101 @@ func main() {
 		fmt.Printf("cache: %d entries (%d/%d bytes), hits %d, misses %d, hit rate %.2f\n",
 			st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, st.HitRate())
 	}
+	if qflush != nil {
+		qflush()
+	}
+}
+
+// attachStats opens (creating if needed) the durable qstats store at
+// path, recovers the newest intact generation into a fresh store,
+// attaches it to the directory, and returns the end-of-run checkpoint.
+func attachStats(dir *core.Directory, path string) (flush func(), err error) {
+	fs, err := pager.DirFS(path)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := durable.Open(fs, durable.Options{})
+	if err != nil {
+		return nil, err
+	}
+	qs := qstats.New()
+	gen, err := qs.Recover(ds)
+	if err != nil {
+		return nil, fmt.Errorf("recovering query statistics: %w", err)
+	}
+	if gen > 0 {
+		fmt.Printf("qstats: recovered %d folded traces (generation %d)\n", qs.Folded(), gen)
+	}
+	dir.SetQueryStats(qs)
+	return func() {
+		if gen, err := qs.Checkpoint(ds); err != nil {
+			fmt.Fprintln(os.Stderr, "dirq: qstats checkpoint:", err)
+		} else {
+			fmt.Printf("qstats: checkpointed generation %d (%d traces folded)\n", gen, qs.Folded())
+		}
+	}, nil
+}
+
+// runFederated evaluates through a Coordinator federating the zones
+// registered by -peers. With explain the evaluation is traced across
+// the wire and the merged span tree is printed with the cross-process
+// I/O conservation check.
+func runFederated(dir *core.Directory, peers, text string, explain, quiet bool) {
+	var reg dirserver.Registry
+	for _, pair := range strings.Split(peers, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		i := strings.LastIndex(pair, "@")
+		if i < 0 {
+			fatal(fmt.Errorf("bad -peers entry %q: want dn@addr", pair))
+		}
+		dn, err := model.ParseDN(pair[:i])
+		if err != nil {
+			fatal(fmt.Errorf("bad -peers DN in %q: %w", pair, err))
+		}
+		reg.Register(dn, strings.TrimSpace(pair[i+1:]))
+	}
+	coord := dirserver.NewCoordinatorWith(dir, &reg, "", dirserver.CoordinatorConfig{})
+	defer coord.Close()
+
+	if !explain {
+		entries, err := coord.Search(context.Background(), text)
+		if err != nil {
+			fatal(err)
+		}
+		if !quiet {
+			for _, e := range entries {
+				fmt.Println(e)
+				fmt.Println()
+			}
+		}
+		fmt.Printf("%d entries via coordinator\n", len(entries))
+		return
+	}
+
+	entries, root, err := coord.SearchTraced(context.Background(), text)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		for _, e := range entries {
+			fmt.Println(e)
+			fmt.Println()
+		}
+	}
+	fmt.Println("distributed execution profile:")
+	root.Format(os.Stdout)
+	if cerr := root.CheckConservation(); cerr != nil {
+		fmt.Printf("I/O conservation: FAILED — %v\n", cerr)
+	} else {
+		total := root.TreeIO()
+		remote := total.Sub(root.IO)
+		fmt.Printf("I/O conservation: ok — total %d page accesses = local %d + Σ remote %d (%d hops)\n",
+			total.IO(), root.IO.IO(), remote.IO(), len(root.RemoteRoots()))
+	}
+	fmt.Printf("%d entries\n", len(entries))
 }
 
 // runRemote ships one query to a dirserve instance through the pooled

@@ -8,11 +8,15 @@
 //	dirserve -gen tops -n 300 -addr 127.0.0.1:0
 //
 // With -admin an HTTP listener exposes Prometheus /metrics, a JSON
-// /statusz, and /debug/pprof; -slowlog emits one-line JSON for every
-// query crossing the -slow-ms or -slow-io threshold (and every failed
-// query):
+// /statusz, /debug/pprof, and the query flight recorder at
+// /debug/queries — the last -flight completed query traces (full span
+// trees, canonical query, generation, result hash), filterable by
+// ?min_ms= / ?min_io= / ?errors=1 and fetchable in full by ?trace=ID;
+// -slowlog emits one-line JSON (now carrying the generation and trace
+// ID) for every query crossing the -slow-ms or -slow-io threshold (and
+// every failed query):
 //
-//	dirserve -gen forest -n 2000 -admin 127.0.0.1:9090 -slowlog slow.jsonl -slow-ms 50
+//	dirserve -gen forest -n 2000 -admin 127.0.0.1:9090 -flight 512 -slowlog slow.jsonl -slow-ms 50
 //
 // With -data the directory is durable: on boot the newest intact
 // checkpoint generation is recovered (corrupt ones are verified against
@@ -25,6 +29,13 @@
 // checkpoints; SIGTERM always takes a final checkpoint after draining.
 //
 //	dirserve -gen paper -data /var/lib/dirkit -mutable -checkpoint-every 0
+//
+// With -data the server also keeps a durable query-statistics store
+// under DATA/qstats: every served query is traced and folded into
+// per-(operator, scope-depth, atomic-class) profiles that are recovered
+// on boot, checkpointed periodically and at shutdown, exported on
+// /metrics as dirkit_qstats_*, and surfaced by EXPLAIN's
+// observed-vs-estimated columns.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -44,6 +56,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pager"
+	"repro/internal/qstats"
 	"repro/internal/workload"
 )
 
@@ -57,6 +70,8 @@ var (
 	slowIO       = flag.Int64("slow-io", 0, "log queries costing at least this many page I/Os (0 disables the I/O threshold)")
 	cacheBytes   = flag.Int64("cache", 0, "enable the served directory's query-result cache with this byte budget (0 = off)")
 	workers      = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
+	flightN      = flag.Int("flight", 256, "retain the last N completed query traces in the flight recorder at /debug/queries (0 = off)")
+	qstatsEvery  = flag.Duration("qstats-every", 30*time.Second, "checkpoint cadence for the durable query-statistics store under -data/qstats")
 
 	dataDir   = flag.String("data", "", "durable store directory: recover on boot, checkpoint while serving (off when empty)")
 	ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint cadence: 0 = synchronously before acknowledging each write, >0 = periodic background checkpoints")
@@ -192,6 +207,11 @@ func slowLog() *obs.SlowLog {
 func serve(dir *core.Directory, ds *durable.Store, addr string) {
 	reg := obs.NewRegistry()
 	dir.RegisterMetrics(reg)
+	var flight *obs.FlightRecorder
+	if *flightN > 0 {
+		flight = obs.NewFlightRecorder(*flightN)
+		flight.RegisterMetrics(reg, "dirkit_flight")
+	}
 	cfg := dirserver.ServerConfig{
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
@@ -199,6 +219,51 @@ func serve(dir *core.Directory, ds *durable.Store, addr string) {
 		Mutable:      *mutable,
 		Metrics:      obs.NewQueryMetrics(reg, "dirkit_server"),
 		SlowLog:      slowLog(),
+		Flight:       flight,
+	}
+
+	// A durable -data directory also persists the query-statistics
+	// store: recovered before the first query, checkpointed on a cadence
+	// and once more at shutdown. Corruption is never fatal — statistics
+	// are advisory, so an unrecoverable store just starts empty.
+	var qs *qstats.Store
+	var qds *durable.Store
+	qsStop := make(chan struct{})
+	qsDone := make(chan struct{})
+	if *dataDir != "" {
+		qfs, err := pager.DirFS(filepath.Join(*dataDir, "qstats"))
+		if err != nil {
+			fatal(err)
+		}
+		if qds, err = durable.Open(qfs, durable.Options{Keep: *keepGens}); err != nil {
+			fatal(err)
+		}
+		qs = qstats.New()
+		if gen, err := qs.Recover(qds); err != nil {
+			fmt.Fprintln(os.Stderr, "dirserve: qstats recover (starting empty):", err)
+			qs = qstats.New()
+		} else if gen > 0 {
+			fmt.Printf("dirserve: qstats recovered generation %d (%d traces folded)\n", gen, qs.Folded())
+		}
+		dir.SetQueryStats(qs)
+		qs.RegisterMetrics(reg, "dirkit_qstats")
+		go func() {
+			defer close(qsDone)
+			t := time.NewTicker(*qstatsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-qsStop:
+					return
+				case <-t.C:
+					if _, err := qs.Checkpoint(qds); err != nil {
+						fmt.Fprintln(os.Stderr, "dirserve: qstats checkpoint:", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(qsDone)
 	}
 	ckptStop := make(chan struct{})
 	ckptDone := make(chan struct{})
@@ -247,18 +312,18 @@ func serve(dir *core.Directory, ds *durable.Store, addr string) {
 	fmt.Printf("dirserve: %d entries on %s\n", dir.Count(), srv.Addr())
 
 	if *adminAddr != "" {
-		admin, err := obs.ServeAdmin(*adminAddr, reg, func() any {
+		admin, err := obs.ServeAdminWith(*adminAddr, reg, func() any {
 			return map[string]any{
 				"addr":       srv.Addr(),
 				"entries":    dir.Count(),
 				"generation": dir.Generation(),
 			}
-		})
+		}, flight)
 		if err != nil {
 			fatal(err)
 		}
 		defer admin.Close()
-		fmt.Printf("dirserve: admin on http://%s (/metrics, /statusz, /debug/pprof)\n", admin.Addr())
+		fmt.Printf("dirserve: admin on http://%s (/metrics, /statusz, /debug/pprof, /debug/queries)\n", admin.Addr())
 	}
 
 	// SIGINT for interactive use, SIGTERM for process managers: both
@@ -279,6 +344,15 @@ func serve(dir *core.Directory, ds *durable.Store, addr string) {
 			fmt.Fprintln(os.Stderr, "dirserve: final checkpoint:", err)
 		} else {
 			fmt.Printf("dirserve: checkpointed generation %d\n", gen)
+		}
+	}
+	if qds != nil {
+		close(qsStop)
+		<-qsDone
+		if gen, err := qs.Checkpoint(qds); err != nil {
+			fmt.Fprintln(os.Stderr, "dirserve: final qstats checkpoint:", err)
+		} else {
+			fmt.Printf("dirserve: qstats checkpointed generation %d (%d traces folded)\n", gen, qs.Folded())
 		}
 	}
 	fmt.Println("dirserve: shut down")

@@ -32,6 +32,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/plist"
 	"repro/internal/qcache"
+	"repro/internal/qstats"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -176,6 +177,11 @@ type Directory struct {
 	swaps     atomic.Int64  // completed store swaps (successful Updates)
 	rebuildNS atomic.Int64  // wall time of the last successful off-line rebuild
 	readers   readerTracker // in-flight evaluations per generation (lag gauge)
+
+	// qstats, when set, receives every completed traced evaluation's
+	// span tree and feeds observed-vs-estimated columns back into
+	// ExplainQuery.
+	qstats atomic.Pointer[qstats.Store]
 }
 
 // snapshot bundles the immutable per-generation read state. Once
@@ -446,6 +452,17 @@ func (d *Directory) SearchTraced(text string) (*Result, *obs.Span, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return d.SearchQueryTraced(context.Background(), q)
+}
+
+// SearchQueryTraced is SearchTraced for a parsed query tree, with
+// deadline and cancellation propagation: the context is checked before
+// each operator, so a budgeted evaluation (the dirserver protocol's
+// per-request budget, most importantly) stops promptly instead of
+// overrunning. The span tree is returned even on failure — partial,
+// with the failing span carrying the error — which is what keeps
+// distributed traces well-formed when one hop dies mid-query.
+func (d *Directory) SearchQueryTraced(ctx context.Context, q query.Query) (*Result, *obs.Span, error) {
 	snap := d.snap.Load()
 	if err := query.Validate(snap.st.Schema(), q); err != nil {
 		return nil, nil, err
@@ -453,11 +470,27 @@ func (d *Directory) SearchTraced(text string) (*Result, *obs.Span, error) {
 	if d.opts.Optimize {
 		q = planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query
 	}
+	return d.searchTraced(ctx, snap, q)
+}
+
+// SearchLDAPTraced is SearchQueryTraced for the LDAP baseline surface
+// (which skips L0 validation, like SearchLDAP).
+func (d *Directory) SearchLDAPTraced(ctx context.Context, text string) (*Result, *obs.Span, error) {
+	q, err := query.ParseLDAP(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.searchTraced(ctx, d.snap.Load(), q)
+}
+
+func (d *Directory) searchTraced(ctx context.Context, snap *snapshot, q query.Query) (*Result, *obs.Span, error) {
 	d.readers.enter(snap.gen)
 	defer d.readers.exit(snap.gen)
 	arena := pager.NewArena(snap.st.Disk())
 	tr := obs.NewTracer(arena)
-	ctx := obs.WithTracer(context.Background(), tr)
+	ctx = obs.WithTracer(ctx, tr)
+	qs := d.qstats.Load()
+	defer func() { qs.Fold(tr.Root()) }()
 	before := arena.Stats()
 	l, err := snap.eng.Session(arena).EvalContext(ctx, q)
 	if err != nil {
@@ -474,6 +507,15 @@ func (d *Directory) SearchTraced(text string) (*Result, *obs.Span, error) {
 	}
 	return res, tr.Root(), l.Free()
 }
+
+// SetQueryStats attaches a statistics store: every subsequent traced
+// evaluation's span tree is folded into it, and ExplainQuery reports
+// its observed hit/I-O distributions beside the catalog estimates.
+// Pass nil to detach. Safe to call concurrently with queries.
+func (d *Directory) SetQueryStats(s *qstats.Store) { d.qstats.Store(s) }
+
+// QueryStats returns the attached statistics store (nil when none).
+func (d *Directory) QueryStats() *qstats.Store { return d.qstats.Load() }
 
 // readerTracker counts in-flight evaluations per generation, feeding
 // the reader-generation-lag gauge. The mutex guards two map operations

@@ -20,12 +20,22 @@ type Explain struct {
 	Atoms     []AtomPlan
 }
 
-// AtomPlan is the plan for one atomic leaf.
+// AtomPlan is the plan for one atomic leaf: the catalog's estimate
+// and, when a statistics store is attached (SetQueryStats) and has seen
+// this exact atomic, the observed distribution beside it.
 type AtomPlan struct {
 	Query     string
 	Path      string // base-point | index | scan | knn-index | knn-scan
 	EstHits   int64  // -1 if the catalog cannot estimate; k for knn
 	ScanBytes int64
+	// ObsN is how many traced evaluations of this exact atomic the
+	// statistics store has folded (0 = never observed, Obs* unset).
+	ObsN int64
+	// ObsP50Hits is the median actual hit count over those evaluations —
+	// the observed answer to EstHits's estimate.
+	ObsP50Hits float64
+	// ObsP50IO is the median self page I/O the atomic performed.
+	ObsP50IO float64
 }
 
 // String renders a compact multi-line report.
@@ -37,7 +47,11 @@ func (e *Explain) String() string {
 		fmt.Fprintf(&b, "rules: %s\n", strings.Join(e.Rules, ", "))
 	}
 	for _, a := range e.Atoms {
-		fmt.Fprintf(&b, "atom %-10s est=%-6d scope=%dB  %s\n", a.Path, a.EstHits, a.ScanBytes, a.Query)
+		fmt.Fprintf(&b, "atom %-10s est=%-6d scope=%dB", a.Path, a.EstHits, a.ScanBytes)
+		if a.ObsN > 0 {
+			fmt.Fprintf(&b, "  obs=%d/p50=%.0f/io=%.0f", a.ObsN, a.ObsP50Hits, a.ObsP50IO)
+		}
+		fmt.Fprintf(&b, "  %s\n", a.Query)
 	}
 	return b.String()
 }
@@ -60,18 +74,28 @@ func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 		ex.Optimized = q.String()
 		ex.Rules = res.Rules
 	}
+	qs := d.qstats.Load()
 	query.Walk(q, func(node query.Query) {
 		a, ok := node.(*query.Atomic)
 		if !ok {
 			return
 		}
 		p := snap.st.ExplainAtomic(a)
-		ex.Atoms = append(ex.Atoms, AtomPlan{
+		plan := AtomPlan{
 			Query:     a.String(),
 			Path:      p.Path,
 			EstHits:   p.EstHits,
 			ScanBytes: p.ScanBytes,
-		})
+		}
+		// The statistics store keys observations by the optimized
+		// atomic's printed text — exactly the span Detail the engine
+		// records — so the lookup matches what Fold accumulated.
+		if ob, ok := qs.ObservedFor(plan.Query); ok {
+			plan.ObsN = ob.N
+			plan.ObsP50Hits = ob.P50Hits
+			plan.ObsP50IO = ob.P50IO
+		}
+		ex.Atoms = append(ex.Atoms, plan)
 	})
 	return ex, nil
 }

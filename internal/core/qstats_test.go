@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/pager"
+	"repro/internal/qstats"
+)
+
+// TestExplainObservedVsEstimated closes the observe → estimate loop:
+// traced evaluations fold into an attached qstats store, EXPLAIN on
+// the repeated query prints the observed hit distribution beside the
+// catalog estimate, and the observations survive a checkpoint/recover
+// cycle through the durable layer.
+func TestExplainObservedVsEstimated(t *testing.T) {
+	dir := forestDir(t, 800)
+	const q = `( ? sub ? tag=a)`
+
+	// Before any traced run, EXPLAIN has estimates only.
+	ex, err := dir.ExplainQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Atoms) != 1 || ex.Atoms[0].ObsN != 0 {
+		t.Fatalf("fresh explain already has observations: %+v", ex.Atoms)
+	}
+	if strings.Contains(ex.String(), "obs=") {
+		t.Fatalf("fresh explain prints obs column:\n%s", ex.String())
+	}
+
+	qs := qstats.New()
+	dir.SetQueryStats(qs)
+	var wantHits int64
+	for i := 0; i < 3; i++ {
+		res, root, err := dir.SearchTraced(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root == nil {
+			t.Fatal("no span tree")
+		}
+		wantHits = int64(len(res.Entries))
+	}
+	if qs.Folded() != 3 {
+		t.Fatalf("store folded %d traces, want 3", qs.Folded())
+	}
+
+	ex, err = dir.ExplainQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ex.Atoms[0]
+	if a.ObsN != 3 {
+		t.Fatalf("ObsN = %d, want 3: %+v", a.ObsN, a)
+	}
+	// The log₂ histogram's median must land in the true hit count's
+	// bucket: within [hits/2, 2*hits].
+	if wantHits > 0 && (a.ObsP50Hits < float64(wantHits)/2 || a.ObsP50Hits > float64(2*wantHits)) {
+		t.Fatalf("ObsP50Hits = %v, actual hits %d", a.ObsP50Hits, wantHits)
+	}
+	if !strings.Contains(ex.String(), "obs=3/") {
+		t.Fatalf("explain does not print observed column:\n%s", ex.String())
+	}
+
+	// The store survives checkpoint/recover; the recovered EXPLAIN
+	// still shows the history.
+	fs, err := pager.DirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := durable.Open(fs, durable.Options{Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qs.Checkpoint(ds); err != nil {
+		t.Fatal(err)
+	}
+	recovered := qstats.New()
+	if _, err := recovered.Recover(ds); err != nil {
+		t.Fatal(err)
+	}
+	dir.SetQueryStats(recovered)
+	ex, err = dir.ExplainQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Atoms[0].ObsN != 3 {
+		t.Fatalf("recovered ObsN = %d, want 3", ex.Atoms[0].ObsN)
+	}
+}
+
+// TestSearchQueryTracedHonorsDeadline: a context whose deadline already
+// passed stops the evaluation before any operator runs.
+func TestSearchQueryTracedHonorsDeadline(t *testing.T) {
+	dir := forestDir(t, 200)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := dir.SearchLDAPTraced(ctx, `( ? sub ? tag=a)`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+}

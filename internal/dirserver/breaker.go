@@ -76,27 +76,30 @@ func (h *health) get(addr string) *addrHealth {
 
 // allow reports whether a request may be sent to addr right now.
 // Closed breakers always allow; open breakers allow one half-open
-// probe once the cooldown has elapsed.
-func (h *health) allow(addr string) bool {
+// probe once the cooldown has elapsed. probe marks that case: the
+// request is a half-open probe, an extra attempt the breaker spends to
+// re-test a previously failed address — the coordinator counts it as a
+// retry in its stats and span annotations alike.
+func (h *health) allow(addr string) (ok, probe bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	a := h.get(addr)
 	switch a.state {
 	case stateClosed:
-		return true
+		return true, false
 	case stateOpen:
 		if h.now().Sub(a.openedAt) < h.cfg.Cooldown {
-			return false
+			return false, false
 		}
 		a.state = stateHalfOpen
 		a.probing = true
-		return true
+		return true, true
 	default: // half-open: one probe at a time
 		if a.probing {
-			return false
+			return false, false
 		}
 		a.probing = true
-		return true
+		return true, true
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ldif"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Client errors.
@@ -164,31 +165,85 @@ func (cl *Client) Call(ctx context.Context, addr, kind, queryText string) ([]*mo
 // reply — the invalidation token for result caches layered above
 // (zero when talking to a server predating the gen field).
 func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string) ([]*model.Entry, int64, error) {
+	entries, res, _, err := cl.do(ctx, addr, request{Kind: kind, Query: queryText})
+	return entries, res.Gen, err
+}
+
+// RemoteTrace describes one traced exchange: the server-side span
+// subtree (root Host = serving address) and the round trip's time
+// split — server evaluation, server-side queueing, and what remains,
+// the wire (serialization + network + client decode). Wire/Serve/Queue
+// cover the successful exchange only; retried attempts are not
+// included.
+type RemoteTrace struct {
+	Span  *obs.Span
+	Wire  time.Duration
+	Serve time.Duration
+	Queue time.Duration
+}
+
+// CallTraced is CallWithGen carrying trace context on the wire:
+// traceID and the issuing span's ID ride the request, the remaining
+// context-deadline budget is forwarded so the server stops evaluating
+// when this client would discard the answer, and the reply's span
+// subtree plus wire/serve/queue time split come back in RemoteTrace.
+// RemoteTrace is non-nil whenever the server replied (even with a
+// query error, whose partial span tree keeps the merged trace
+// well-formed); it is nil on transport failure.
+func (cl *Client) CallTraced(ctx context.Context, addr, kind, queryText, traceID string, parentSpan uint64) ([]*model.Entry, int64, *RemoteTrace, error) {
+	req := request{Kind: kind, Query: queryText, Trace: traceID, Span: parentSpan}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.BudgetMS = ms
+		}
+	}
+	entries, res, rtt, err := cl.do(ctx, addr, req)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		return nil, 0, nil, err
+	}
+	rt := &RemoteTrace{
+		Span:  res.Trace,
+		Serve: time.Duration(res.ServeUS) * time.Microsecond,
+		Queue: time.Duration(res.QueueUS) * time.Microsecond,
+	}
+	if rt.Wire = rtt - rt.Serve - rt.Queue; rt.Wire < 0 {
+		rt.Wire = 0
+	}
+	return entries, res.Gen, rt, err
+}
+
+// do runs the retry loop for one request, returning the decoded
+// entries, the raw response (meaningful whenever the server replied,
+// ErrRemote included), and how long the successful exchange took on
+// this client's clock.
+func (cl *Client) do(ctx context.Context, addr string, req request) ([]*model.Entry, response, time.Duration, error) {
 	cl.calls.Add(1)
-	b, err := json.Marshal(request{Kind: kind, Query: queryText})
+	b, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, response{}, 0, err
 	}
 	var lastErr error
 	freeRedial := true
 	for attempt := 0; ; {
 		if err := ctx.Err(); err != nil {
-			return nil, 0, err
+			return nil, response{}, 0, err
 		}
 		pc, reused, err := cl.get(ctx, addr)
 		if err == nil {
 			var entries []*model.Entry
-			var gen int64
-			entries, gen, err = cl.roundTrip(ctx, pc, b)
+			var res response
+			start := time.Now()
+			entries, res, err = cl.roundTrip(ctx, pc, b)
+			rtt := time.Since(start)
 			if err == nil {
 				cl.put(addr, pc)
-				return entries, gen, nil
+				return entries, res, rtt, nil
 			}
 			if errors.Is(err, ErrRemote) {
 				// A protocol-clean error reply: the stream is still
 				// framed correctly, so the connection stays pooled.
 				cl.put(addr, pc)
-				return nil, 0, err
+				return nil, res, rtt, err
 			}
 			_ = pc.c.Close()
 			if reused && freeRedial {
@@ -200,9 +255,9 @@ func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string)
 		}
 		if errors.Is(err, ErrClientClosed) || ctxExpired(ctx) != nil {
 			if cerr := ctxExpired(ctx); cerr != nil {
-				return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
+				return nil, response{}, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, cerr, err)
 			}
-			return nil, 0, err
+			return nil, response{}, 0, err
 		}
 		lastErr = err
 		attempt++
@@ -214,39 +269,39 @@ func (cl *Client) CallWithGen(ctx context.Context, addr, kind, queryText string)
 			cl.cfg.OnRetry()
 		}
 		if err := sleepCtx(ctx, cl.backoff(attempt)); err != nil {
-			return nil, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
+			return nil, response{}, 0, fmt.Errorf("dirserver: %s: %w (last transport error: %v)", addr, err, lastErr)
 		}
 	}
-	return nil, 0, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnavailable, addr, cl.cfg.MaxRetries+1, lastErr)
+	return nil, response{}, 0, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnavailable, addr, cl.cfg.MaxRetries+1, lastErr)
 }
 
 // roundTrip runs one request/response exchange on pc under the
 // configured deadline (tightened by the context's, if earlier),
-// returning the decoded entries and the server's echoed generation.
-func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*model.Entry, int64, error) {
+// returning the decoded entries and the raw response.
+func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*model.Entry, response, error) {
+	var res response
 	dl := time.Now().Add(cl.cfg.RequestTimeout)
 	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
 		dl = cdl
 	}
 	if err := pc.c.SetDeadline(dl); err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
 	// Cancellation mid-read: expire the deadline immediately.
 	stop := context.AfterFunc(ctx, func() { _ = pc.c.SetDeadline(time.Now()) })
 	defer stop()
 
 	if _, err := pc.c.Write(append(req, '\n')); err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
-	var res response
 	if err := pc.dec.Decode(&res); err != nil {
-		return nil, 0, err
+		return nil, response{}, err
 	}
 	if res.Err != "" {
 		if derr := pc.c.SetDeadline(time.Time{}); derr != nil {
-			return nil, 0, derr
+			return nil, res, derr
 		}
-		return nil, 0, fmt.Errorf("%w: %s", ErrRemote, res.Err)
+		return nil, res, fmt.Errorf("%w: %s", ErrRemote, res.Err)
 	}
 	out := make([]*model.Entry, len(res.Entries))
 	for i, block := range res.Entries {
@@ -254,13 +309,13 @@ func (cl *Client) roundTrip(ctx context.Context, pc *poolConn, req []byte) ([]*m
 		if out[i], err = ldif.UnmarshalEntry(cl.schema, block); err != nil {
 			// Undecodable payload: treat as wire corruption (retryable),
 			// not a terminal remote answer.
-			return nil, 0, fmt.Errorf("dirserver: garbled entry from server: %v", err)
+			return nil, res, fmt.Errorf("dirserver: garbled entry from server: %v", err)
 		}
 	}
 	if err := pc.c.SetDeadline(time.Time{}); err != nil {
-		return nil, 0, err
+		return nil, res, err
 	}
-	return out, res.Gen, nil
+	return out, res, nil
 }
 
 // get pops a pooled connection for addr or dials a fresh one.

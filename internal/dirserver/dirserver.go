@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sort"
 	"strconv"
@@ -113,9 +114,20 @@ func (r *Registry) Zones() []string {
 // full L0..L3 tree evaluated where it lands), "ldap", or — on servers
 // started with ServerConfig.Mutable — "add" (Query carries one LDIF
 // entry block) or "del" (Query carries a DN).
+//
+// The optional trace-context fields implement distributed tracing
+// (DESIGN.md §13): Trace carries the 128-bit trace ID assigned at the
+// query's entry point, Span the client-side span that issued this
+// request (the remote subtree's parent), and BudgetMS the remaining
+// deadline budget, so a server stops evaluating when the coordinator's
+// deadline would discard the answer anyway.
 type request struct {
 	Kind  string `json:"kind"`
 	Query string `json:"query"`
+
+	Trace    string `json:"trace,omitempty"`
+	Span     uint64 `json:"span,omitempty"`
+	BudgetMS int64  `json:"budget_ms,omitempty"`
 }
 
 // response carries the sorted result entries as LDIF blocks, plus the
@@ -130,6 +142,19 @@ type response struct {
 	Entries []string `json:"entries"`
 	Gen     int64    `json:"gen,omitempty"`
 	Err     string   `json:"err,omitempty"`
+
+	// Trace is the server-side span subtree of this evaluation, returned
+	// only when the request carried a trace ID. Its root has Host set to
+	// the serving address and ParentID to the request's Span, so the
+	// client grafts it into its own tree and dirq -explain renders one
+	// merged tree across every process the query touched.
+	Trace *obs.Span `json:"trace,omitempty"`
+	// ServeUS and QueueUS split the server-side time (microseconds):
+	// evaluation proper, and the lag between the request line arriving
+	// and evaluation starting. The client derives wire time as its
+	// round-trip elapsed minus both.
+	ServeUS int64 `json:"serve_us,omitempty"`
+	QueueUS int64 `json:"queue_us,omitempty"`
 }
 
 // maxRequestBytes caps one request line on the wire.
@@ -173,6 +198,13 @@ type ServerConfig struct {
 	// SlowLog, when non-nil, emits one-line JSON for requests crossing
 	// its thresholds (and for every failed request).
 	SlowLog *obs.SlowLog
+	// Flight, when non-nil, retains the span tree of every served query
+	// in the flight recorder (exposed at /debug/queries). Setting it —
+	// or attaching a qstats store to the directory — makes the server
+	// trace every query it serves; traced serving bypasses the
+	// directory's result cache, trading cache hits for a complete
+	// per-operator record of each request.
+	Flight *obs.FlightRecorder
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -319,6 +351,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		// recv anchors the queue-time half of the server-side split: the
+		// request line is in hand, evaluation has not started.
+		recv := time.Now()
 		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
 			continue
 		}
@@ -334,7 +369,7 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		bad = 0
-		if !s.reply(conn, enc, s.serveOne(req)) {
+		if !s.reply(conn, enc, s.serveOne(req, recv)) {
 			return
 		}
 	}
@@ -380,13 +415,23 @@ func isNetShutdown(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-func (s *Server) serveOne(req request) response {
+func (s *Server) serveOne(req request, recv time.Time) response {
 	start := time.Now()
+	queue := start.Sub(recv)
 	var res *core.Result
+	var root *obs.Span
 	var gen int64
 	var err error
+	// A query request is traced when the caller propagated a trace ID,
+	// or the server itself observes every query (flight recorder /
+	// statistics store). Mutations are never traced: they have no
+	// operator tree.
+	traced := req.Trace != "" || s.cfg.Flight != nil || s.dir.QueryStats() != nil
+	ctx, cancel := budgetCtx(req)
+	defer cancel()
 	switch req.Kind {
 	case "add", "del":
+		traced = false
 		gen, err = s.applyWrite(req)
 	case "atomic":
 		var q query.Query
@@ -397,28 +442,64 @@ func (s *Server) serveOne(req request) response {
 			}
 		}
 		if err == nil {
-			res, err = s.dir.SearchQuery(q)
+			if traced {
+				res, root, err = s.dir.SearchQueryTraced(ctx, q)
+			} else {
+				res, err = s.dir.SearchQuery(q)
+			}
 		}
 	case "query":
-		res, err = s.dir.Search(req.Query)
+		var q query.Query
+		q, err = query.Parse(req.Query)
+		if err == nil {
+			if traced {
+				res, root, err = s.dir.SearchQueryTraced(ctx, q)
+			} else {
+				res, err = s.dir.SearchQuery(q)
+			}
+		}
 	case "ldap":
-		res, err = s.dir.SearchLDAP(req.Query)
+		if traced {
+			res, root, err = s.dir.SearchLDAPTraced(ctx, req.Query)
+		} else {
+			res, err = s.dir.SearchLDAP(req.Query)
+		}
 	default:
+		traced = false
 		err = fmt.Errorf("dirserver: unknown request kind %q", req.Kind)
 	}
+	dur := time.Since(start)
+	var io int64
+	var entries int
+	if res != nil {
+		io = res.IO.IO()
+		entries = len(res.Entries)
+		gen = res.Gen
+	}
+	if root != nil {
+		// Stamp the subtree as this process's: Host marks the boundary
+		// the I/O-conservation law splits on, ParentID the client-side
+		// span the subtree hangs under once merged.
+		root.Host = s.Addr()
+		root.ParentID = req.Span
+	}
+	traceID := req.Trace
+	if traced && traceID == "" {
+		traceID = obs.NewTraceID() // locally originated: still findable in /debug/queries
+	}
 	if s.cfg.Metrics != nil || s.cfg.SlowLog != nil {
-		dur := time.Since(start)
-		var io int64
-		var entries int
-		if res != nil {
-			io = res.IO.IO()
-			entries = len(res.Entries)
-		}
 		s.cfg.Metrics.Observe(dur, io, int64(entries), err != nil)
-		s.cfg.SlowLog.Record(req.Kind, req.Query, dur, io, entries, err)
+		s.cfg.SlowLog.Record(req.Kind, req.Query, gen, traceID, dur, io, entries, err)
 	}
 	if err != nil {
-		return response{Err: err.Error()}
+		s.record(req, traced, traceID, gen, dur, io, 0, 0, err, root)
+		out := response{Err: err.Error(), ServeUS: dur.Microseconds(), QueueUS: queue.Microseconds()}
+		if req.Trace != "" {
+			// A lost or failed evaluation still returns its partial span
+			// subtree, so the merged tree stays well-formed.
+			out.Trace = root
+		}
+		return out
 	}
 	if req.Kind == "add" || req.Kind == "del" {
 		// A write acknowledgment: no entries, just the generation the
@@ -430,11 +511,65 @@ func (s *Server) serveOne(req request) response {
 	// swapping the store mid-evaluation must not stamp old entries with
 	// the new generation, or remote caches would pin stale answers
 	// under a fresh token.
-	out := response{Entries: make([]string, len(res.Entries)), Gen: res.Gen}
+	out := response{
+		Entries: make([]string, len(res.Entries)), Gen: res.Gen,
+		ServeUS: dur.Microseconds(), QueueUS: queue.Microseconds(),
+	}
+	hash := fnv.New64a()
 	for i, e := range res.Entries {
-		out.Entries[i] = ldif.MarshalEntry(e)
+		block := ldif.MarshalEntry(e)
+		out.Entries[i] = block
+		_, _ = hash.Write([]byte(block))
+	}
+	s.record(req, traced, traceID, gen, dur, io, entries, hash.Sum64(), nil, root)
+	if req.Trace != "" {
+		out.Trace = root
 	}
 	return out
+}
+
+// budgetCtx derives the evaluation context from the request's remaining
+// deadline budget, so a server abandons work the coordinator would
+// discard anyway. The returned cancel must be called.
+func budgetCtx(req request) (context.Context, context.CancelFunc) {
+	if req.BudgetMS <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), time.Duration(req.BudgetMS)*time.Millisecond)
+}
+
+// record retains one served query in the flight recorder (no-op when
+// none is configured). The normalized query text, generation, result
+// hash and full span tree make a retained trace comparable across
+// repeats: same query + same generation should mean same hash.
+// Queries that fail before evaluation starts (parse or validation
+// errors) are retained too — with no span tree — so ?errors=1 shows
+// every rejected query, not just the ones that died mid-evaluation.
+func (s *Server) record(req request, traced bool, traceID string, gen int64, dur time.Duration, io int64, entries int, hash uint64, err error, root *obs.Span) {
+	if s.cfg.Flight == nil || !traced {
+		return
+	}
+	rec := &obs.FlightRecord{
+		TraceID: traceID,
+		Kind:    req.Kind,
+		Query:   req.Query,
+		Gen:     gen,
+		Dur:     dur,
+		IO:      io,
+		Entries: entries,
+		Hash:    hash,
+		Root:    root,
+	}
+	// Normalize the display text through a parse/print round trip
+	// (case folding, whitespace) — but not query.Canonical, whose
+	// reverse-DN keys embed NUL separators and are unreadable.
+	if q, perr := query.Parse(req.Query); perr == nil {
+		rec.Query = q.String()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.cfg.Flight.Record(rec)
 }
 
 // applyWrite executes one "add" or "del" mutation and returns the
@@ -686,39 +821,48 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 	// Health-aware footnote-4 failover: replicas whose breaker is open
 	// are skipped in favor of later ones; if every breaker is open the
 	// full list is tried anyway (a last resort beats failing fast on
-	// stale health).
-	candidates := make([]string, 0, len(addrs))
+	// stale health). A candidate let through as a half-open probe is
+	// remembered: the probe is an extra attempt spent re-testing a
+	// failed address, and counts as a retry when it completes.
+	type candidate struct {
+		addr  string
+		probe bool
+	}
+	candidates := make([]candidate, 0, len(addrs))
 	for _, addr := range addrs {
-		if c.health.allow(addr) {
-			candidates = append(candidates, addr)
+		if ok, probe := c.health.allow(addr); ok {
+			candidates = append(candidates, candidate{addr: addr, probe: probe})
 		} else {
 			c.bump(func(s *CoordinatorStats) { s.BreakerSkips++ })
 		}
 	}
 	if len(candidates) == 0 {
-		candidates = addrs
+		for _, addr := range addrs {
+			candidates = append(candidates, candidate{addr: addr})
+		}
 	}
 
 	retriesBefore := c.client.retries.Load()
 	var lastErr error
-	for i, addr := range candidates {
+	for i, cand := range candidates {
+		addr := cand.addr
 		if i > 0 {
 			c.bump(func(s *CoordinatorStats) { s.Failovers++ })
 		}
-		entries, gen, err := c.client.CallWithGen(ctx, addr, "atomic", q.String())
+		entries, gen, rt, err := c.callRemote(ctx, tr, addr, q)
 		if err == nil {
 			c.health.success(addr)
 			if c.rcache != nil {
 				c.cacheStore(addr, gen, canon, entries)
 			}
-			c.annotateRemote(tr, addr, i, retriesBefore)
+			c.finishRemote(tr, addr, i, retriesBefore, cand.probe, rt)
 			return c.materialize(entries)
 		}
 		if errors.Is(err, ErrRemote) {
 			// The server answered with an error: it is healthy, and
 			// failing over will not change the outcome.
 			c.health.success(addr)
-			c.annotateRemote(tr, addr, i, retriesBefore)
+			c.finishRemote(tr, addr, i, retriesBefore, cand.probe, rt)
 			return nil, err
 		}
 		c.health.failure(addr)
@@ -740,10 +884,30 @@ func (c *Coordinator) resolveAtomic(ctx context.Context, q *query.Atomic) (*plis
 	return nil, fmt.Errorf("%w: all servers for %q unreachable: %v", ErrUnavailable, q.Base, lastErr)
 }
 
-// annotateRemote tags the current span with where a remote atomic was
-// answered: the replica that replied, how many replicas were skipped
-// (failover depth), and how many transport retries the exchange cost.
-func (c *Coordinator) annotateRemote(tr *obs.Tracer, addr string, failover int, retriesBefore int64) {
+// callRemote ships one atomic to addr. With a tracer on the context
+// the exchange carries trace ID, issuing span, and deadline budget on
+// the wire and brings back the server's span subtree; without one it
+// is a plain CallWithGen and the RemoteTrace is nil.
+func (c *Coordinator) callRemote(ctx context.Context, tr *obs.Tracer, addr string, q *query.Atomic) ([]*model.Entry, int64, *RemoteTrace, error) {
+	if tr == nil {
+		entries, gen, err := c.client.CallWithGen(ctx, addr, "atomic", q.String())
+		return entries, gen, nil, err
+	}
+	return c.client.CallTraced(ctx, addr, "atomic", q.String(), tr.TraceID(), tr.CurrentID())
+}
+
+// finishRemote settles the accounting for a completed remote exchange
+// (successful or healthy-ErrRemote): the half-open probe, if this was
+// one, is counted as a retry in the coordinator stats AND in the span
+// annotation — the two must never disagree — then the span is tagged
+// with replica/failover/retries and the wire/serve/queue time split,
+// and the server's reported subtree is grafted under the current span.
+func (c *Coordinator) finishRemote(tr *obs.Tracer, addr string, failover int, retriesBefore int64, probe bool, rt *RemoteTrace) {
+	var probeExtra int64
+	if probe {
+		c.bump(func(s *CoordinatorStats) { s.Retries++ })
+		probeExtra = 1
+	}
 	if tr == nil {
 		return
 	}
@@ -751,8 +915,20 @@ func (c *Coordinator) annotateRemote(tr *obs.Tracer, addr string, failover int, 
 	if failover > 0 {
 		tr.Annotate("failover", strconv.Itoa(failover))
 	}
-	if d := c.client.retries.Load() - retriesBefore; d > 0 {
+	if d := c.client.retries.Load() - retriesBefore + probeExtra; d > 0 {
 		tr.Annotate("retries", strconv.FormatInt(d, 10))
+	}
+	if rt == nil {
+		return
+	}
+	tr.Annotate("wire_us", strconv.FormatInt(rt.Wire.Microseconds(), 10))
+	tr.Annotate("serve_us", strconv.FormatInt(rt.Serve.Microseconds(), 10))
+	tr.Annotate("queue_us", strconv.FormatInt(rt.Queue.Microseconds(), 10))
+	if rt.Span != nil {
+		if rt.Span.Host == "" {
+			rt.Span.Host = addr
+		}
+		tr.Attach(rt.Span)
 	}
 }
 
@@ -851,4 +1027,46 @@ func (c *Coordinator) Search(ctx context.Context, text string) ([]*model.Entry, 
 		out[i] = r.Entry
 	}
 	return out, l.Free()
+}
+
+// SearchTraced is Search under a fresh 128-bit trace ID: every
+// operator records a span, remote atomics propagate the trace context
+// over the wire and graft the servers' reported subtrees back in, and
+// the merged tree is returned beside the entries. On evaluation error
+// the partial tree recorded so far is still returned, so a lost
+// replica reply leaves a well-formed (if truncated) trace. The span
+// tree's I/O deltas are windowed on the shared disk, exact under the
+// coordinator's serialized evaluation (evalMu).
+func (c *Coordinator) SearchTraced(ctx context.Context, text string) ([]*model.Entry, *obs.Span, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := query.Validate(c.dir.Schema(), q); err != nil {
+		return nil, nil, err
+	}
+	c.evalMu.Lock()
+	defer c.evalMu.Unlock()
+	tr := obs.NewTracer(c.disk)
+	tr.SetTraceID(obs.NewTraceID())
+	// An attached statistics store sees the merged tree, remote
+	// subtrees included — remote-answered atomics profile under the
+	// "remote" class.
+	if qs := c.dir.QueryStats(); qs != nil {
+		defer func() { qs.Fold(tr.Root()) }()
+	}
+	ctx = obs.WithTracer(ctx, tr)
+	l, err := c.eng.EvalContext(ctx, q)
+	if err != nil {
+		return nil, tr.Root(), err
+	}
+	recs, err := plist.Drain(l)
+	if err != nil {
+		return nil, tr.Root(), err
+	}
+	out := make([]*model.Entry, len(recs))
+	for i, r := range recs {
+		out[i] = r.Entry
+	}
+	return out, tr.Root(), l.Free()
 }

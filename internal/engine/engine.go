@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/extsort"
 	"repro/internal/filter"
@@ -216,11 +217,20 @@ func (e *Engine) evalNode(ctx context.Context, sp *obs.Span, q query.Query) (*pl
 		if e.resolver != nil {
 			return e.resolver(ctx, n)
 		}
-		if sp != nil && n.Filter.Op == filter.OpKNN {
-			// Surface the knn access-path choice (knn-index vs knn-scan)
-			// on the operator's span, so trace trees and dirq -explain
-			// show which plan ran alongside its exact page I/O.
-			sp.Tag("knn", e.st.ExplainAtomic(n).Path)
+		if sp != nil {
+			// Surface the plan on the operator's span — access path,
+			// catalog estimate, scope depth, filter attribute — so trace
+			// trees show which plan ran next to its exact page I/O, and
+			// qstats can fold estimated-vs-actual selectivity per
+			// attribute and per (op, depth, path) class.
+			plan := e.st.ExplainAtomic(n)
+			sp.Tag("path", plan.Path)
+			sp.Tag("est", strconv.FormatInt(plan.EstHits, 10))
+			sp.Tag("depth", strconv.Itoa(n.Base.Depth()))
+			sp.Tag("attr", n.Filter.Attr)
+			if n.Filter.Op == filter.OpKNN {
+				sp.Tag("knn", plan.Path)
+			}
 		}
 		if e.arena != nil {
 			return e.st.EvalArena(e.arena, n)

@@ -5,12 +5,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // Admin is the HTTP admin listener: /metrics in Prometheus text
 // format, /statusz as JSON (registry snapshot plus a caller-supplied
-// status section), and the standard /debug/pprof handlers. It binds
+// status section), /debug/queries over the flight recorder (when one
+// is attached), and the standard /debug/pprof handlers. It binds
 // its own listener so it can live on a loopback-only port next to the
 // query protocol's.
 type Admin struct {
@@ -23,6 +25,15 @@ type Admin struct {
 // section of /statusz — breaker states, delegation zones, whatever the
 // embedding process knows that the registry does not.
 func ServeAdmin(addr string, reg *Registry, statusz func() any) (*Admin, error) {
+	return ServeAdminWith(addr, reg, statusz, nil)
+}
+
+// ServeAdminWith is ServeAdmin plus a flight recorder served at
+// /debug/queries: with no parameters the endpoint lists the retained
+// traces newest-first as JSON summaries (span trees elided);
+// ?trace=<id> returns one full record including its span tree;
+// ?min_ms=, ?min_io=, ?errors=1 and ?n= filter and bound the listing.
+func ServeAdminWith(addr string, reg *Registry, statusz func() any, flight *FlightRecorder) (*Admin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -45,6 +56,11 @@ func ServeAdmin(addr string, reg *Registry, statusz func() any) (*Admin, error) 
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	if flight != nil {
+		mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+			serveFlight(w, r, flight)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -54,6 +70,67 @@ func ServeAdmin(addr string, reg *Registry, statusz func() any) (*Admin, error) 
 	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = a.srv.Serve(ln) }()
 	return a, nil
+}
+
+// flightSummary is the listing view of one record: everything except
+// the span tree, plus the tree's span count so a reader knows what
+// ?trace= will return.
+type flightSummary struct {
+	Seq     uint64  `json:"seq"`
+	TraceID string  `json:"trace"`
+	TS      string  `json:"ts"`
+	Kind    string  `json:"kind"`
+	Query   string  `json:"query"`
+	Gen     int64   `json:"gen"`
+	Ms      float64 `json:"ms"`
+	IO      int64   `json:"io"`
+	Entries int     `json:"entries"`
+	Hash    uint64  `json:"hash,omitempty"`
+	Err     string  `json:"err,omitempty"`
+	Spans   int     `json:"spans"`
+}
+
+// serveFlight implements /debug/queries: the slow-query flight
+// recorder's HTTP face.
+func serveFlight(w http.ResponseWriter, r *http.Request, flight *FlightRecorder) {
+	q := r.URL.Query()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if id := q.Get("trace"); id != "" {
+		rec := flight.Get(id)
+		if rec == nil {
+			http.Error(w, `{"err":"trace not retained"}`, http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(rec)
+		return
+	}
+	minMS, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+	minIO, _ := strconv.ParseInt(q.Get("min_io"), 10, 64)
+	errorsOnly := q.Get("errors") == "1"
+	limit, _ := strconv.Atoi(q.Get("n"))
+	out := []flightSummary{}
+	for _, rec := range flight.Snapshot() {
+		if errorsOnly && rec.Err == "" {
+			continue
+		}
+		ms := float64(rec.Dur.Microseconds()) / 1000
+		if ms < minMS || rec.IO < minIO {
+			continue
+		}
+		spans := 0
+		rec.Root.Walk(func(*Span) { spans++ })
+		out = append(out, flightSummary{
+			Seq: rec.Seq, TraceID: rec.TraceID, TS: rec.TS.Format(time.RFC3339Nano),
+			Kind: rec.Kind, Query: rec.Query, Gen: rec.Gen, Ms: ms, IO: rec.IO,
+			Entries: rec.Entries, Hash: rec.Hash, Err: rec.Err, Spans: spans,
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	_ = enc.Encode(out)
 }
 
 // Addr returns the admin listener's address.

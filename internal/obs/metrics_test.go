@@ -180,20 +180,20 @@ func TestSlowLog(t *testing.T) {
 	w := lockedWriter{mu: &mu, w: &b}
 	sl := NewSlowLog(w, 5*time.Millisecond, 100)
 
-	if sl.Record("query", "(fast)", time.Millisecond, 10, 1, nil) {
+	if sl.Record("query", "(fast)", 1, "", time.Millisecond, 10, 1, nil) {
 		t.Fatal("fast cheap query logged")
 	}
-	if !sl.Record("query", "(slow)", 10*time.Millisecond, 10, 1, nil) {
+	if !sl.Record("query", "(slow)", 7, "tid-1", 10*time.Millisecond, 10, 1, nil) {
 		t.Fatal("slow query not logged")
 	}
-	if !sl.Record("query", "(io-heavy)", time.Millisecond, 500, 1, nil) {
+	if !sl.Record("query", "(io-heavy)", 7, "", time.Millisecond, 500, 1, nil) {
 		t.Fatal("io-heavy query not logged")
 	}
-	if !sl.Record("query", "(broken)", time.Millisecond, 0, 0, fmt.Errorf("boom")) {
+	if !sl.Record("query", "(broken)", 0, "", time.Millisecond, 0, 0, fmt.Errorf("boom")) {
 		t.Fatal("failed query not logged")
 	}
 	var nilSL *SlowLog
-	if nilSL.Record("query", "x", time.Hour, 1e9, 0, nil) {
+	if nilSL.Record("query", "x", 0, "", time.Hour, 1e9, 0, nil) {
 		t.Fatal("nil slowlog reported a write")
 	}
 
@@ -209,6 +209,9 @@ func TestSlowLog(t *testing.T) {
 	}
 	if rec.Query != "(slow)" || rec.Ms < 9 {
 		t.Fatalf("unexpected first record: %+v", rec)
+	}
+	if rec.Gen != 7 || rec.Trace != "tid-1" {
+		t.Fatalf("generation/trace not carried: %+v", rec)
 	}
 }
 

@@ -9,9 +9,13 @@ import (
 
 // SlowRecord is one slow-query log line: everything an operator needs
 // to find the query again (kind + text), what it cost (wall time, page
-// I/O, result size), and what happened (error, if any). Serialized as
-// a single JSON object per line so the log is greppable and
-// machine-ingestable at once.
+// I/O, result size), what happened (error, if any), and how to
+// correlate it — Gen ties the record to the store generation the query
+// evaluated against (so a slow query can be matched to the cache
+// invalidations and checkpoints around it), and Trace carries the
+// query's trace ID when one was assigned, the key into the flight
+// recorder's /debug/queries. Serialized as a single JSON object per
+// line so the log is greppable and machine-ingestable at once.
 type SlowRecord struct {
 	TS      string  `json:"ts"` // RFC3339Nano, UTC
 	Kind    string  `json:"kind"`
@@ -19,6 +23,8 @@ type SlowRecord struct {
 	Ms      float64 `json:"ms"`
 	IO      int64   `json:"io"`
 	Entries int     `json:"entries"`
+	Gen     int64   `json:"gen"`
+	Trace   string  `json:"trace,omitempty"`
 	Err     string  `json:"err,omitempty"`
 }
 
@@ -43,8 +49,11 @@ func NewSlowLog(w io.Writer, minLatency time.Duration, minIO int64) *SlowLog {
 }
 
 // Record logs the query if it crosses a threshold, reporting whether a
-// line was emitted.
-func (s *SlowLog) Record(kind, query string, d time.Duration, ioPages int64, entries int, err error) bool {
+// line was emitted. gen is the store generation the query evaluated
+// against and trace its trace ID ("" when untraced) — both land on
+// every emitted record so slow queries can be correlated with cache
+// invalidations and looked up in the flight recorder.
+func (s *SlowLog) Record(kind, query string, gen int64, trace string, d time.Duration, ioPages int64, entries int, err error) bool {
 	if s == nil {
 		return false
 	}
@@ -62,6 +71,8 @@ func (s *SlowLog) Record(kind, query string, d time.Duration, ioPages int64, ent
 		Ms:      float64(d.Microseconds()) / 1000,
 		IO:      ioPages,
 		Entries: entries,
+		Gen:     gen,
+		Trace:   trace,
 	}
 	if err != nil {
 		rec.Err = err.Error()

@@ -24,6 +24,8 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strings"
@@ -31,6 +33,24 @@ import (
 
 	"repro/internal/pager"
 )
+
+// NewTraceID returns a fresh 128-bit trace identifier as 32 lowercase
+// hex characters. Every query is assigned one at its entry point (dirq,
+// a dirserve handler, or a Coordinator) and the ID rides the dirserver
+// wire protocol so all spans of one distributed evaluation — across
+// every process it touches — share it.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to the
+		// clock rather than refusing to trace.
+		now := time.Now().UnixNano()
+		for i := 0; i < 8; i++ {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Tag is one key=value annotation on a span (replica address, retry
 // count, cache outcome, ...). An ordered slice, not a map: spans carry
@@ -55,6 +75,20 @@ type Span struct {
 	Err      string        `json:"err,omitempty"`
 	Tags     []Tag         `json:"tags,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
+
+	// ID and ParentID link spans for wire propagation: IDs are unique
+	// within one tracer (one process's view of one query), and a remote
+	// subtree's root carries the ID of the client-side span that issued
+	// the request as its ParentID — the {traceID, parentSpanID} pair of
+	// the dirserver protocol.
+	ID       uint64 `json:"id,omitempty"`
+	ParentID uint64 `json:"parent,omitempty"`
+	// Host marks the root of a subtree recorded in another process (the
+	// serving replica's address). Page I/O below a Host boundary was
+	// performed on that process's disk, not the local one — SelfIO,
+	// TreeIO, and CheckConservation all treat Host != "" as a process
+	// boundary.
+	Host string `json:"host,omitempty"`
 
 	startIO pager.Stats // disk counters at Start (tracer-internal)
 }
@@ -86,15 +120,100 @@ func (s *Span) TagValue(key string) (string, bool) {
 }
 
 // SelfIO returns the span's own page I/O: its total minus its
-// children's totals. Summed over every span of a tree this equals the
-// root's IO exactly (each page access is attributed to exactly one
-// span).
+// same-process children's totals. Summed over every span of one
+// process's subtree this equals that subtree root's IO exactly (each
+// page access is attributed to exactly one span). Children with Host
+// set are remote subtrees whose I/O happened on another process's disk;
+// they are excluded here and accounted by TreeIO.
 func (s *Span) SelfIO() pager.Stats {
 	io := s.IO
 	for _, c := range s.Children {
-		io = io.Sub(c.IO)
+		if c.Host == "" {
+			io = io.Sub(c.IO)
+		}
 	}
 	return io
+}
+
+// TreeIO returns the whole distributed evaluation's page I/O: the local
+// subtree's total plus, recursively, every remote subtree's. This is
+// the "total" side of the cross-process conservation law
+// local + Σ remote = total (DESIGN.md §13).
+func (s *Span) TreeIO() pager.Stats {
+	io := s.IO
+	var add func(*Span)
+	add = func(sp *Span) {
+		for _, c := range sp.Children {
+			if c.Host != "" {
+				io = io.Add(c.TreeIO())
+			} else {
+				add(c)
+			}
+		}
+	}
+	add(s)
+	return io
+}
+
+// RemoteRoots returns the roots of every remote subtree directly
+// reachable from s without crossing another process boundary — one per
+// remote hop made by s's process.
+func (s *Span) RemoteRoots() []*Span {
+	var out []*Span
+	var walk func(*Span)
+	walk = func(sp *Span) {
+		for _, c := range sp.Children {
+			if c.Host != "" {
+				out = append(out, c)
+			} else {
+				walk(c)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
+// CheckConservation verifies the merged span tree's I/O accounting,
+// process by process. Within one process's subtree the per-span SelfIO
+// deltas telescope to the subtree root's IO by construction, so the
+// invariant that can actually break — and the one this checks — is that
+// every SelfIO component is non-negative: same-process children never
+// account more I/O than their parent observed (each page access is
+// attributed to exactly one operator). The check recurses into every
+// remote subtree, and verifies structural well-formedness along the
+// way: a remote root's ParentID, when set, must name the span it hangs
+// under. A nil error means TreeIO() = local pages + Σ remote-reported
+// pages is an exact per-operator decomposition; tests that hold the
+// physical disk counters additionally assert root IO == measured delta.
+func (s *Span) CheckConservation() error {
+	if s == nil {
+		return fmt.Errorf("obs: nil span tree")
+	}
+	var walk func(*Span) error
+	walk = func(sp *Span) error {
+		if self := sp.SelfIO(); self.Reads < 0 || self.Writes < 0 || self.Allocs < 0 || self.Frees < 0 {
+			return fmt.Errorf("obs: span %s %q self I/O went negative (%v): children account more than the parent observed",
+				sp.Op, sp.Detail, self)
+		}
+		for _, c := range sp.Children {
+			if c.Host != "" {
+				if c.ParentID != 0 && sp.ID != 0 && c.ParentID != sp.ID {
+					return fmt.Errorf("obs: remote subtree from %s has parent span %d, attached under span %d",
+						c.Host, c.ParentID, sp.ID)
+				}
+				if err := c.CheckConservation(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s)
 }
 
 // SelfDur returns the span's own wall time, children subtracted
@@ -128,12 +247,26 @@ func (s *Span) Walk(fn func(*Span)) {
 func (s *Span) Format(w io.Writer) {
 	fmt.Fprintln(w, "span tree (per operator: in -> out cardinalities, self/total page I/O, wall time):")
 	s.format(w, 0)
-	fmt.Fprintf(w, "total: %d page accesses (%s) in %s\n", s.IO.IO(), s.IO, fmtDur(s.Dur))
+	remotes := s.RemoteRoots()
+	if len(remotes) == 0 {
+		fmt.Fprintf(w, "total: %d page accesses (%s) in %s\n", s.IO.IO(), s.IO, fmtDur(s.Dur))
+		return
+	}
+	var remote int64
+	for _, r := range remotes {
+		remote += r.TreeIO().IO()
+	}
+	total := s.TreeIO()
+	fmt.Fprintf(w, "total: %d page accesses (local %d + remote %d across %d hops) in %s\n",
+		total.IO(), s.IO.IO(), remote, len(remotes), fmtDur(s.Dur))
 }
 
 func (s *Span) format(w io.Writer, depth int) {
 	indent := strings.Repeat("  ", depth)
 	label := s.Op
+	if s.Host != "" {
+		label = "@" + s.Host + " " + label
+	}
 	if s.Detail != "" {
 		label += " " + s.Detail
 	}
@@ -181,9 +314,11 @@ func fmtDur(d time.Duration) string {
 // evaluation, which is also what makes the recorded pager.Stats deltas
 // exact (see the ownership rule on pager.Stats).
 type Tracer struct {
-	src   StatsSource
-	stack []*Span
-	roots []*Span
+	src     StatsSource
+	stack   []*Span
+	roots   []*Span
+	traceID string
+	nextID  uint64
 }
 
 // StatsSource is anything whose cumulative page-I/O counters a Tracer
@@ -200,20 +335,68 @@ func NewTracer(src StatsSource) *Tracer {
 	return &Tracer{src: src}
 }
 
+// SetTraceID stamps the tracer with the query's 128-bit trace ID
+// (nil-safe). Entry points assign one with NewTraceID; the dirserver
+// protocol propagates it so every process traces under the same ID.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.traceID = id
+}
+
+// TraceID returns the tracer's trace ID ("" when none was assigned).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
 // Start opens a span as a child of the currently open span (nil-safe).
 func (t *Tracer) Start(op, detail string) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{Op: op, Detail: detail, Start: time.Now(), startIO: t.src.Stats()}
+	t.nextID++
+	sp := &Span{Op: op, Detail: detail, Start: time.Now(), ID: t.nextID, startIO: t.src.Stats()}
 	if n := len(t.stack); n > 0 {
 		parent := t.stack[n-1]
+		sp.ParentID = parent.ID
 		parent.Children = append(parent.Children, sp)
 	} else {
 		t.roots = append(t.roots, sp)
 	}
 	t.stack = append(t.stack, sp)
 	return sp
+}
+
+// Attach grafts a completed span subtree recorded in another process
+// under the innermost open span (nil-safe; with no open span it becomes
+// a root). The subtree's root must carry its serving host so that I/O
+// accounting treats it as a process boundary; its ParentID is pointed
+// at the span it now hangs under, completing the {traceID,
+// parentSpanID} linkage the wire protocol carries.
+func (t *Tracer) Attach(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		sp.ParentID = parent.ID
+		parent.Children = append(parent.Children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+}
+
+// CurrentID returns the innermost open span's ID (0 when none): the
+// parentSpanID a remote request issued right now should carry.
+func (t *Tracer) CurrentID() uint64 {
+	if t == nil || len(t.stack) == 0 {
+		return 0
+	}
+	return t.stack[len(t.stack)-1].ID
 }
 
 // End closes the span, recording its duration, output cardinality, and

@@ -1,0 +1,572 @@
+// Package qstats is the self-maintaining statistics store that closes
+// the observe → estimate loop: every completed query trace is folded
+// into durable per-(operator, scope-depth, access-path-class) profiles
+// — latency, page-I/O, and output-cardinality log₂ histograms —
+// per-attribute selectivity (the optimizer's estimated hits next to
+// what the operator actually produced), remote-result cache outcomes,
+// and knn index-versus-scan decisions.
+//
+// The paper's cost model (Sections 8–9) predicts per-operator I/O from
+// catalog statistics; PR 3's tracer measures the same quantities on
+// live queries. This package is the third leg: it accumulates those
+// measurements across queries and feeds them back — EXPLAIN prints the
+// observed hit distribution beside the catalog estimate (obs=N/p50
+// columns, core.Explain), and a future cost-based planner reads the
+// same profiles (ROADMAP "cost-based optimization"). State survives
+// restarts through the durable envelope layer: Checkpoint serializes
+// the whole store into a generation-numbered checksummed segment,
+// Recover folds the newest intact one back in (DESIGN.md §13).
+//
+// A Store is safe for concurrent use and a nil *Store is a valid no-op
+// receiver for Fold and Observed, so serving paths pay one nil check
+// when statistics are off.
+package qstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+)
+
+// maxAtoms caps the per-atomic-text map: beyond it new atomics fold
+// into the keyed profiles but are not individually tracked, so an
+// adversarial query stream cannot grow the store without bound.
+const maxAtoms = 4096
+
+// Key identifies one profile: the operator mnemonic, the scope depth
+// of the atomic's base DN (-1 for non-atomic operators, which have no
+// base), and the access-path class the operator actually used —
+// base-point, index, scan, knn-index, knn-scan for local atomics,
+// "remote" when a coordinator shipped the atomic to a replica,
+// "cache" when the remote-result cache answered, "" when unknown.
+type Key struct {
+	Op    string `json:"op"`
+	Depth int    `json:"depth"`
+	Class string `json:"class,omitempty"`
+}
+
+// String renders the key as "op/dN/class", omitting absent parts —
+// the label used in summaries and failure messages.
+func (k Key) String() string {
+	s := k.Op
+	if k.Depth >= 0 {
+		s += "/d" + strconv.Itoa(k.Depth)
+	}
+	if k.Class != "" {
+		s += "/" + k.Class
+	}
+	return s
+}
+
+// Profile accumulates one key's observations.
+type Profile struct {
+	Count   int64
+	Errors  int64
+	Latency *obs.Histogram // span wall time, microseconds (subtree)
+	IO      *obs.Histogram // span self page I/O (the operator's own)
+	Out     *obs.Histogram // output cardinality
+}
+
+func newProfile() *Profile {
+	return &Profile{
+		Latency: obs.NewHistogram("latency_us", ""),
+		IO:      obs.NewHistogram("io_pages", ""),
+		Out:     obs.NewHistogram("out", ""),
+	}
+}
+
+// AttrStats accumulates selectivity evidence for one attribute:
+// estimated hits (when the catalog had an estimate) against actual
+// hits, across every atomic filtering on that attribute.
+type AttrStats struct {
+	N      int64          // atomics observed on this attribute
+	EstN   int64          // of those, how many had a catalog estimate
+	EstSum int64          // Σ estimated hits over EstN
+	ActSum int64          // Σ actual hits over N
+	Act    *obs.Histogram // actual-hits distribution
+}
+
+// AtomStats tracks one exact atomic (keyed by its canonical optimized
+// text): the distribution of actual hits plus the last catalog
+// estimate, which is what EXPLAIN prints as observed-vs-estimated.
+type AtomStats struct {
+	N       int64
+	EstLast int64          // last catalog estimate seen (-1 = unknown)
+	Act     *obs.Histogram // actual hits
+	IOPages *obs.Histogram // self page I/O
+}
+
+// Observed is the per-atomic summary EXPLAIN consumes.
+type Observed struct {
+	N       int64   // times this exact atomic was evaluated traced
+	P50Hits float64 // median actual hits
+	P95Hits float64
+	P50IO   float64 // median self page I/O
+}
+
+// Store is the statistics store. Zero value is not usable; construct
+// with New.
+type Store struct {
+	mu       sync.Mutex
+	profiles map[Key]*Profile
+	attrs    map[string]*AttrStats
+	atoms    map[string]*AtomStats
+
+	folded      int64 // traces folded in
+	cacheHits   int64 // remote-result cache answered
+	cacheMisses int64 // atomic resolved without the cache
+	knnIndex    int64 // knn served from the vector index
+	knnScan     int64 // knn fell back to a scan
+	ckptGen     int64 // newest generation checkpointed or recovered
+	foldedAtCk  int64 // folded counter at the last checkpoint
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		profiles: make(map[Key]*Profile),
+		attrs:    make(map[string]*AttrStats),
+		atoms:    make(map[string]*AtomStats),
+	}
+}
+
+// Fold accumulates one completed query trace into the store
+// (nil-safe for both receiver and root). Every span in the tree —
+// remote subtrees included, since their per-operator accounting is as
+// exact as the local one — lands in its (op, depth, class) profile;
+// atomic spans additionally feed attribute selectivity, the per-atomic
+// observed-hits map, cache outcome counters, and knn path counters.
+func (s *Store) Fold(root *obs.Span) {
+	if s == nil || root == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.folded++
+	root.Walk(func(sp *obs.Span) { s.foldSpan(sp) })
+}
+
+// foldSpan accumulates one span; the caller holds s.mu.
+func (s *Store) foldSpan(sp *obs.Span) {
+	depth := -1
+	if v, ok := sp.TagValue("depth"); ok {
+		if d, err := strconv.Atoi(v); err == nil {
+			depth = d
+		}
+	}
+	class, _ := sp.TagValue("path")
+	if resolve, ok := sp.TagValue("resolve"); ok {
+		switch resolve {
+		case "cache":
+			class = "cache"
+			s.cacheHits++
+		default:
+			s.cacheMisses++
+		}
+	}
+	if _, ok := sp.TagValue("replica"); ok && class == "" {
+		class = "remote"
+	}
+	if knn, ok := sp.TagValue("knn"); ok {
+		switch knn {
+		case "knn-index":
+			s.knnIndex++
+		case "knn-scan":
+			s.knnScan++
+		}
+		if class == "" {
+			class = knn
+		}
+	}
+
+	key := Key{Op: sp.Op, Depth: depth, Class: class}
+	p := s.profiles[key]
+	if p == nil {
+		p = newProfile()
+		s.profiles[key] = p
+	}
+	p.Count++
+	if sp.Err != "" {
+		p.Errors++
+		return
+	}
+	p.Latency.ObserveDuration(sp.Dur)
+	selfIO := sp.SelfIO().IO()
+	p.IO.Observe(selfIO)
+	p.Out.Observe(sp.Out)
+
+	est := int64(-1)
+	if v, ok := sp.TagValue("est"); ok {
+		if e, err := strconv.ParseInt(v, 10, 64); err == nil {
+			est = e
+		}
+	}
+	if attr, ok := sp.TagValue("attr"); ok {
+		a := s.attrs[attr]
+		if a == nil {
+			a = &AttrStats{Act: obs.NewHistogram("act", "")}
+			s.attrs[attr] = a
+		}
+		a.N++
+		a.ActSum += sp.Out
+		a.Act.Observe(sp.Out)
+		if est >= 0 {
+			a.EstN++
+			a.EstSum += est
+		}
+	}
+	if sp.Op == "atomic" && sp.Detail != "" {
+		at := s.atoms[sp.Detail]
+		if at == nil {
+			if len(s.atoms) >= maxAtoms {
+				return
+			}
+			at = &AtomStats{
+				EstLast: -1,
+				Act:     obs.NewHistogram("act", ""),
+				IOPages: obs.NewHistogram("io", ""),
+			}
+			s.atoms[sp.Detail] = at
+		}
+		at.N++
+		if est >= 0 || at.N == 1 {
+			at.EstLast = est
+		}
+		at.Act.Observe(sp.Out)
+		at.IOPages.Observe(selfIO)
+	}
+}
+
+// ObservedFor returns the observed summary for one exact atomic, keyed
+// by its canonical (optimized, printed) text. ok is false when the
+// atomic was never folded — EXPLAIN then prints estimates alone
+// (nil-safe).
+func (s *Store) ObservedFor(atomText string) (Observed, bool) {
+	if s == nil {
+		return Observed{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.atoms[atomText]
+	if at == nil || at.N == 0 {
+		return Observed{}, false
+	}
+	return Observed{
+		N:       at.N,
+		P50Hits: at.Act.Quantile(0.50),
+		P95Hits: at.Act.Quantile(0.95),
+		P50IO:   at.IOPages.Quantile(0.50),
+	}, true
+}
+
+// Folded returns how many traces were folded in (recovered history
+// included).
+func (s *Store) Folded() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.folded
+}
+
+// Summary is the point-in-time aggregate view served on /statusz.
+type Summary struct {
+	Folded      int64            `json:"folded"`
+	Profiles    int              `json:"profiles"`
+	Atoms       int              `json:"atoms"`
+	Attrs       int              `json:"attrs"`
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	KnnIndex    int64            `json:"knn_index"`
+	KnnScan     int64            `json:"knn_scan"`
+	Gen         int64            `json:"gen"`
+	Top         []ProfileSummary `json:"top,omitempty"`
+	Selectivity []AttrSummary    `json:"selectivity,omitempty"`
+}
+
+// ProfileSummary is one key's aggregate, quantiles precomputed.
+type ProfileSummary struct {
+	Key     string           `json:"key"`
+	Count   int64            `json:"count"`
+	Errors  int64            `json:"errors,omitempty"`
+	Latency obs.HistSnapshot `json:"latency_us"`
+	IO      obs.HistSnapshot `json:"io_pages"`
+	Out     obs.HistSnapshot `json:"out"`
+}
+
+// AttrSummary is one attribute's selectivity evidence: mean estimated
+// hits next to mean actual hits.
+type AttrSummary struct {
+	Attr    string  `json:"attr"`
+	N       int64   `json:"n"`
+	EstMean float64 `json:"est_mean"` // over atomics that had an estimate
+	ActMean float64 `json:"act_mean"`
+	ActP95  float64 `json:"act_p95"`
+}
+
+// Snapshot returns the aggregate view, profiles sorted by observation
+// count descending.
+func (s *Store) Snapshot() Summary {
+	if s == nil {
+		return Summary{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := Summary{
+		Folded: s.folded, Profiles: len(s.profiles), Atoms: len(s.atoms),
+		Attrs: len(s.attrs), CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		KnnIndex: s.knnIndex, KnnScan: s.knnScan, Gen: s.ckptGen,
+	}
+	for k, p := range s.profiles {
+		sum.Top = append(sum.Top, ProfileSummary{
+			Key: k.String(), Count: p.Count, Errors: p.Errors,
+			Latency: p.Latency.Snapshot(), IO: p.IO.Snapshot(), Out: p.Out.Snapshot(),
+		})
+	}
+	sort.Slice(sum.Top, func(i, j int) bool {
+		if sum.Top[i].Count != sum.Top[j].Count {
+			return sum.Top[i].Count > sum.Top[j].Count
+		}
+		return sum.Top[i].Key < sum.Top[j].Key
+	})
+	for attr, a := range s.attrs {
+		as := AttrSummary{Attr: attr, N: a.N, ActP95: a.Act.Quantile(0.95)}
+		if a.EstN > 0 {
+			as.EstMean = float64(a.EstSum) / float64(a.EstN)
+		}
+		if a.N > 0 {
+			as.ActMean = float64(a.ActSum) / float64(a.N)
+		}
+		sum.Selectivity = append(sum.Selectivity, as)
+	}
+	sort.Slice(sum.Selectivity, func(i, j int) bool {
+		return sum.Selectivity[i].Attr < sum.Selectivity[j].Attr
+	})
+	return sum
+}
+
+// RegisterMetrics exposes the store's aggregate counters on reg under
+// the given prefix.
+func (s *Store) RegisterMetrics(reg *obs.Registry, prefix string) {
+	pull := func(f func() int64) func() int64 { return f }
+	reg.GaugeFunc(prefix+"_traces_folded_total", "query traces folded into the statistics store",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.folded }))
+	reg.GaugeFunc(prefix+"_profiles", "distinct (op, depth, class) profiles",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return int64(len(s.profiles)) }))
+	reg.GaugeFunc(prefix+"_atoms_tracked", "distinct atomics individually tracked",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return int64(len(s.atoms)) }))
+	reg.GaugeFunc(prefix+"_cache_hits_total", "atomics answered by the remote-result cache",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.cacheHits }))
+	reg.GaugeFunc(prefix+"_cache_misses_total", "atomics resolved without the remote-result cache",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.cacheMisses }))
+	reg.GaugeFunc(prefix+"_knn_index_total", "knn atomics served from the vector index",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.knnIndex }))
+	reg.GaugeFunc(prefix+"_knn_scan_total", "knn atomics that fell back to a scan",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.knnScan }))
+	reg.GaugeFunc(prefix+"_checkpoint_gen", "newest statistics generation checkpointed or recovered",
+		pull(func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.ckptGen }))
+}
+
+// ---- durable persistence ----------------------------------------------
+
+// payload is the store's full serializable state. Histograms travel as
+// obs.HistState (sparse log₂ buckets), so recovered state folds back in
+// with AddState and a recovered store keeps accumulating seamlessly.
+type payload struct {
+	Folded      int64             `json:"folded"`
+	CacheHits   int64             `json:"cache_hits"`
+	CacheMisses int64             `json:"cache_misses"`
+	KnnIndex    int64             `json:"knn_index"`
+	KnnScan     int64             `json:"knn_scan"`
+	Profiles    []profileState    `json:"profiles"`
+	Attrs       map[string]attrSt `json:"attrs,omitempty"`
+	Atoms       map[string]atomSt `json:"atoms,omitempty"`
+}
+
+type profileState struct {
+	Key     Key           `json:"key"`
+	Count   int64         `json:"count"`
+	Errors  int64         `json:"errors,omitempty"`
+	Latency obs.HistState `json:"latency"`
+	IO      obs.HistState `json:"io"`
+	Out     obs.HistState `json:"out"`
+}
+
+type attrSt struct {
+	N      int64         `json:"n"`
+	EstN   int64         `json:"est_n"`
+	EstSum int64         `json:"est_sum"`
+	ActSum int64         `json:"act_sum"`
+	Act    obs.HistState `json:"act"`
+}
+
+type atomSt struct {
+	N       int64         `json:"n"`
+	EstLast int64         `json:"est_last"`
+	Act     obs.HistState `json:"act"`
+	IO      obs.HistState `json:"io"`
+}
+
+// Checkpoint durably persists the store's state into ds as the next
+// generation after the newest one present, reporting the generation
+// written. Folding continues concurrently; the image is the state at
+// serialization time. Checkpointing with nothing folded since the last
+// checkpoint is a no-op returning the previous generation — the common
+// case for periodic loops on an idle server.
+func (s *Store) Checkpoint(ds *durable.Store) (int64, error) {
+	s.mu.Lock()
+	if s.folded == s.foldedAtCk {
+		if gen, ok := ds.Newest(); ok {
+			s.mu.Unlock()
+			return gen, nil
+		}
+	}
+	p := s.payloadLocked()
+	folded := s.folded
+	s.mu.Unlock()
+
+	gen := int64(1)
+	if newest, ok := ds.Newest(); ok {
+		gen = newest + 1
+	}
+	err := ds.Commit(gen, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(p)
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.ckptGen = gen
+	s.foldedAtCk = folded
+	s.mu.Unlock()
+	return gen, nil
+}
+
+// payloadLocked captures the store state; the caller holds s.mu.
+func (s *Store) payloadLocked() payload {
+	p := payload{
+		Folded: s.folded, CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		KnnIndex: s.knnIndex, KnnScan: s.knnScan,
+	}
+	for k, pr := range s.profiles {
+		p.Profiles = append(p.Profiles, profileState{
+			Key: k, Count: pr.Count, Errors: pr.Errors,
+			Latency: pr.Latency.State(), IO: pr.IO.State(), Out: pr.Out.State(),
+		})
+	}
+	sort.Slice(p.Profiles, func(i, j int) bool {
+		return p.Profiles[i].Key.String() < p.Profiles[j].Key.String()
+	})
+	if len(s.attrs) > 0 {
+		p.Attrs = make(map[string]attrSt, len(s.attrs))
+		for attr, a := range s.attrs {
+			p.Attrs[attr] = attrSt{N: a.N, EstN: a.EstN, EstSum: a.EstSum, ActSum: a.ActSum, Act: a.Act.State()}
+		}
+	}
+	if len(s.atoms) > 0 {
+		p.Atoms = make(map[string]atomSt, len(s.atoms))
+		for text, at := range s.atoms {
+			p.Atoms[text] = atomSt{N: at.N, EstLast: at.EstLast, Act: at.Act.State(), IO: at.IOPages.State()}
+		}
+	}
+	return p
+}
+
+// Recover folds the newest intact generation in ds into the store,
+// walking the recovery ladder past corrupt generations exactly like
+// core.Recover, and reports the generation restored. An empty store
+// recovers to generation 0 with no error; a store whose every
+// generation is corrupt returns durable.ErrNoIntactGeneration. State
+// folded before Recover is kept — recovery adds history, it does not
+// replace observations made since boot.
+func (s *Store) Recover(ds *durable.Store) (int64, error) {
+	gens := ds.Generations()
+	if len(gens) == 0 {
+		return 0, nil
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		gen := gens[i]
+		raw, err := ds.Load(gen)
+		if err != nil {
+			continue
+		}
+		var p payload
+		if err := json.Unmarshal(raw, &p); err != nil {
+			continue
+		}
+		if i != len(gens)-1 {
+			if err := ds.Rollback(gen); err != nil {
+				return 0, fmt.Errorf("qstats: pruning corrupt generations: %w", err)
+			}
+		}
+		s.fold(p)
+		s.mu.Lock()
+		s.ckptGen = gen
+		s.foldedAtCk = s.folded
+		s.mu.Unlock()
+		return gen, nil
+	}
+	return 0, fmt.Errorf("qstats: recover: %w", durable.ErrNoIntactGeneration)
+}
+
+// fold merges a recovered payload into the live store.
+func (s *Store) fold(p payload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.folded += p.Folded
+	s.cacheHits += p.CacheHits
+	s.cacheMisses += p.CacheMisses
+	s.knnIndex += p.KnnIndex
+	s.knnScan += p.KnnScan
+	for _, ps := range p.Profiles {
+		pr := s.profiles[ps.Key]
+		if pr == nil {
+			pr = newProfile()
+			s.profiles[ps.Key] = pr
+		}
+		pr.Count += ps.Count
+		pr.Errors += ps.Errors
+		pr.Latency.AddState(ps.Latency)
+		pr.IO.AddState(ps.IO)
+		pr.Out.AddState(ps.Out)
+	}
+	for attr, as := range p.Attrs {
+		a := s.attrs[attr]
+		if a == nil {
+			a = &AttrStats{Act: obs.NewHistogram("act", "")}
+			s.attrs[attr] = a
+		}
+		a.N += as.N
+		a.EstN += as.EstN
+		a.EstSum += as.EstSum
+		a.ActSum += as.ActSum
+		a.Act.AddState(as.Act)
+	}
+	for text, as := range p.Atoms {
+		at := s.atoms[text]
+		if at == nil {
+			if len(s.atoms) >= maxAtoms {
+				continue
+			}
+			at = &AtomStats{
+				EstLast: -1,
+				Act:     obs.NewHistogram("act", ""),
+				IOPages: obs.NewHistogram("io", ""),
+			}
+			s.atoms[text] = at
+		}
+		at.N += as.N
+		if at.EstLast < 0 {
+			at.EstLast = as.EstLast
+		}
+		at.Act.AddState(as.Act)
+		at.IOPages.AddState(as.IO)
+	}
+}

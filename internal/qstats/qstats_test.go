@@ -1,0 +1,249 @@
+package qstats
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/pager"
+)
+
+// sampleTrace builds the span tree of one distributed conjunction:
+// a local index atomic, a remote-shipped atomic, and a cache-answered
+// atomic under an & root.
+func sampleTrace() *obs.Span {
+	local := &obs.Span{
+		Op: "atomic", Detail: "(sn=smith*)", Dur: 2 * time.Millisecond,
+		Out: 12, IO: pager.Stats{Reads: 3},
+		Tags: []obs.Tag{{Key: "path", Value: "index"}, {Key: "est", Value: "10"},
+			{Key: "depth", Value: "2"}, {Key: "attr", Value: "sn"}},
+	}
+	remote := &obs.Span{
+		Op: "atomic", Detail: "(qos=gold)", Dur: 5 * time.Millisecond, Out: 4,
+		Tags: []obs.Tag{{Key: "resolve", Value: "replica"}, {Key: "replica", Value: "10.0.0.2:1"},
+			{Key: "depth", Value: "3"}, {Key: "attr", Value: "qos"}},
+	}
+	cached := &obs.Span{
+		Op: "atomic", Detail: "(qos=gold)", Dur: 10 * time.Microsecond, Out: 4,
+		Tags: []obs.Tag{{Key: "resolve", Value: "cache"}},
+	}
+	return &obs.Span{
+		Op: "&", Dur: 8 * time.Millisecond, Out: 2,
+		IO:       pager.Stats{Reads: 5},
+		Children: []*obs.Span{local, remote, cached},
+	}
+}
+
+func TestFoldProfilesAndSelectivity(t *testing.T) {
+	s := New()
+	s.Fold(sampleTrace())
+	s.Fold(sampleTrace())
+
+	if s.Folded() != 2 {
+		t.Fatalf("Folded = %d, want 2", s.Folded())
+	}
+	sum := s.Snapshot()
+	if sum.CacheHits != 2 || sum.CacheMisses != 2 {
+		t.Fatalf("cache hits/misses = %d/%d, want 2/2", sum.CacheHits, sum.CacheMisses)
+	}
+	// Keys: &/-, atomic/d2/index, atomic/d3/remote, atomic/cache.
+	if sum.Profiles != 4 {
+		t.Fatalf("profiles = %d, want 4: %+v", sum.Profiles, sum.Top)
+	}
+	var indexed *ProfileSummary
+	for i := range sum.Top {
+		if sum.Top[i].Key == "atomic/d2/index" {
+			indexed = &sum.Top[i]
+		}
+	}
+	if indexed == nil {
+		t.Fatalf("no atomic/d2/index profile in %+v", sum.Top)
+	}
+	if indexed.Count != 2 || indexed.Out.Count != 2 {
+		t.Fatalf("index profile: %+v", indexed)
+	}
+	// The & root's self I/O excludes its children's.
+	var root *ProfileSummary
+	for i := range sum.Top {
+		if strings.HasPrefix(sum.Top[i].Key, "&") {
+			root = &sum.Top[i]
+		}
+	}
+	if root == nil || root.IO.Sum != 2*2 { // self = 5 - 3 per trace
+		t.Fatalf("root profile IO: %+v", root)
+	}
+
+	// Selectivity: sn had est 10 and actual 12, twice.
+	var sn *AttrSummary
+	for i := range sum.Selectivity {
+		if sum.Selectivity[i].Attr == "sn" {
+			sn = &sum.Selectivity[i]
+		}
+	}
+	if sn == nil || sn.N != 2 || sn.EstMean != 10 || sn.ActMean != 12 {
+		t.Fatalf("sn selectivity: %+v", sn)
+	}
+
+	// EXPLAIN's observed summary for the exact atomic.
+	ob, ok := s.ObservedFor("(sn=smith*)")
+	if !ok || ob.N != 2 {
+		t.Fatalf("ObservedFor = %+v, %v", ob, ok)
+	}
+	if ob.P50Hits < 8 || ob.P50Hits > 16 {
+		t.Fatalf("P50Hits = %v, want within the [8,16) log₂ bucket", ob.P50Hits)
+	}
+	if _, ok := s.ObservedFor("(never=seen)"); ok {
+		t.Fatal("unseen atomic reported observations")
+	}
+}
+
+func TestFoldErrorsAndKNN(t *testing.T) {
+	s := New()
+	s.Fold(&obs.Span{Op: "atomic", Detail: "(a=b)", Err: "boom",
+		Tags: []obs.Tag{{Key: "path", Value: "scan"}, {Key: "depth", Value: "1"}}})
+	s.Fold(&obs.Span{Op: "atomic", Detail: "(v~[1]:1)", Out: 1,
+		Tags: []obs.Tag{{Key: "knn", Value: "knn-index"}, {Key: "depth", Value: "0"}}})
+	s.Fold(&obs.Span{Op: "atomic", Detail: "(v~[1]:1)", Out: 1,
+		Tags: []obs.Tag{{Key: "knn", Value: "knn-scan"}, {Key: "depth", Value: "0"}}})
+
+	sum := s.Snapshot()
+	if sum.KnnIndex != 1 || sum.KnnScan != 1 {
+		t.Fatalf("knn index/scan = %d/%d", sum.KnnIndex, sum.KnnScan)
+	}
+	var errs int64
+	for _, p := range sum.Top {
+		errs += p.Errors
+	}
+	if errs != 1 {
+		t.Fatalf("errors folded = %d, want 1", errs)
+	}
+	// Errored spans contribute no latency observation.
+	if _, ok := s.ObservedFor("(a=b)"); ok {
+		t.Fatal("errored atomic produced an observed summary")
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	s.Fold(sampleTrace())
+	if s.Folded() != 0 {
+		t.Fatal("nil store folded")
+	}
+	if _, ok := s.ObservedFor("x"); ok {
+		t.Fatal("nil store observed")
+	}
+	if sum := s.Snapshot(); sum.Folded != 0 {
+		t.Fatal("nil store snapshot")
+	}
+}
+
+func TestAtomCap(t *testing.T) {
+	s := New()
+	for i := 0; i < maxAtoms+50; i++ {
+		s.Fold(&obs.Span{Op: "atomic", Detail: "(a=" + strconv.Itoa(i) + ")", Out: 1})
+	}
+	if got := len(s.atoms); got > maxAtoms {
+		t.Fatalf("atom map grew to %d, cap is %d", got, maxAtoms)
+	}
+}
+
+func openStore(t *testing.T, dir string) *durable.Store {
+	t.Helper()
+	fs, err := pager.DirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := durable.Open(fs, durable.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds := openStore(t, dir)
+
+	s := New()
+	s.Fold(sampleTrace())
+	s.Fold(sampleTrace())
+	gen, err := s.Checkpoint(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first checkpoint gen = %d, want 1", gen)
+	}
+	// Nothing new folded: checkpoint is a no-op at the same generation.
+	gen2, err := s.Checkpoint(ds)
+	if err != nil || gen2 != gen {
+		t.Fatalf("idle checkpoint: gen %d err %v", gen2, err)
+	}
+	s.Fold(sampleTrace())
+	gen3, err := s.Checkpoint(ds)
+	if err != nil || gen3 != gen+1 {
+		t.Fatalf("post-fold checkpoint: gen %d err %v", gen3, err)
+	}
+
+	// A fresh process recovers the accumulated history...
+	ds2 := openStore(t, dir)
+	r := New()
+	rgen, err := r.Recover(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgen != gen3 {
+		t.Fatalf("recovered gen %d, want %d", rgen, gen3)
+	}
+	if r.Folded() != 3 {
+		t.Fatalf("recovered folded = %d, want 3", r.Folded())
+	}
+	ob, ok := r.ObservedFor("(sn=smith*)")
+	if !ok || ob.N != 3 {
+		t.Fatalf("recovered observed = %+v, %v", ob, ok)
+	}
+	sum := r.Snapshot()
+	if sum.CacheHits != 3 || sum.Profiles != 4 {
+		t.Fatalf("recovered summary: %+v", sum)
+	}
+
+	// ...and keeps accumulating on the same lineage.
+	r.Fold(sampleTrace())
+	gen4, err := r.Checkpoint(ds2)
+	if err != nil || gen4 != gen3+1 {
+		t.Fatalf("post-recover checkpoint: gen %d err %v", gen4, err)
+	}
+}
+
+func TestRecoverEmptyStore(t *testing.T) {
+	ds := openStore(t, t.TempDir())
+	s := New()
+	gen, err := s.Recover(ds)
+	if err != nil || gen != 0 {
+		t.Fatalf("empty recover: gen %d err %v", gen, err)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.RegisterMetrics(reg, "dirkit_qstats")
+	s.Fold(sampleTrace())
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"dirkit_qstats_traces_folded_total 1",
+		"dirkit_qstats_cache_hits_total 1",
+		"dirkit_qstats_profiles 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}

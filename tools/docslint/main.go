@@ -31,6 +31,7 @@ var docPackages = []string{
 	"internal/obs",
 	"internal/engine",
 	"internal/vindex",
+	"internal/qstats",
 }
 
 // skipDirs are never scanned for markdown.
