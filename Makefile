@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz docs crash bench-smoke obs-smoke
+.PHONY: check vet build test race fuzz docs crash bench-smoke obs-smoke plan-smoke
 
-check: vet build test race docs bench-smoke
+check: vet build test race docs bench-smoke plan-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,7 @@ test:
 # invariant runs under the race detector here. CI additionally runs
 # `go test -race ./...` over the whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/ ./internal/qstats/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/ ./internal/qstats/ ./internal/planner/
 
 # Short-budget fuzzing of the parser/matcher surfaces that each carry a
 # differential oracle: the wildcard matcher vs a reference matcher and
@@ -71,6 +71,13 @@ docs:
 # gate on the vector index.
 bench-smoke:
 	$(GO) run ./cmd/dirbench -quick -only E22 >/dev/null
+	$(GO) run ./cmd/dirbench -quick -only E23 >/dev/null
+
+# Planner smoke: EXPLAIN under the adaptive planner must print the
+# costed rejected-alternatives block on the E15 crossover workload
+# (the PR-9 acceptance criterion, checked end to end through the CLI).
+plan-smoke:
+	$(GO) run ./cmd/dirq -gen tops -n 400 -adaptive -explain -quiet -q '(dc=com ? sub ? priority<=1)' | grep 'alternatives (rejected' >/dev/null
 
 # Observability smoke: boot a real dirserve child with the flight
 # recorder and admin listener on, run 50 traced queries against it,

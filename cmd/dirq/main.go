@@ -65,6 +65,7 @@ func main() {
 		noIndex     = flag.Bool("noindex", false, "disable attribute indexes (scan-only atomic evaluation)")
 		cacheBytes  = flag.Int64("cache", 0, "enable the query-result cache with this byte budget (0 = off)")
 		optimize    = flag.Bool("optimize", false, "run the algebraic planner before evaluation")
+		adaptive    = flag.Bool("adaptive", false, "run the cost-based adaptive planner: algebraic rewrites plus access-path, join-order, and offload choices priced in estimated pages, calibrated from -stats observations (implies -optimize)")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 		explain     = flag.Bool("explain", false, "print the query plan, then evaluate with tracing on and print the per-operator span tree (wall time, cardinalities, page I/O)")
 		audit       = flag.String("audit", "", "audit the QoS policies of this domain DN for conflicts")
@@ -79,7 +80,7 @@ func main() {
 		statsDir    = flag.String("stats", "", "durable query-statistics directory: recover observed profiles on boot (feeds EXPLAIN), checkpoint after the run")
 	)
 	flag.Parse()
-	opts := core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
+	opts := core.Options{NoAttrIndex: *noIndex, Optimize: *optimize, Adaptive: *adaptive, CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
 
 	if *server != "" {
 		runRemote(*server, *timeout, *retries, *ldifPath, *gen, *n, *seed, *queryStr, *ldapStr)

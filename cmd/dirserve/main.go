@@ -70,6 +70,8 @@ var (
 	slowIO       = flag.Int64("slow-io", 0, "log queries costing at least this many page I/Os (0 disables the I/O threshold)")
 	cacheBytes   = flag.Int64("cache", 0, "enable the served directory's query-result cache with this byte budget (0 = off)")
 	workers      = flag.Int("workers", 1, "evaluate independent query subtrees on up to this many goroutines (1 = serial; see DESIGN.md §9)")
+	optimize     = flag.Bool("optimize", false, "run the algebraic planner on every served query")
+	adaptive     = flag.Bool("adaptive", false, "run the cost-based adaptive planner on every served query, calibrated from the qstats store (implies -optimize)")
 	flightN      = flag.Int("flight", 256, "retain the last N completed query traces in the flight recorder at /debug/queries (0 = off)")
 	qstatsEvery  = flag.Duration("qstats-every", 30*time.Second, "checkpoint cadence for the durable query-statistics store under -data/qstats")
 
@@ -83,7 +85,7 @@ var (
 
 // options assembles the served directory's core.Options from the flags.
 func options() core.Options {
-	return core.Options{CacheBytes: *cacheBytes, Engine: engine.Config{Workers: *workers}}
+	return core.Options{CacheBytes: *cacheBytes, Optimize: *optimize, Adaptive: *adaptive, Engine: engine.Config{Workers: *workers}}
 }
 
 func main() {

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/filter"
+	"repro/internal/model"
+	"repro/internal/qstats"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// randPlanQuery generates random L0–L2 trees over the random-forest
+// vocabulary — the shapes the cost model makes choices on: atomics
+// with several feasible access paths, commutative boolean chains it
+// may reorder, hierarchy operators it prices through.
+func randPlanQuery(r *rand.Rand, depth int) query.Query {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return randPlanAtomic(r)
+	}
+	switch r.Intn(4) {
+	case 0, 1:
+		return &query.Bool{
+			Op: query.BoolOp(r.Intn(3)),
+			Q1: randPlanQuery(r, depth-1),
+			Q2: randPlanQuery(r, depth-1),
+		}
+	case 2:
+		op := query.HierOp(r.Intn(4)) // p, c, a, d — the binary operators
+		return &query.Hier{Op: op, Q1: randPlanQuery(r, depth-1), Q2: randPlanQuery(r, depth-1)}
+	default:
+		return randPlanAtomic(r)
+	}
+}
+
+func randPlanAtomic(r *rand.Rand) *query.Atomic {
+	bases := []string{"", "n=e0", "n=e1, n=e0"}
+	scopes := []query.Scope{query.ScopeBase, query.ScopeOne, query.ScopeSub, query.ScopeSub}
+	atoms := []func() *filter.Atom{
+		func() *filter.Atom { return filter.Eq("tag", string(rune('a'+r.Intn(3)))) },
+		func() *filter.Atom { return filter.Present("val") },
+		func() *filter.Atom { return filter.NewAtom("val", filter.OpLT, fmt.Sprint(r.Intn(8))) },
+		func() *filter.Atom { return filter.NewAtom("val", filter.OpGE, fmt.Sprint(r.Intn(8))) },
+		func() *filter.Atom { return filter.Eq("n", fmt.Sprintf("e%d*", r.Intn(3))) },
+		func() *filter.Atom { return filter.Present("objectclass") },
+	}
+	return &query.Atomic{
+		Base:   model.MustParseDN(bases[r.Intn(len(bases))]),
+		Scope:  scopes[r.Intn(len(scopes))],
+		Filter: atoms[r.Intn(len(atoms))](),
+	}
+}
+
+// TestAdaptivePlannerOracle is the tentpole acceptance check: on
+// randomized query trees, every plan the cost-based planner chooses —
+// cold (empty statistics), warm (calibrated from the traced runs the
+// loop itself performs), serial or with a worker pool — evaluates
+// byte-identically to the naive engine with no planner at all. The
+// cost model may only ever move I/O, never the answer.
+func TestAdaptivePlannerOracle(t *testing.T) {
+	in := workload.RandomForest(workload.ForestConfig{N: 500, Seed: 23})
+	naive, err := Open(in, Options{Engine: engine.Config{Naive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Open(in, Options{Adaptive: true, Engine: engine.Config{Workers: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := qstats.New()
+	adaptive.SetQueryStats(qs)
+
+	dns := func(d *Directory, q query.Query) []string {
+		res, err := d.SearchQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return (&Result{Entries: res.Entries}).DNs()
+	}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 80; i++ {
+		q := randPlanQuery(r, 3)
+		if query.Validate(naive.Schema(), q) != nil {
+			continue
+		}
+		want := dns(naive, q)
+		if got := dns(adaptive, q); strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("cold adaptive plan diverges on %s:\n got %d entries\nwant %d entries", q, len(got), len(want))
+		}
+		// Calibrate: the traced run folds this query's observed profile
+		// into qs, so the replan below prices with live statistics.
+		if _, _, err := adaptive.SearchQueryTraced(context.Background(), q); err != nil {
+			t.Fatalf("traced %s: %v", q, err)
+		}
+		if got := dns(adaptive, q); strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("warm adaptive plan diverges on %s:\n got %d entries\nwant %d entries", q, len(got), len(want))
+		}
+	}
+	if qs.Folded() == 0 {
+		t.Fatal("no traces folded — the warm half of the oracle never ran calibrated")
+	}
+}
+
+// TestAdaptiveExplainPrintsAlternatives: under Adaptive, EXPLAIN on a
+// query whose atomic has competing access paths always reports the
+// losing candidate with its estimate.
+func TestAdaptiveExplainPrintsAlternatives(t *testing.T) {
+	in := workload.RandomForest(workload.ForestConfig{N: 500, Seed: 23})
+	dir, err := Open(in, Options{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := dir.ExplainQuery(`( ? sub ? tag=a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.String()
+	if !strings.Contains(out, "alternatives (rejected") {
+		t.Fatalf("EXPLAIN lacks the rejected-alternatives block:\n%s", out)
+	}
+	if !strings.Contains(out, "plan cost: est ") || !strings.Contains(out, "pages") {
+		t.Fatalf("EXPLAIN lacks the costed root estimate:\n%s", out)
+	}
+	rej := ex.Alternatives
+	found := false
+	for _, a := range rej {
+		if !a.Chosen && a.Est.Pages > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no costed rejected alternative recorded: %+v", rej)
+	}
+}

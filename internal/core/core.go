@@ -48,6 +48,14 @@ type Options struct {
 	// evaluation (scope narrowing, disjointness, the ac/dc collapse —
 	// see internal/planner).
 	Optimize bool
+	// Adaptive runs the cost-based planner on every query before
+	// evaluation: the algebraic rewrites of Optimize plus a cost pass
+	// that chooses access paths, operand evaluation order, and worker-
+	// pool offload by estimated pages, calibrated online from the
+	// attached statistics store (SetQueryStats). Every chosen plan is
+	// byte-identical to the naive evaluation; the cost model only moves
+	// I/O. Implies Optimize. See internal/planner and DESIGN.md §14.
+	Adaptive bool
 	// Engine tunes the evaluation engine (stack window etc.).
 	Engine engine.Config
 	// CacheBytes, when positive, enables the query-result cache: up to
@@ -405,18 +413,17 @@ func (d *Directory) searchCached(keyPrefix string, q query.Query, validate bool)
 // writes land on the arena's private scratch disk, so any number of
 // evaluations run concurrently with exact per-query I/O accounting.
 func (d *Directory) evalSnapshot(snap *snapshot, q query.Query, validate bool) (*Result, int64, error) {
+	var hints *planner.Hints
 	if validate {
 		if err := query.Validate(snap.st.Schema(), q); err != nil {
 			return nil, 0, err
 		}
-		if d.opts.Optimize {
-			q = planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query
-		}
+		q, hints = d.planQuery(snap, q)
 	}
 	d.readers.enter(snap.gen)
 	defer d.readers.exit(snap.gen)
 	arena := pager.NewArena(snap.st.Disk())
-	l, err := snap.eng.Session(arena).Eval(q)
+	l, err := snap.eng.Session(arena).WithHints(hints).Eval(q)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -467,10 +474,8 @@ func (d *Directory) SearchQueryTraced(ctx context.Context, q query.Query) (*Resu
 	if err := query.Validate(snap.st.Schema(), q); err != nil {
 		return nil, nil, err
 	}
-	if d.opts.Optimize {
-		q = planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query
-	}
-	return d.searchTraced(ctx, snap, q)
+	q, hints := d.planQuery(snap, q)
+	return d.searchTraced(ctx, snap, q, hints)
 }
 
 // SearchLDAPTraced is SearchQueryTraced for the LDAP baseline surface
@@ -480,10 +485,41 @@ func (d *Directory) SearchLDAPTraced(ctx context.Context, text string) (*Result,
 	if err != nil {
 		return nil, nil, err
 	}
-	return d.searchTraced(ctx, d.snap.Load(), q)
+	return d.searchTraced(ctx, d.snap.Load(), q, nil)
 }
 
-func (d *Directory) searchTraced(ctx context.Context, snap *snapshot, q query.Query) (*Result, *obs.Span, error) {
+// planQuery runs the configured planner over a validated query:
+// Adaptive plans with the cost model (returning evaluation hints),
+// Optimize runs the algebraic rewrites alone, and neither passes the
+// query through untouched.
+func (d *Directory) planQuery(snap *snapshot, q query.Query) (query.Query, *planner.Hints) {
+	switch {
+	case d.opts.Adaptive:
+		cr := planner.Plan(q, d.planEnv(snap))
+		return cr.Query, cr.Hints
+	case d.opts.Optimize:
+		return planner.Optimize(q, planner.Info{StrictForest: snap.strict}).Query, nil
+	}
+	return q, nil
+}
+
+// planEnv assembles the cost-based planner's environment for one
+// snapshot: the snapshot's store as the catalog, the attached
+// statistics store (when any) as the calibration feed, and the engine's
+// worker count for offload marking.
+func (d *Directory) planEnv(snap *snapshot) planner.Env {
+	env := planner.Env{
+		Catalog: snap.st,
+		Info:    planner.Info{StrictForest: snap.strict},
+		Workers: d.opts.Engine.Workers,
+	}
+	if qs := d.qstats.Load(); qs != nil {
+		env.Stats = qs
+	}
+	return env
+}
+
+func (d *Directory) searchTraced(ctx context.Context, snap *snapshot, q query.Query, hints *planner.Hints) (*Result, *obs.Span, error) {
 	d.readers.enter(snap.gen)
 	defer d.readers.exit(snap.gen)
 	arena := pager.NewArena(snap.st.Disk())
@@ -492,7 +528,7 @@ func (d *Directory) searchTraced(ctx context.Context, snap *snapshot, q query.Qu
 	qs := d.qstats.Load()
 	defer func() { qs.Fold(tr.Root()) }()
 	before := arena.Stats()
-	l, err := snap.eng.Session(arena).EvalContext(ctx, q)
+	l, err := snap.eng.Session(arena).WithHints(hints).EvalContext(ctx, q)
 	if err != nil {
 		return nil, tr.Root(), err
 	}

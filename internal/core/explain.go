@@ -10,14 +10,23 @@ import (
 
 // Explain describes how a query would be evaluated, without running it:
 // its language level, the planner rewrites that would fire (when the
-// directory was opened with Optimize), and the access path and catalog
-// estimate for each atomic leaf.
+// directory was opened with Optimize or Adaptive), the access path and
+// catalog estimate for each atomic leaf, and — under Adaptive — the
+// cost model's root estimate with every priced alternative, rejected
+// ones included.
 type Explain struct {
 	Language  query.Language
 	Original  string
 	Optimized string
 	Rules     []string
 	Atoms     []AtomPlan
+	// Cost is the cost model's root estimate (zero unless the directory
+	// was opened with Adaptive).
+	Cost planner.Estimate
+	// Alternatives lists every candidate the cost model priced — the
+	// chosen plan per decision point and the rejected competitors with
+	// their estimates (empty unless Adaptive).
+	Alternatives []planner.Alternative
 }
 
 // AtomPlan is the plan for one atomic leaf: the catalog's estimate
@@ -36,22 +45,55 @@ type AtomPlan struct {
 	ObsP50Hits float64
 	// ObsP50IO is the median self page I/O the atomic performed.
 	ObsP50IO float64
+	// ObsP50LatMS is the median wall time of the atomic in milliseconds.
+	ObsP50LatMS float64
+	// ObsClass is the access-path class of the newest observed
+	// evaluation — the path ObsP50IO describes.
+	ObsClass string
 }
 
-// String renders a compact multi-line report.
+// String renders a compact multi-line report. Each atom line pairs the
+// catalog estimate with the observed profile when one exists; an
+// unobserved atom prints obs=— rather than misleading zeros. Under
+// Adaptive the report ends with the plan's root cost and the rejected
+// alternatives, each beside its estimate and the reason it lost.
 func (e *Explain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "language: %s\n", e.Language)
 	if e.Optimized != e.Original {
 		fmt.Fprintf(&b, "rewritten: %s\n", e.Optimized)
+	}
+	if len(e.Rules) > 0 {
 		fmt.Fprintf(&b, "rules: %s\n", strings.Join(e.Rules, ", "))
 	}
 	for _, a := range e.Atoms {
 		fmt.Fprintf(&b, "atom %-10s est=%-6d scope=%dB", a.Path, a.EstHits, a.ScanBytes)
 		if a.ObsN > 0 {
-			fmt.Fprintf(&b, "  obs=%d/p50=%.0f/io=%.0f", a.ObsN, a.ObsP50Hits, a.ObsP50IO)
+			fmt.Fprintf(&b, "  obs=%d: %.0f hits, %.1f pages, %.2f ms [%s]",
+				a.ObsN, a.ObsP50Hits, a.ObsP50IO, a.ObsP50LatMS, a.ObsClass)
+		} else {
+			b.WriteString("  obs=—")
 		}
 		fmt.Fprintf(&b, "  %s\n", a.Query)
+	}
+	if e.Cost != (planner.Estimate{}) {
+		fmt.Fprintf(&b, "plan cost: %s\n", e.Cost)
+	}
+	var rejected []planner.Alternative
+	for _, alt := range e.Alternatives {
+		if !alt.Chosen {
+			rejected = append(rejected, alt)
+		}
+	}
+	if len(rejected) > 0 {
+		fmt.Fprintf(&b, "alternatives (rejected %d):\n", len(rejected))
+		for _, alt := range rejected {
+			fmt.Fprintf(&b, "  %-24s %s", alt.Plan, alt.Est)
+			if alt.Why != "" {
+				fmt.Fprintf(&b, " — %s", alt.Why)
+			}
+			fmt.Fprintf(&b, "  %s\n", alt.Node)
+		}
 	}
 	return b.String()
 }
@@ -68,7 +110,17 @@ func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 		return nil, err
 	}
 	ex := &Explain{Language: q.Language(), Original: q.String(), Optimized: q.String()}
-	if d.opts.Optimize {
+	var hints *planner.Hints
+	switch {
+	case d.opts.Adaptive:
+		cr := planner.Plan(q, d.planEnv(snap))
+		q = cr.Query
+		ex.Optimized = q.String()
+		ex.Rules = cr.Rules
+		ex.Cost = cr.Root
+		ex.Alternatives = cr.Alternatives
+		hints = cr.Hints
+	case d.opts.Optimize:
 		res := planner.Optimize(q, planner.Info{StrictForest: snap.strict})
 		q = res.Query
 		ex.Optimized = q.String()
@@ -87,6 +139,13 @@ func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 			EstHits:   p.EstHits,
 			ScanBytes: p.ScanBytes,
 		}
+		// Under Adaptive the cost model's choice supersedes the store's
+		// own; report the path that would actually run.
+		if hints != nil {
+			if forced, ok := hints.Path[a]; ok {
+				plan.Path = forced
+			}
+		}
 		// The statistics store keys observations by the optimized
 		// atomic's printed text — exactly the span Detail the engine
 		// records — so the lookup matches what Fold accumulated.
@@ -94,6 +153,8 @@ func (d *Directory) ExplainQuery(text string) (*Explain, error) {
 			plan.ObsN = ob.N
 			plan.ObsP50Hits = ob.P50Hits
 			plan.ObsP50IO = ob.P50IO
+			plan.ObsP50LatMS = ob.P50LatUS / 1000
+			plan.ObsClass = ob.Class
 		}
 		ex.Atoms = append(ex.Atoms, plan)
 	})

@@ -29,8 +29,8 @@ func TestExplainObservedVsEstimated(t *testing.T) {
 	if len(ex.Atoms) != 1 || ex.Atoms[0].ObsN != 0 {
 		t.Fatalf("fresh explain already has observations: %+v", ex.Atoms)
 	}
-	if strings.Contains(ex.String(), "obs=") {
-		t.Fatalf("fresh explain prints obs column:\n%s", ex.String())
+	if !strings.Contains(ex.String(), "obs=—") {
+		t.Fatalf("fresh explain must print obs=— (no profile yet):\n%s", ex.String())
 	}
 
 	qs := qstats.New()
@@ -63,8 +63,9 @@ func TestExplainObservedVsEstimated(t *testing.T) {
 	if wantHits > 0 && (a.ObsP50Hits < float64(wantHits)/2 || a.ObsP50Hits > float64(2*wantHits)) {
 		t.Fatalf("ObsP50Hits = %v, actual hits %d", a.ObsP50Hits, wantHits)
 	}
-	if !strings.Contains(ex.String(), "obs=3/") {
-		t.Fatalf("explain does not print observed column:\n%s", ex.String())
+	if !strings.Contains(ex.String(), "obs=3:") || !strings.Contains(ex.String(), "pages") ||
+		!strings.Contains(ex.String(), "ms") {
+		t.Fatalf("explain does not print observed column with units:\n%s", ex.String())
 	}
 
 	// The store survives checkpoint/recover; the recovered EXPLAIN

@@ -1,0 +1,458 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qstats"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// This file is the cost-based half of the planner: where planner.go
+// rewrites query trees by algebraic identity (always-wins
+// transformations), Plan additionally *chooses* among answer-equivalent
+// alternatives — which access path serves each atomic, in which order
+// commutative operands evaluate, and which subtrees are worth handing
+// to the engine's worker pool — by pricing every candidate in estimated
+// page reads. Estimates are seeded from the store catalog (B-tree
+// selectivity counts, exact scope extents) and calibrated online from
+// the observed profiles internal/qstats accumulates: once an atomic has
+// been evaluated under tracing, its observed median page I/O and hit
+// count replace the catalog's guess. Every candidate is exact, so the
+// chosen plan is byte-identical to the naive evaluation no matter what
+// the estimates say — the cost model can only ever waste pages, never
+// change an answer (the oracle guarantee, pinned by the randomized
+// differential tests).
+
+// Catalog supplies per-atomic access-path enumeration and the layout
+// constants the cost model converts cardinalities to pages with.
+// *store.Store implements it.
+type Catalog interface {
+	// AccessPaths enumerates the feasible access paths for one atomic
+	// with catalog cost estimates, index paths first.
+	AccessPaths(q *query.Atomic) []store.PathCost
+	// PageSize is the disk's page size in bytes.
+	PageSize() int
+	// AvgEntryBytes is the average master-record size in bytes.
+	AvgEntryBytes() int64
+}
+
+// Feedback supplies observed statistics for calibration. *qstats.Store
+// implements it (its methods are nil-safe, so a typed nil works as an
+// always-cold feed); a nil interface disables calibration entirely and
+// the planner runs on catalog estimates alone.
+type Feedback interface {
+	// ObservedFor returns the observed profile of one exact atomic,
+	// keyed by its optimized printed text.
+	ObservedFor(atomText string) (qstats.Observed, bool)
+	// ClassProfile returns the aggregate profile of every atomic that
+	// shared a scope depth and access-path class.
+	ClassProfile(depth int, class string) (qstats.ClassProfile, bool)
+}
+
+// Env carries the cost model's inputs into Plan.
+type Env struct {
+	// Catalog prices access paths; required.
+	Catalog Catalog
+	// Stats is the observed-statistics feed; nil plans cold.
+	Stats Feedback
+	// Info carries the instance properties the algebraic rewrites rely
+	// on (Plan runs Optimize first).
+	Info Info
+	// Workers is the engine's worker-pool width; offload hints are only
+	// produced when it exceeds 1.
+	Workers int
+	// OffloadMinPages is the smallest estimated subtree cost worth a
+	// pool goroutine (default 16 pages): below it the handoff overhead
+	// dominates whatever parallelism buys.
+	OffloadMinPages float64
+}
+
+// Estimate is the cost model's prediction for one plan node.
+type Estimate struct {
+	// Pages is the predicted page-read volume of evaluating the node's
+	// subtree, intermediates included.
+	Pages float64
+	// Rows is the predicted output cardinality.
+	Rows float64
+	// Calibrated reports whether observed statistics (not just catalog
+	// estimates) informed the prediction.
+	Calibrated bool
+}
+
+// String renders the estimate the way EXPLAIN prints it.
+func (e Estimate) String() string {
+	s := fmt.Sprintf("est %.1f pages, %.0f rows", e.Pages, e.Rows)
+	if e.Calibrated {
+		s += " (calibrated)"
+	}
+	return s
+}
+
+// Alternative is one candidate the cost model priced: the chosen plan
+// for a node or a rejected competitor, kept so EXPLAIN can show the
+// road not taken next to its estimate and est-vs-obs drift stays
+// visible.
+type Alternative struct {
+	// Node is the printed text of the query node the candidate applies
+	// to.
+	Node string
+	// Plan names the candidate: an access path ("index", "scan", …) or
+	// "operand order as written".
+	Plan string
+	// Est is the candidate's cost estimate.
+	Est Estimate
+	// Chosen reports whether this candidate won.
+	Chosen bool
+	// Why explains the decision in one clause.
+	Why string
+}
+
+// Hints carries the planner's per-node decisions into the engine,
+// keyed by node pointer within the exact tree Plan returned. The
+// engine consults them during evaluation; nodes absent from the maps
+// fall back to the store's own choices.
+type Hints struct {
+	// Path forces an access path per atomic (store.Path* constants).
+	Path map[*query.Atomic]string
+	// Offload marks subtrees whose estimated cost justifies a worker-
+	// pool goroutine; when non-nil, the engine offloads only marked
+	// operands instead of offloading opportunistically.
+	Offload map[query.Query]bool
+}
+
+// CostResult is Plan's outcome: the chosen tree (rewritten, reordered,
+// path-annotated), the root estimate, every priced candidate, and the
+// evaluation hints for the engine.
+type CostResult struct {
+	Result
+	// Root is the whole plan's cost estimate.
+	Root Estimate
+	// Alternatives lists every candidate priced, chosen and rejected.
+	Alternatives []Alternative
+	// Hints are the per-node decisions the engine evaluates under.
+	Hints *Hints
+}
+
+// Rejected returns the alternatives that lost, in pricing order.
+func (r *CostResult) Rejected() []Alternative {
+	var out []Alternative
+	for _, a := range r.Alternatives {
+		if !a.Chosen {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Plan runs the algebraic rewrites and then the cost model over q:
+// it enumerates access paths per atomic, evaluation orders per
+// commutative operator chain, and offload candidates per subtree,
+// prices each in estimated pages (catalog-seeded, qstats-calibrated),
+// and returns the cheapest answer-equivalent plan with the rejected
+// candidates attached.
+func Plan(q query.Query, env Env) *CostResult {
+	if env.OffloadMinPages <= 0 {
+		env.OffloadMinPages = 16
+	}
+	res := Optimize(q, env.Info)
+	c := &coster{
+		env:   env,
+		hints: &Hints{Path: make(map[*query.Atomic]string)},
+		est:   make(map[query.Query]Estimate),
+	}
+	planned, root := c.plan(res.Query)
+	out := &CostResult{
+		Result:       Result{Query: planned, Rules: append(res.Rules, c.rules...)},
+		Root:         root,
+		Alternatives: c.alts,
+		Hints:        c.hints,
+	}
+	if env.Workers > 1 {
+		out.Hints.Offload = make(map[query.Query]bool)
+		c.markOffload(planned, out.Hints.Offload)
+	}
+	return out
+}
+
+// coster threads the pricing state through one Plan call.
+type coster struct {
+	env   Env
+	hints *Hints
+	est   map[query.Query]Estimate // subtree estimates, for offload marking
+	alts  []Alternative
+	rules []string
+}
+
+// listPages converts a cardinality into the fractional page volume of
+// reading or writing it once as a record list.
+func (c *coster) listPages(rows float64) float64 {
+	ps := float64(c.env.Catalog.PageSize())
+	if ps <= 0 {
+		ps = 4096
+	}
+	return rows * float64(c.env.Catalog.AvgEntryBytes()) / ps
+}
+
+// plan prices one node, possibly rewriting it (operand reordering),
+// and records its estimate for offload marking.
+func (c *coster) plan(q query.Query) (query.Query, Estimate) {
+	var out query.Query
+	var est Estimate
+	switch n := q.(type) {
+	case *query.Atomic:
+		out, est = n, c.planAtomic(n)
+	case *query.Bool:
+		out, est = c.planBool(n)
+	case *query.Hier:
+		h := &query.Hier{Op: n.Op, AggSel: n.AggSel}
+		var e1, e2, e3 Estimate
+		h.Q1, e1 = c.plan(n.Q1)
+		h.Q2, e2 = c.plan(n.Q2)
+		if n.Q3 != nil {
+			h.Q3, e3 = c.plan(n.Q3)
+		}
+		rows := e1.Rows
+		if n.Op == query.OpParents || n.Op == query.OpChildren {
+			rows = min2(e1.Rows, e2.Rows)
+		}
+		// The stack algorithms are linear in their inputs (Theorem 5.1):
+		// read every input list once, write the output once.
+		pages := e1.Pages + e2.Pages + e3.Pages +
+			c.listPages(e1.Rows) + c.listPages(e2.Rows) + c.listPages(e3.Rows) + c.listPages(rows)
+		out, est = h, Estimate{Pages: pages, Rows: rows,
+			Calibrated: e1.Calibrated || e2.Calibrated || e3.Calibrated}
+	case *query.SimpleAgg:
+		g := &query.SimpleAgg{AggSel: n.AggSel}
+		var e1 Estimate
+		g.Q, e1 = c.plan(n.Q)
+		out, est = g, Estimate{Pages: e1.Pages + 2*c.listPages(e1.Rows), Rows: e1.Rows, Calibrated: e1.Calibrated}
+	case *query.EmbedRef:
+		r := &query.EmbedRef{Op: n.Op, Attr: n.Attr, AggSel: n.AggSel}
+		var e1, e2 Estimate
+		r.Q1, e1 = c.plan(n.Q1)
+		r.Q2, e2 = c.plan(n.Q2)
+		// Reference extraction spools and sorts the referencing side.
+		pages := e1.Pages + e2.Pages + c.listPages(e1.Rows) + 3*c.listPages(e2.Rows) + c.listPages(e1.Rows)
+		out, est = r, Estimate{Pages: pages, Rows: e1.Rows, Calibrated: e1.Calibrated || e2.Calibrated}
+	default: // *query.LDAP and future nodes: no model, neutral estimate
+		out, est = q, Estimate{Pages: 1, Rows: 1}
+	}
+	c.est[out] = est
+	return out, est
+}
+
+// planAtomic prices every feasible access path for one atomic,
+// calibrates against observed statistics, records the winner as a path
+// hint, and files every candidate as an alternative.
+func (c *coster) planAtomic(a *query.Atomic) Estimate {
+	paths := c.env.Catalog.AccessPaths(a)
+	if len(paths) == 0 {
+		return Estimate{Pages: 1, Rows: 1}
+	}
+	text := a.String()
+	depth := a.Base.Depth()
+	var obs qstats.Observed
+	hasObs := false
+	if c.env.Stats != nil {
+		obs, hasObs = c.env.Stats.ObservedFor(text)
+		hasObs = hasObs && obs.N > 0
+	}
+
+	// Cardinality is path-independent: the exact observation wins, the
+	// catalog estimate is next, and shapes the catalog cannot estimate
+	// fall back to the (depth, class) median, then to a 10% guess over
+	// the scope extent.
+	rows := float64(paths[0].EstHits)
+	rowsCal := false
+	if hasObs {
+		rows, rowsCal = obs.P50Hits, true
+	} else if paths[0].EstHits < 0 {
+		if cp, ok := c.classProfile(depth, paths[len(paths)-1].Path); ok {
+			rows, rowsCal = cp.P50Out, true
+		} else {
+			rows = 0.1 * float64(scanOf(paths).EstBytes) / float64(c.env.Catalog.AvgEntryBytes())
+		}
+	}
+	if rows < 0 {
+		rows = 1
+	}
+
+	// Price each path: scan-family costs are exact extents from the
+	// catalog; the index-family catalog heuristic is replaced by the
+	// observed median once this atomic has run on that path.
+	best := 0
+	ests := make([]Estimate, len(paths))
+	for i, p := range paths {
+		e := Estimate{Pages: float64(p.EstPages), Rows: rows, Calibrated: rowsCal}
+		if hasObs && obs.Class == p.Path {
+			e.Pages, e.Calibrated = obs.P50IO, true
+		}
+		ests[i] = e
+		if e.Pages < ests[best].Pages {
+			best = i
+		}
+	}
+	chosen := paths[best].Path
+	if a.Scope != query.ScopeBase {
+		c.hints.Path[a] = chosen
+	}
+	// The store's own tie-break picks the first minimal-EstBytes entry;
+	// note when calibration overruled it.
+	storePick := 0
+	for i := 1; i < len(paths); i++ {
+		if paths[i].EstBytes < paths[storePick].EstBytes {
+			storePick = i
+		}
+	}
+	if best != storePick {
+		c.rules = append(c.rules, "cost-path:"+chosen)
+	}
+	for i, p := range paths {
+		alt := Alternative{Node: text, Plan: p.Path, Est: ests[i], Chosen: i == best}
+		if i != best {
+			alt.Why = fmt.Sprintf("costlier than %s (%.1f pages)", chosen, ests[best].Pages)
+		}
+		c.alts = append(c.alts, alt)
+	}
+	return ests[best]
+}
+
+// classProfile consults the (depth, class) feed, nil-safely.
+func (c *coster) classProfile(depth int, class string) (qstats.ClassProfile, bool) {
+	if c.env.Stats == nil {
+		return qstats.ClassProfile{}, false
+	}
+	return c.env.Stats.ClassProfile(depth, class)
+}
+
+// scanOf returns the scan-family entry of an AccessPaths slice (always
+// present: every atomic can be scanned).
+func scanOf(paths []store.PathCost) store.PathCost {
+	for _, p := range paths {
+		if p.Path == store.PathScan || p.Path == store.PathKNNScan || p.Path == store.PathBasePoint {
+			return p
+		}
+	}
+	return paths[len(paths)-1]
+}
+
+// planBool prices a boolean node. Commutative chains (runs of the same
+// & or | operator) are flattened, their operands priced independently,
+// and re-associated most-selective-first — answer-equivalent for set
+// operators, cheaper because every intermediate list shrinks. The
+// as-written order is kept as a rejected alternative when the order
+// changed. Difference is not commutative and keeps its operand order.
+func (c *coster) planBool(b *query.Bool) (query.Query, Estimate) {
+	if b.Op == query.OpDiff {
+		nb := &query.Bool{Op: b.Op}
+		var e1, e2 Estimate
+		nb.Q1, e1 = c.plan(b.Q1)
+		nb.Q2, e2 = c.plan(b.Q2)
+		return nb, c.mergeEst(b.Op, e1, e2)
+	}
+	ops := flattenBool(b.Op, b)
+	planned := make([]query.Query, len(ops))
+	ests := make([]Estimate, len(ops))
+	for i, op := range ops {
+		planned[i], ests[i] = c.plan(op)
+	}
+	order := make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return ests[order[i]].Rows < ests[order[j]].Rows
+	})
+	reordered := false
+	for i, o := range order {
+		if o != i {
+			reordered = true
+			break
+		}
+	}
+	build := func(ord []int) (query.Query, Estimate) {
+		q, e := planned[ord[0]], ests[ord[0]]
+		for _, i := range ord[1:] {
+			q = &query.Bool{Op: b.Op, Q1: q, Q2: planned[i]}
+			e = c.mergeEst(b.Op, e, ests[i])
+			c.est[q] = e
+		}
+		return q, e
+	}
+	if !reordered {
+		return build(order)
+	}
+	asWritten := make([]int, len(ops))
+	for i := range asWritten {
+		asWritten[i] = i
+	}
+	// Price the rejected as-written order without materializing it.
+	wEst := ests[0]
+	for _, i := range asWritten[1:] {
+		wEst = c.mergeEst(b.Op, wEst, ests[i])
+	}
+	q, e := build(order)
+	c.rules = append(c.rules, "cost-reorder")
+	c.alts = append(c.alts,
+		Alternative{Node: q.String(), Plan: "operand order chosen", Est: e, Chosen: true},
+		Alternative{Node: b.String(), Plan: "operand order as written", Est: wEst,
+			Why: fmt.Sprintf("larger intermediates than chosen order (%.1f pages)", e.Pages)})
+	return q, e
+}
+
+// mergeEst prices one sort-merge set operation: read both inputs,
+// write the output (Section 4.2 merges are linear).
+func (c *coster) mergeEst(op query.BoolOp, e1, e2 Estimate) Estimate {
+	var rows float64
+	switch op {
+	case query.OpAnd:
+		rows = min2(e1.Rows, e2.Rows)
+	case query.OpOr:
+		rows = e1.Rows + e2.Rows
+	default: // difference keeps at most its left operand
+		rows = e1.Rows
+	}
+	return Estimate{
+		Pages:      e1.Pages + e2.Pages + c.listPages(e1.Rows) + c.listPages(e2.Rows) + c.listPages(rows),
+		Rows:       rows,
+		Calibrated: e1.Calibrated || e2.Calibrated,
+	}
+}
+
+// flattenBool gathers the operand run of one commutative operator:
+// (& (& a b) c) yields [a b c]. Only same-op Bool nodes flatten;
+// anything else is a leaf of the chain.
+func flattenBool(op query.BoolOp, q query.Query) []query.Query {
+	b, ok := q.(*query.Bool)
+	if !ok || b.Op != op {
+		return []query.Query{q}
+	}
+	return append(flattenBool(op, b.Q1), flattenBool(op, b.Q2)...)
+}
+
+// markOffload marks the operands worth a pool goroutine: any operand
+// subtree of a multi-operand node whose estimated cost clears the
+// threshold. The engine runs the first operand inline regardless, so
+// marking it is harmless.
+func (c *coster) markOffload(q query.Query, out map[query.Query]bool) {
+	subs := q.Subqueries()
+	if len(subs) >= 2 {
+		for _, s := range subs {
+			if c.est[s].Pages >= c.env.OffloadMinPages {
+				out[s] = true
+			}
+		}
+	}
+	for _, s := range subs {
+		c.markOffload(s, out)
+	}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

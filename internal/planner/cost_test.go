@@ -1,0 +1,285 @@
+package planner_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pager"
+	"repro/internal/planner"
+	"repro/internal/qstats"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// fakeCatalog serves hand-built access paths per atomic text, so the
+// cost tests control the crossover point exactly.
+type fakeCatalog struct {
+	paths map[string][]store.PathCost
+}
+
+func (c fakeCatalog) AccessPaths(q *query.Atomic) []store.PathCost { return c.paths[q.String()] }
+func (c fakeCatalog) PageSize() int                                { return 4096 }
+func (c fakeCatalog) AvgEntryBytes() int64                         { return 64 }
+
+// pathCost builds one candidate with EstPages derived the way the
+// store derives it.
+func pathCost(path string, pages, hits int64) store.PathCost {
+	return store.PathCost{Path: path, EstBytes: pages * 4096, EstPages: pages, EstHits: hits}
+}
+
+func parseAtom(t *testing.T, text string) *query.Atomic {
+	t.Helper()
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := q.(*query.Atomic)
+	if !ok {
+		t.Fatalf("%s parsed to %T, want *query.Atomic", text, q)
+	}
+	return a
+}
+
+// foldAtomSpan seeds a qstats store with one synthetic traced atomic
+// evaluation: the exact span shape the engine records (Op "atomic",
+// Detail = atom text, path/depth/est tags, self I/O, output hits).
+func foldAtomSpan(qs *qstats.Store, text, class string, depth int, hits, ioPages int64) {
+	sp := &obs.Span{
+		Op: "atomic", Detail: text, Out: hits,
+		Dur: time.Millisecond, IO: pager.Stats{Reads: ioPages},
+	}
+	sp.Tag("path", class)
+	sp.Tag("depth", strconv.Itoa(depth))
+	sp.Tag("est", strconv.FormatInt(hits, 10))
+	qs.Fold(sp)
+}
+
+// chosenPath returns the winning access path Plan recorded for atom.
+func chosenPath(t *testing.T, res *planner.CostResult, atom string) string {
+	t.Helper()
+	for _, alt := range res.Alternatives {
+		if alt.Node == atom && alt.Chosen && alt.Plan != "operand order chosen" {
+			return alt.Plan
+		}
+	}
+	t.Fatalf("no chosen alternative for %s in %+v", atom, res.Alternatives)
+	return ""
+}
+
+// TestCostPathCrossover drives the index-versus-scan choice across its
+// cost crossover: cold plans follow the catalog, and seeding qstats
+// with observed page I/O on one path flips the choice exactly when the
+// observation crosses the competitor's estimate.
+func TestCostPathCrossover(t *testing.T) {
+	const atom = `( ? sub ? tag=a)`
+	cases := []struct {
+		name                 string
+		indexPages, scanHits int64 // catalog: index path pages; scan is fixed at 50
+		obsClass             string
+		obsIO                int64 // 0 = no observation (cold)
+		want                 string
+	}{
+		{"cold-index-wins", 10, 500, "", 0, store.PathIndex},
+		{"cold-scan-wins", 200, 500, "", 0, store.PathScan},
+		{"warm-flips-to-index", 200, 500, store.PathIndex, 4, store.PathIndex},
+		{"warm-flips-to-scan", 10, 500, store.PathIndex, 900, store.PathScan},
+		{"warm-confirms-catalog", 10, 500, store.PathIndex, 8, store.PathIndex},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := fakeCatalog{paths: map[string][]store.PathCost{
+				atom: {
+					pathCost(store.PathIndex, tc.indexPages, tc.scanHits),
+					pathCost(store.PathScan, 50, tc.scanHits),
+				},
+			}}
+			var qs *qstats.Store
+			if tc.obsIO > 0 {
+				qs = qstats.New()
+				// Fold twice so the median is the seeded value, not a
+				// half-filled histogram artifact.
+				foldAtomSpan(qs, atom, tc.obsClass, 0, tc.scanHits, tc.obsIO)
+				foldAtomSpan(qs, atom, tc.obsClass, 0, tc.scanHits, tc.obsIO)
+			}
+			env := planner.Env{Catalog: cat}
+			if qs != nil {
+				env.Stats = qs
+			}
+			res := planner.Plan(query.MustParse(atom), env)
+			if got := chosenPath(t, res, atom); got != tc.want {
+				t.Fatalf("chose %s, want %s\nalternatives: %+v", got, tc.want, res.Alternatives)
+			}
+			a, ok := res.Query.(*query.Atomic)
+			if !ok {
+				t.Fatalf("planned query is %T", res.Query)
+			}
+			if got := res.Hints.Path[a]; got != tc.want {
+				t.Fatalf("hint path = %q, want %q", got, tc.want)
+			}
+			// Two candidate paths must always yield one rejected
+			// alternative with a stated reason.
+			var rejected int
+			for _, alt := range res.Alternatives {
+				if !alt.Chosen {
+					rejected++
+					if alt.Why == "" {
+						t.Fatalf("rejected alternative without a reason: %+v", alt)
+					}
+				}
+			}
+			if rejected != 1 {
+				t.Fatalf("rejected %d alternatives, want 1: %+v", rejected, res.Alternatives)
+			}
+		})
+	}
+}
+
+// TestCostJoinOrderCrossover drives operand ordering across its
+// crossover: the commutative chain is rebuilt most-selective-first
+// using whichever cardinality evidence is best — catalog estimates
+// cold, observed medians warm — and the as-written order is kept as a
+// rejected alternative when the order changed.
+func TestCostJoinOrderCrossover(t *testing.T) {
+	const (
+		big   = `( ? sub ? tag=a)`
+		small = `( ? sub ? val=b)`
+		qText = `(& ( ? sub ? tag=a) ( ? sub ? val=b))`
+	)
+	cases := []struct {
+		name               string
+		bigHits, smallHits int64 // catalog estimates
+		warmBigHits        int64 // 0 = cold; else observed hits for big
+		wantFirst          string
+		wantReorder        bool
+	}{
+		{"cold-reorders-small-first", 1000, 5, 0, small, true},
+		{"cold-keeps-as-written", 5, 1000, 0, big, false},
+		{"warm-observation-reverses", 1000, 5, 1, big, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := fakeCatalog{paths: map[string][]store.PathCost{
+				big:   {pathCost(store.PathScan, 50, tc.bigHits)},
+				small: {pathCost(store.PathScan, 50, tc.smallHits)},
+			}}
+			env := planner.Env{Catalog: cat}
+			if tc.warmBigHits > 0 {
+				qs := qstats.New()
+				foldAtomSpan(qs, big, store.PathScan, 0, tc.warmBigHits, 50)
+				foldAtomSpan(qs, big, store.PathScan, 0, tc.warmBigHits, 50)
+				env.Stats = qs
+			}
+			res := planner.Plan(query.MustParse(qText), env)
+			b, ok := res.Query.(*query.Bool)
+			if !ok || b.Op != query.OpAnd {
+				t.Fatalf("planned query is %s", res.Query)
+			}
+			if got := b.Q1.String(); got != tc.wantFirst {
+				t.Fatalf("first operand = %s, want %s", got, tc.wantFirst)
+			}
+			gotReorder := false
+			for _, r := range res.Rules {
+				if r == "cost-reorder" {
+					gotReorder = true
+				}
+			}
+			if gotReorder != tc.wantReorder {
+				t.Fatalf("cost-reorder fired = %v, want %v (rules %v)", gotReorder, tc.wantReorder, res.Rules)
+			}
+			if tc.wantReorder {
+				found := false
+				for _, alt := range res.Alternatives {
+					if strings.Contains(alt.Plan, "as written") && !alt.Chosen {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("no rejected as-written alternative: %+v", res.Alternatives)
+				}
+			}
+		})
+	}
+}
+
+// TestCostOffloadMarking: with a worker pool configured, only operand
+// subtrees whose estimated cost clears the threshold are marked for
+// offload.
+func TestCostOffloadMarking(t *testing.T) {
+	const (
+		heavy = `( ? sub ? tag=a)`
+		light = `( ? sub ? val=b)`
+	)
+	cat := fakeCatalog{paths: map[string][]store.PathCost{
+		heavy: {pathCost(store.PathScan, 500, 100)},
+		light: {pathCost(store.PathScan, 1, 1)},
+	}}
+	res := planner.Plan(query.MustParse(`(| ( ? sub ? tag=a) ( ? sub ? val=b))`),
+		planner.Env{Catalog: cat, Workers: 4, OffloadMinPages: 16})
+	if res.Hints.Offload == nil {
+		t.Fatal("Workers > 1 must produce an offload map")
+	}
+	b := res.Query.(*query.Bool)
+	// Ordering puts light first; the heavy operand must be marked, the
+	// light one must not.
+	var marked, unmarked query.Query
+	for _, sub := range b.Subqueries() {
+		if sub.String() == heavy {
+			marked = sub
+		} else {
+			unmarked = sub
+		}
+	}
+	if !res.Hints.Offload[marked] {
+		t.Fatalf("heavy operand not marked for offload: %+v", res.Hints.Offload)
+	}
+	if res.Hints.Offload[unmarked] {
+		t.Fatalf("light operand wrongly marked for offload: %+v", res.Hints.Offload)
+	}
+	// Serial engines get no offload map at all.
+	serial := planner.Plan(query.MustParse(`(| ( ? sub ? tag=a) ( ? sub ? val=b))`),
+		planner.Env{Catalog: cat})
+	if serial.Hints.Offload != nil {
+		t.Fatal("Workers <= 1 must not produce an offload map")
+	}
+}
+
+// TestPlanConcurrentWithFold exercises planning against a qstats store
+// that other goroutines are folding into — the serving topology, where
+// traced queries calibrate the same store the planner reads. Run under
+// -race this pins the concurrency safety of the feedback path.
+func TestPlanConcurrentWithFold(t *testing.T) {
+	const atom = `( ? sub ? tag=a)`
+	cat := fakeCatalog{paths: map[string][]store.PathCost{
+		atom: {
+			pathCost(store.PathIndex, 10, 100),
+			pathCost(store.PathScan, 50, 100),
+		},
+	}}
+	qs := qstats.New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				foldAtomSpan(qs, atom, store.PathIndex, 0, 100, int64(1+i%20))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				res := planner.Plan(query.MustParse(atom), planner.Env{Catalog: cat, Stats: qs})
+				if len(res.Alternatives) != 2 {
+					t.Errorf("planned %d alternatives, want 2", len(res.Alternatives))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -98,16 +98,36 @@ type AttrStats struct {
 type AtomStats struct {
 	N       int64
 	EstLast int64          // last catalog estimate seen (-1 = unknown)
+	Class   string         // access-path class of the newest evaluation
 	Act     *obs.Histogram // actual hits
 	IOPages *obs.Histogram // self page I/O
+	Lat     *obs.Histogram // wall time, microseconds
 }
 
-// Observed is the per-atomic summary EXPLAIN consumes.
+// Observed is the per-atomic summary EXPLAIN and the cost-based
+// planner consume: the observed answer to the catalog's estimate.
 type Observed struct {
 	N       int64   // times this exact atomic was evaluated traced
 	P50Hits float64 // median actual hits
 	P95Hits float64
 	P50IO   float64 // median self page I/O
+	// P50LatUS is the median wall time of the atomic's evaluation in
+	// microseconds (EXPLAIN renders it in ms).
+	P50LatUS float64
+	// Class is the access path the newest evaluation actually used
+	// (index, scan, knn-index, knn-scan, base-point, remote, cache) —
+	// the path the P50IO figure describes, and the anchor the planner
+	// calibrates against.
+	Class string
+}
+
+// ClassProfile aggregates every atomic evaluation that shared a scope
+// depth and an access-path class: the per-class prior the cost model
+// consults when an exact atomic was never observed.
+type ClassProfile struct {
+	N      int64   // atomic spans folded for this (depth, class)
+	P50IO  float64 // median self page I/O
+	P50Out float64 // median output cardinality
 }
 
 // Store is the statistics store. Zero value is not usable; construct
@@ -227,19 +247,29 @@ func (s *Store) foldSpan(sp *obs.Span) {
 			if len(s.atoms) >= maxAtoms {
 				return
 			}
-			at = &AtomStats{
-				EstLast: -1,
-				Act:     obs.NewHistogram("act", ""),
-				IOPages: obs.NewHistogram("io", ""),
-			}
+			at = newAtomStats()
 			s.atoms[sp.Detail] = at
 		}
 		at.N++
 		if est >= 0 || at.N == 1 {
 			at.EstLast = est
 		}
+		if class != "" {
+			at.Class = class
+		}
 		at.Act.Observe(sp.Out)
 		at.IOPages.Observe(selfIO)
+		at.Lat.ObserveDuration(sp.Dur)
+	}
+}
+
+// newAtomStats allocates an empty per-atomic accumulator.
+func newAtomStats() *AtomStats {
+	return &AtomStats{
+		EstLast: -1,
+		Act:     obs.NewHistogram("act", ""),
+		IOPages: obs.NewHistogram("io", ""),
+		Lat:     obs.NewHistogram("lat_us", ""),
 	}
 }
 
@@ -258,10 +288,33 @@ func (s *Store) ObservedFor(atomText string) (Observed, bool) {
 		return Observed{}, false
 	}
 	return Observed{
-		N:       at.N,
-		P50Hits: at.Act.Quantile(0.50),
-		P95Hits: at.Act.Quantile(0.95),
-		P50IO:   at.IOPages.Quantile(0.50),
+		N:        at.N,
+		P50Hits:  at.Act.Quantile(0.50),
+		P95Hits:  at.Act.Quantile(0.95),
+		P50IO:    at.IOPages.Quantile(0.50),
+		P50LatUS: at.Lat.Quantile(0.50),
+		Class:    at.Class,
+	}, true
+}
+
+// ClassProfile returns the aggregate profile of every atomic span
+// folded with the given scope depth and access-path class. ok is false
+// when no such span was ever observed (nil-safe) — the planner then
+// falls back to pure catalog estimates.
+func (s *Store) ClassProfile(depth int, class string) (ClassProfile, bool) {
+	if s == nil {
+		return ClassProfile{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.profiles[Key{Op: "atomic", Depth: depth, Class: class}]
+	if p == nil || p.Count == 0 {
+		return ClassProfile{}, false
+	}
+	return ClassProfile{
+		N:      p.Count,
+		P50IO:  p.IO.Quantile(0.50),
+		P50Out: p.Out.Quantile(0.50),
 	}, true
 }
 
@@ -410,8 +463,12 @@ type attrSt struct {
 type atomSt struct {
 	N       int64         `json:"n"`
 	EstLast int64         `json:"est_last"`
+	Class   string        `json:"class,omitempty"`
 	Act     obs.HistState `json:"act"`
 	IO      obs.HistState `json:"io"`
+	// Lat is absent in pre-PR-9 checkpoints; folding its zero value is
+	// a no-op, so old generations recover cleanly.
+	Lat obs.HistState `json:"lat,omitempty"`
 }
 
 // Checkpoint durably persists the store's state into ds as the next
@@ -473,7 +530,10 @@ func (s *Store) payloadLocked() payload {
 	if len(s.atoms) > 0 {
 		p.Atoms = make(map[string]atomSt, len(s.atoms))
 		for text, at := range s.atoms {
-			p.Atoms[text] = atomSt{N: at.N, EstLast: at.EstLast, Act: at.Act.State(), IO: at.IOPages.State()}
+			p.Atoms[text] = atomSt{
+				N: at.N, EstLast: at.EstLast, Class: at.Class,
+				Act: at.Act.State(), IO: at.IOPages.State(), Lat: at.Lat.State(),
+			}
 		}
 	}
 	return p
@@ -555,18 +615,18 @@ func (s *Store) fold(p payload) {
 			if len(s.atoms) >= maxAtoms {
 				continue
 			}
-			at = &AtomStats{
-				EstLast: -1,
-				Act:     obs.NewHistogram("act", ""),
-				IOPages: obs.NewHistogram("io", ""),
-			}
+			at = newAtomStats()
 			s.atoms[text] = at
 		}
 		at.N += as.N
 		if at.EstLast < 0 {
 			at.EstLast = as.EstLast
 		}
+		if at.Class == "" {
+			at.Class = as.Class
+		}
 		at.Act.AddState(as.Act)
 		at.IOPages.AddState(as.IO)
+		at.Lat.AddState(as.Lat)
 	}
 }

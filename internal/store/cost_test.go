@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/query"
+)
+
+// TestEvalPathByteIdentity pins the access-path oracle guarantee the
+// cost-based planner relies on: for every atomic shape, every path the
+// catalog enumerates evaluates to the byte-identical result — forcing
+// a path moves I/O, never the answer.
+func TestEvalPathByteIdentity(t *testing.T) {
+	in := buildTestInstance(t, 60)
+	d := pager.NewDisk(1024)
+	st, err := Build(d, in, Options{AttrIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range atomicCases {
+		q := query.MustParse(c).(*query.Atomic)
+		l, err := st.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := keysOf(t, l)
+		paths := st.AccessPaths(q)
+		if len(paths) == 0 {
+			t.Fatalf("%s: no access paths", c)
+		}
+		for _, p := range paths {
+			if p.EstPages < 1 {
+				t.Errorf("%s path %s: EstPages %d < 1", c, p.Path, p.EstPages)
+			}
+			lp, err := st.EvalPath(q, p.Path)
+			if err != nil {
+				t.Fatalf("%s path %s: %v", c, p.Path, err)
+			}
+			got := keysOf(t, lp)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s: path %s disagrees with store choice (%d vs %d entries)",
+					c, p.Path, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestAccessPathsMatchStoreChoice: the catalog's first minimal-cost
+// entry is the same path the store's own metered heuristic picks, so
+// a cold cost model reproduces the pre-planner behavior exactly.
+func TestAccessPathsMatchStoreChoice(t *testing.T) {
+	in := buildTestInstance(t, 60)
+	d := pager.NewDisk(1024)
+	st, err := Build(d, in, Options{AttrIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range atomicCases {
+		q := query.MustParse(c).(*query.Atomic)
+		// Empty scopes are degenerate: the scan extent is 0 bytes, the
+		// store's heuristic distrusts it and keeps the index, and either
+		// path reads nothing — no choice to agree on.
+		if sb, err := st.scanBytes(q); err == nil && sb == 0 && q.Scope != query.ScopeBase {
+			continue
+		}
+		paths := st.AccessPaths(q)
+		best := 0
+		for i := 1; i < len(paths); i++ {
+			if paths[i].EstBytes < paths[best].EstBytes {
+				best = i
+			}
+		}
+		if got, want := paths[best].Path, st.ExplainAtomic(q).Path; got != want {
+			t.Errorf("%s: catalog minimum %s, store chooses %s", c, got, want)
+		}
+	}
+}

@@ -60,6 +60,52 @@ func (s *Store) EvalArena(a *pager.Arena, q *query.Atomic) (*plist.List, error) 
 	return s.arenaEnv(a).eval(q)
 }
 
+// EvalPath is Eval with the access path chosen by the caller — the
+// cost-based planner — instead of the store's own catalog comparison.
+// path is one of the Path* constants; "" falls back to the store's
+// choice. Every path is exact, so forcing one changes page I/O but
+// never the answer: a forced "index" on a shape the index cannot serve
+// degrades to the scan, and base scopes always take the point lookup
+// (there is nothing to choose for a single entry).
+func (s *Store) EvalPath(q *query.Atomic, path string) (*plist.List, error) {
+	return s.legacyEnv().evalPath(q, path)
+}
+
+// EvalPathArena is EvalPath in an arena environment (see EvalArena).
+func (s *Store) EvalPathArena(a *pager.Arena, q *query.Atomic, path string) (*plist.List, error) {
+	return s.arenaEnv(a).evalPath(q, path)
+}
+
+func (env *evalEnv) evalPath(q *query.Atomic, path string) (*plist.List, error) {
+	if q.Scope == query.ScopeBase {
+		return env.evalBase(q)
+	}
+	switch path {
+	case PathScan, PathKNNScan:
+		return env.evalScan(q)
+	case PathKNNIndex:
+		if q.Filter.Op == filter.OpKNN {
+			if ix := env.s.VectorIndex(q.Filter.Attr); ix != nil {
+				return env.knnIndex(q, ix)
+			}
+		}
+		return env.evalScan(q)
+	case PathIndex:
+		if env.s.attr != nil && q.Filter.Op != filter.OpKNN {
+			l, handled, err := env.indexEval(q)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				return l, nil
+			}
+		}
+		return env.evalScan(q)
+	default:
+		return env.eval(q)
+	}
+}
+
 func (env *evalEnv) eval(q *query.Atomic) (*plist.List, error) {
 	if q.Scope == query.ScopeBase {
 		// Base scope names exactly one entry: a DN-index point lookup

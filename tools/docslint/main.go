@@ -32,6 +32,8 @@ var docPackages = []string{
 	"internal/engine",
 	"internal/vindex",
 	"internal/qstats",
+	"internal/planner",
+	"internal/store",
 }
 
 // skipDirs are never scanned for markdown.
