@@ -27,10 +27,12 @@ test:
 # store-level knn paths (concurrent searches against copy-on-write
 # swaps). The dirserver package includes the cross-process trace-merge
 # chaos tests (trace_chaos_test.go), so the merged-tree conservation
-# invariant runs under the race detector here. CI additionally runs
-# `go test -race ./...` over the whole module.
+# invariant runs under the race detector here. The copy-on-write B-tree
+# (concurrent readers of a shared immutable tree during fork mutation)
+# rides along. CI additionally runs `go test -race ./...` over the
+# whole module.
 race:
-	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/ ./internal/qstats/ ./internal/planner/
+	$(GO) test -race ./internal/dirserver/ ./internal/faultnet/ ./internal/core/ ./internal/pager/ ./internal/obs/ ./internal/engine/ ./internal/extsort/ ./internal/durable/ ./internal/faultfs/ ./internal/vindex/ ./internal/store/ ./internal/qstats/ ./internal/planner/ ./internal/cowtree/
 
 # Short-budget fuzzing of the parser/matcher surfaces that each carry a
 # differential oracle: the wildcard matcher vs a reference matcher and
@@ -49,13 +51,16 @@ fuzz:
 	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/durable/ -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run=^$$ -fuzz=FuzzOpenSnapshot -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cowtree/ -run=^$$ -fuzz=FuzzNodeRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ldif/ -run=^$$ -fuzz=FuzzVectorRoundTrip -fuzztime=$(FUZZTIME)
 
 # The kill -9 soak: a child dirserve under a live write stream is
-# SIGKILLed at random points (alternate rounds with storage fault
-# injection) and must recover to at least the last durably acknowledged
-# generation, answering queries byte-identically to a reference
-# reconstruction. CRASH_ITERS crash cycles per run.
+# SIGKILLed at random points and must recover to at least the last
+# durably acknowledged generation, answering queries byte-identically
+# to a reference reconstruction. Rounds cycle through full-image and
+# incremental page-delta checkpointing, with and without storage fault
+# injection, so recovery routinely replays mixed full/delta segment
+# histories. CRASH_ITERS crash cycles per run.
 CRASH_ITERS ?= 30
 crash:
 	DIRKIT_CRASH_ITERS=$(CRASH_ITERS) $(GO) test ./internal/durable/crashtest/ -count=1 -v

@@ -79,13 +79,15 @@ var (
 	ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint cadence: 0 = synchronously before acknowledging each write, >0 = periodic background checkpoints")
 	keepGens  = flag.Int("keep", 0, "checkpoint generations to retain for rollback (0 = the durable store's default)")
 	mutable   = flag.Bool("mutable", false, `accept "add" and "del" requests (read-only without it)`)
+	deltaCkpt = flag.Bool("delta-checkpoints", false, "checkpoint writes as page deltas against the previous generation when possible (full images otherwise)")
 	faultProb = flag.Float64("fault-prob", 0, "inject storage faults (torn/short writes, fsync errors) with this probability — crash-harness use only")
 	faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for -fault-prob injection")
 )
 
 // options assembles the served directory's core.Options from the flags.
 func options() core.Options {
-	return core.Options{CacheBytes: *cacheBytes, Optimize: *optimize, Adaptive: *adaptive, Engine: engine.Config{Workers: *workers}}
+	return core.Options{CacheBytes: *cacheBytes, Optimize: *optimize, Adaptive: *adaptive,
+		DeltaCheckpoints: *deltaCkpt, Engine: engine.Config{Workers: *workers}}
 }
 
 func main() {

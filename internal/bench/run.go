@@ -20,6 +20,7 @@ type Preset struct {
 	CacheN   int   // directory size for E18 (0 = default)
 	CacheOps int   // Zipf draws for E18 (0 = default)
 	VecN     []int // forest sizes for E22 (clustered embeddings)
+	DeltaN   []int // directory sizes for E24 (incremental checkpoints)
 }
 
 // Quick is sized for CI and go test; Full for cmd/dirbench reports.
@@ -36,6 +37,7 @@ var (
 		CacheN:   1500,
 		CacheOps: 400,
 		VecN:     []int{1500, 3000},
+		DeltaN:   []int{1000, 3000},
 	}
 	Full = Preset{
 		Linear:   []int{2000, 4000, 8000, 16000, 32000},
@@ -49,6 +51,7 @@ var (
 		CacheN:   4000,
 		CacheOps: 1200,
 		VecN:     []int{4000, 8000, 16000},
+		DeltaN:   []int{4000, 8000, 16000},
 	}
 )
 
@@ -81,6 +84,7 @@ var Specs = []Spec{
 	{"E20", func(p Preset) *Table { return E20ConcurrentSearch(p.CacheN, p.CacheOps) }},
 	{"E22", func(p Preset) *Table { return E22VectorScope(p.VecN) }},
 	{"E23", func(p Preset) *Table { return E23AdaptivePlanner(p.IndexN) }},
+	{"E24", func(p Preset) *Table { return E24DeltaCheckpoint(p.DeltaN) }},
 	{"A1", func(p Preset) *Table { return AblationStackWindow(p.StackN, []int{2, 4, 16, 64}) }},
 	{"A2", func(Preset) *Table { return AblationBlockSize(4000, []int{1024, 2048, 4096, 8192}) }},
 	{"A3", func(Preset) *Table { return AblationResort(4000) }},

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,17 @@ type Options struct {
 	Adaptive bool
 	// Engine tunes the evaluation engine (stack window etc.).
 	Engine engine.Config
+	// DeltaCheckpoints, when set, lets Checkpoint persist a page delta
+	// against the previous durable generation instead of a full disk
+	// image whenever the in-memory lineage (recorded by UpdateEntries)
+	// links the two. Deltas shrink checkpoint bytes to the dirty page
+	// set — O(log N) pages for an entry-level update — at the cost of a
+	// base-chain replay on recovery. Full images are still written
+	// whenever the chain would grow past the durable store's retention
+	// window, the dirty set covers most of the device, or the lineage is
+	// broken (any full-rebuild Update). Off by default: checkpoints are
+	// then always self-contained full images, exactly as before.
+	DeltaCheckpoints bool
 	// CacheBytes, when positive, enables the query-result cache: up to
 	// this many bytes of materialized results, keyed by (canonical
 	// query, generation) with single-flight deduplication. A cache hit
@@ -190,7 +202,28 @@ type Directory struct {
 	// span tree and feeds observed-vs-estimated columns back into
 	// ExplainQuery.
 	qstats atomic.Pointer[qstats.Store]
+
+	// lineage links each generation produced by the UpdateEntries fast
+	// path to its parent, with the page set the fork dirtied — exactly
+	// what a delta checkpoint against any ancestor must carry (the union
+	// along the chain). Only maintained under Options.DeltaCheckpoints;
+	// a full-rebuild Update simply records nothing, which breaks the
+	// chain and forces the next checkpoint back to a full image.
+	lineageMu sync.Mutex
+	lineage   map[int64]lineageRec
 }
+
+// lineageRec is one hop of the fast-path update lineage.
+type lineageRec struct {
+	parent int64
+	dirty  []pager.PageID
+}
+
+// maxLineage bounds the lineage map between checkpoints. Past it the
+// history is dropped wholesale: the next checkpoint degrades to a full
+// image, which is the correct failure mode for a checkpointer that has
+// fallen that far behind the write stream.
+const maxLineage = 4096
 
 // snapshot bundles the immutable per-generation read state. Once
 // published via Directory.snap it is never mutated: Update builds a
@@ -253,6 +286,93 @@ func (d *Directory) Update(fn func(in *model.Instance) error) error {
 	d.snap.Store(snap)
 	d.swaps.Add(1)
 	return nil
+}
+
+// UpdateEntries applies a batch of entry-level adds and removes through
+// the store's copy-on-write overlay: the new generation's disk is a
+// fork of the current one sharing every untouched page, so the write
+// cost is O(log N) dirty pages instead of the full-device rebuild
+// Update performs. The batch is failure-atomic and all-or-nothing,
+// exactly like Update: every op is validated against a clone of the
+// instance first, and any error — a duplicate add, a missing remove, a
+// store failure — leaves the live directory untouched.
+//
+// Ops the overlay cannot represent (vector-indexed entries, records
+// larger than an overlay leaf) transparently fall back to the full
+// rebuild; the result is identical, only the write cost differs.
+func (d *Directory) UpdateEntries(ops ...store.EntryOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	cur := d.snap.Load()
+	next := cur.inst.Clone()
+	for _, op := range ops {
+		if op.Add != nil {
+			if err := next.Add(op.Add.Clone()); err != nil {
+				return err // clone discarded; nothing published
+			}
+		} else if !next.Remove(op.Remove) {
+			return fmt.Errorf("core: %w: %s", store.ErrNoEntry, op.Remove)
+		}
+	}
+	start := time.Now()
+	fork := cur.st.Disk().Fork()
+	st, err := cur.st.ApplyOps(fork, ops)
+	if err != nil {
+		if errors.Is(err, store.ErrNeedsRebuild) {
+			snap, err := buildSnapshot(next, d.opts, cur.gen+1)
+			if err != nil {
+				return err
+			}
+			d.rebuildNS.Store(int64(time.Since(start)))
+			d.snap.Store(snap)
+			d.swaps.Add(1)
+			return nil
+		}
+		return err
+	}
+	snap := &snapshot{
+		inst:   next,
+		st:     st,
+		eng:    engine.New(st, d.opts.Engine),
+		strict: next.Validate(true) == nil,
+		gen:    cur.gen + 1,
+	}
+	if d.opts.DeltaCheckpoints {
+		d.recordLineage(snap.gen, cur.gen, fork.Dirty())
+	}
+	d.rebuildNS.Store(int64(time.Since(start)))
+	d.snap.Store(snap)
+	d.swaps.Add(1)
+	return nil
+}
+
+// recordLineage notes that gen was produced from parent by dirtying
+// exactly the given pages (called under writeMu).
+func (d *Directory) recordLineage(gen, parent int64, dirty []pager.PageID) {
+	d.lineageMu.Lock()
+	defer d.lineageMu.Unlock()
+	if len(d.lineage) >= maxLineage {
+		d.lineage = nil // drop history; the next checkpoint ships a full image
+	}
+	if d.lineage == nil {
+		d.lineage = make(map[int64]lineageRec)
+	}
+	d.lineage[gen] = lineageRec{parent: parent, dirty: dirty}
+}
+
+// pruneLineage drops lineage at or below the newest durable generation:
+// future delta chains only ever walk back to it, never past it.
+func (d *Directory) pruneLineage(persisted int64) {
+	d.lineageMu.Lock()
+	defer d.lineageMu.Unlock()
+	for g := range d.lineage {
+		if g <= persisted {
+			delete(d.lineage, g)
+		}
+	}
 }
 
 // Result is a materialized query answer. Per Section 4.1, an answer is

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// peopleDirectory builds a directory of n people under the research
+// subtree, large enough that a one-entry delta is visibly smaller than
+// a full image.
+func peopleDirectory(t testing.TB, n int, opts Options) *Directory {
+	t.Helper()
+	b := NewBuilder(model.DefaultSchema()).
+		MustAdd("dc=com", "dcObject").
+		MustAdd("dc=att, dc=com", "dcObject").
+		MustAdd("dc=research, dc=att, dc=com", "dcObject").
+		MustAdd("ou=userProfiles, dc=research, dc=att, dc=com", "organizationalUnit")
+	for i := 0; i < n; i++ {
+		if err := b.AddEntry(
+			fmt.Sprintf("uid=u%04d, ou=userProfiles, dc=research, dc=att, dc=com", i),
+			[]string{"inetOrgPerson"},
+			[2]string{"surName", fmt.Sprintf("surname%d", i%17)},
+			[2]string{"commonName", fmt.Sprintf("person number %d", i)},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir, err := b.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// personOp builds one add op for a fresh person entry.
+func personOp(t testing.TB, dir *Directory, uid, surname string) store.EntryOp {
+	t.Helper()
+	e, err := model.NewEntryFromDN(dir.Schema(),
+		model.MustParseDN(fmt.Sprintf("uid=%s, ou=userProfiles, dc=research, dc=att, dc=com", uid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddClass("inetOrgPerson")
+	e.Add("surName", model.String(surname))
+	return store.EntryOp{Add: e}
+}
+
+func removeOp(t testing.TB, uid string) store.EntryOp {
+	t.Helper()
+	return store.EntryOp{Remove: model.MustParseDN(
+		fmt.Sprintf("uid=%s, ou=userProfiles, dc=research, dc=att, dc=com", uid))}
+}
+
+// TestUpdateEntriesMatchesUpdate applies the same batch through the
+// entry-level fast path and through a full-rebuild Update, and requires
+// identical answers — plus the tentpole property that the fast path
+// dirtied O(log N) pages of a shared fork, not a fresh device.
+func TestUpdateEntriesMatchesUpdate(t *testing.T) {
+	fast := peopleDirectory(t, 1000, Options{})
+	slow := peopleDirectory(t, 1000, Options{})
+	baseDisk := fast.Disk()
+
+	if err := fast.UpdateEntries(
+		personOp(t, fast, "u9000", "newcomer"),
+		removeOp(t, "u0005"),
+		personOp(t, fast, "u9001", "newcomer"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	err := slow.Update(func(in *model.Instance) error {
+		for _, op := range []store.EntryOp{
+			personOp(t, slow, "u9000", "newcomer"),
+			removeOp(t, "u0005"),
+			personOp(t, slow, "u9001", "newcomer"),
+		} {
+			if op.Add != nil {
+				if err := in.Add(op.Add); err != nil {
+					return err
+				}
+			} else if !in.Remove(op.Remove) {
+				return fmt.Errorf("no entry %s", op.Remove)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Generation() != 2 || fast.Count() != slow.Count() {
+		t.Fatalf("gen %d count %d, want gen 2 count %d", fast.Generation(), fast.Count(), slow.Count())
+	}
+	for _, q := range []string{
+		"(dc=com ? sub ? surName=newcomer)",
+		"(dc=com ? sub ? uid=u0005)",
+		"(dc=com ? sub ? objectClass=inetOrgPerson)",
+		"(uid=u9001, ou=userProfiles, dc=research, dc=att, dc=com ? base ? objectClass=*)",
+	} {
+		a, err := fast.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := slow.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if fmt.Sprint(a.DNs()) != fmt.Sprint(b.DNs()) {
+			t.Errorf("%s:\n fast %v\n slow %v", q, a.DNs(), b.DNs())
+		}
+	}
+	// The tentpole: the published disk is a fork of the previous one
+	// with a logarithmic dirty set, measured by the pager itself.
+	disk := fast.Disk()
+	if disk == baseDisk {
+		t.Fatal("fast path republished the old disk")
+	}
+	dirty, total := disk.DirtyCount(), disk.NumPages()
+	if dirty == 0 || dirty > 64 {
+		t.Errorf("batch dirtied %d pages; want O(log N)", dirty)
+	}
+	if dirty*10 > total {
+		t.Errorf("batch dirtied %d of %d pages; not incremental", dirty, total)
+	}
+}
+
+// TestUpdateEntriesFailureAtomic: any bad op in the batch leaves the
+// directory untouched — same generation, same disk, same answers.
+func TestUpdateEntriesFailureAtomic(t *testing.T) {
+	dir := peopleDirectory(t, 50, Options{})
+	disk := dir.Disk()
+	err := dir.UpdateEntries(
+		personOp(t, dir, "u9000", "newcomer"),
+		removeOp(t, "u7777"), // does not exist
+	)
+	if !errors.Is(err, store.ErrNoEntry) {
+		t.Fatalf("err = %v, want ErrNoEntry", err)
+	}
+	if dir.Generation() != 1 || dir.Disk() != disk {
+		t.Fatal("failed batch mutated the directory")
+	}
+	if res, _ := dir.Search("(dc=com ? sub ? surName=newcomer)"); len(res.Entries) != 0 {
+		t.Fatal("failed batch published its add")
+	}
+}
+
+// TestUpdateEntriesFallsBackToRebuild: an op the overlay cannot carry
+// (an oversized record) transparently degrades to the full rebuild —
+// same answer, fresh disk, no lineage recorded.
+func TestUpdateEntriesFallsBackToRebuild(t *testing.T) {
+	dir := peopleDirectory(t, 50, Options{DeltaCheckpoints: true})
+	e, err := model.NewEntryFromDN(dir.Schema(),
+		model.MustParseDN("uid=big, ou=userProfiles, dc=research, dc=att, dc=com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddClass("inetOrgPerson")
+	// Sized past the overlay's COW-tree item limit (pageSize/4 - 16)
+	// but inside the full build's btree limit (pageSize/3 - 8), so only
+	// the fast path refuses it.
+	e.Add("description", model.String(strings.Repeat("x", 1100)))
+	if err := dir.UpdateEntries(store.EntryOp{Add: e}); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Generation() != 2 {
+		t.Fatalf("generation %d, want 2", dir.Generation())
+	}
+	if res, _ := dir.Search("(dc=com ? sub ? uid=big)"); len(res.Entries) != 1 {
+		t.Fatal("fallback lost the oversized entry")
+	}
+	if dir.Disk().DirtyCount() != 0 {
+		t.Fatal("fallback should publish a fresh full disk, not a fork")
+	}
+	dir.lineageMu.Lock()
+	_, linked := dir.lineage[2]
+	dir.lineageMu.Unlock()
+	if linked {
+		t.Fatal("full rebuild must not record update lineage")
+	}
+}
+
+func segSize(t *testing.T, root string, gen int64) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(root, fmt.Sprintf("seg-%016d.seg", gen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestDeltaCheckpointRoundTrip drives the full incremental-checkpoint
+// cycle: full image, two deltas (each a small fraction of the full
+// image's bytes), a byte-identical recovery through the chain, and the
+// forced return to a full image when the chain reaches the retention
+// window.
+func TestDeltaCheckpointRoundTrip(t *testing.T) {
+	ds, root := newDurableStore(t)
+	dir := peopleDirectory(t, 300, Options{DeltaCheckpoints: true})
+
+	if gen, err := dir.Checkpoint(ds); err != nil || gen != 1 {
+		t.Fatalf("checkpoint 1: %d, %v", gen, err)
+	}
+	if base, ok := ds.BaseOf(1); !ok || base != 0 {
+		t.Fatalf("gen 1 base = %d, %v; want full image", base, ok)
+	}
+
+	if err := dir.UpdateEntries(personOp(t, dir, "u9000", "delta")); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := dir.Checkpoint(ds); err != nil || gen != 2 {
+		t.Fatalf("checkpoint 2: %d, %v", gen, err)
+	}
+	if base, ok := ds.BaseOf(2); !ok || base != 1 {
+		t.Fatalf("gen 2 base = %d, %v; want delta on 1", base, ok)
+	}
+	fullBytes, deltaBytes := segSize(t, root, 1), segSize(t, root, 2)
+	if deltaBytes*10 > fullBytes {
+		t.Errorf("delta is %d bytes vs full %d; want >=10x shrink", deltaBytes, fullBytes)
+	}
+
+	if err := dir.UpdateEntries(personOp(t, dir, "u9001", "delta"), removeOp(t, "u0003")); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := dir.Checkpoint(ds); err != nil || gen != 3 {
+		t.Fatalf("checkpoint 3: %d, %v", gen, err)
+	}
+	if base, ok := ds.BaseOf(3); !ok || base != 2 {
+		t.Fatalf("gen 3 base = %d, %v; want delta on 2", base, ok)
+	}
+
+	// Recovery replays full(1) + delta(2) + delta(3) and must equal the
+	// live directory byte for byte.
+	back, info, err := Recover(ds, Options{DeltaCheckpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != 3 || info.Skipped != 0 {
+		t.Fatalf("info = %+v, want gen 3", info)
+	}
+	var live, recovered bytes.Buffer
+	if err := dir.SaveSnapshot(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.SaveSnapshot(&recovered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), recovered.Bytes()) {
+		t.Fatal("recovered snapshot differs from the live one")
+	}
+	for _, q := range []string{
+		"(dc=com ? sub ? surName=delta)",
+		"(dc=com ? sub ? uid=u0003)",
+	} {
+		a, _ := dir.Search(q)
+		b, _ := back.Search(q)
+		if fmt.Sprint(a.DNs()) != fmt.Sprint(b.DNs()) {
+			t.Errorf("%s:\n live %v\n back %v", q, a.DNs(), b.DNs())
+		}
+	}
+
+	// The chain is now keep-1 deltas long; the next checkpoint must be
+	// forced back to a full image even though the lineage links it.
+	if err := dir.UpdateEntries(personOp(t, dir, "u9002", "delta")); err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := dir.Checkpoint(ds); err != nil || gen != 4 {
+		t.Fatalf("checkpoint 4: %d, %v", gen, err)
+	}
+	if base, ok := ds.BaseOf(4); !ok || base != 0 {
+		t.Fatalf("gen 4 base = %d, %v; want forced full image at the chain cap", base, ok)
+	}
+}
+
+// TestRecoverAfterFullRebuildBreaksChain: a full-rebuild Update between
+// checkpoints records no lineage, so the following checkpoint ships a
+// full image rather than a bogus delta.
+func TestRecoverAfterFullRebuildBreaksChain(t *testing.T) {
+	ds, _ := newDurableStore(t)
+	dir := peopleDirectory(t, 60, Options{DeltaCheckpoints: true})
+	if _, err := dir.Checkpoint(ds); err != nil {
+		t.Fatal(err)
+	}
+	addUID(t, dir, "rebuilt") // full-rebuild path: no lineage
+	if gen, err := dir.Checkpoint(ds); err != nil || gen != 2 {
+		t.Fatalf("checkpoint 2: %d, %v", gen, err)
+	}
+	if base, _ := ds.BaseOf(2); base != 0 {
+		t.Fatalf("gen 2 base = %d; a broken lineage must force a full image", base)
+	}
+	back, info, err := Recover(ds, Options{DeltaCheckpoints: true})
+	if err != nil || info.Gen != 2 {
+		t.Fatalf("recover: %+v, %v", info, err)
+	}
+	if res, _ := back.Search("(dc=com ? sub ? uid=rebuilt)"); len(res.Entries) != 1 {
+		t.Fatal("recovered image lost the rebuilt entry")
+	}
+}
+
+// deltaChainStore commits full(1) <- delta(2) <- delta(3) and returns
+// the live directory alongside the store.
+func deltaChainStore(t *testing.T) (*durable.Store, string, *Directory) {
+	t.Helper()
+	ds, root := newDurableStore(t)
+	dir := peopleDirectory(t, 120, Options{DeltaCheckpoints: true})
+	if _, err := dir.Checkpoint(ds); err != nil {
+		t.Fatal(err)
+	}
+	for i, uid := range []string{"u9000", "u9001"} {
+		if err := dir.UpdateEntries(personOp(t, dir, uid, "chain")); err != nil {
+			t.Fatal(err)
+		}
+		if gen, err := dir.Checkpoint(ds); err != nil || gen != int64(2+i) {
+			t.Fatalf("checkpoint %d: %d, %v", 2+i, gen, err)
+		}
+	}
+	if b2, _ := ds.BaseOf(2); b2 != 1 {
+		t.Fatalf("gen 2 base = %d, want 1", b2)
+	}
+	if b3, _ := ds.BaseOf(3); b3 != 2 {
+		t.Fatalf("gen 3 base = %d, want 2", b3)
+	}
+	return ds, root, dir
+}
+
+// TestDeltaChainBitRotDropsSuffix: silent corruption in the middle
+// delta breaks every rung that replays through it — recovery lands on
+// the newest generation below the damage and drops exactly the suffix.
+func TestDeltaChainBitRotDropsSuffix(t *testing.T) {
+	ds, root, _ := deltaChainStore(t)
+	seg := filepath.Join(root, "seg-0000000000000002.seg")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-8] ^= 0x04 // payload bit-rot in the middle delta
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, info, err := Recover(ds, Options{DeltaCheckpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen 3 verifies as a file but replays through corrupt gen 2: both
+	// rungs fail, gen 1 (the full image) recovers.
+	if info.Gen != 1 || info.Skipped != 2 {
+		t.Fatalf("info = %+v, want gen 1 with 2 skips", info)
+	}
+	if res, _ := back.Search("(dc=com ? sub ? surName=chain)"); len(res.Entries) != 0 {
+		t.Fatal("gen 1 must predate the chain entries")
+	}
+	if gens := ds.Generations(); len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("generations after recovery = %v, want exactly [1]", gens)
+	}
+}
+
+// TestDeltaTornWriteRecoversIntactPrefix: a torn newest delta (the
+// classic exposed partial write) fails only its own rung; the base and
+// the intact delta prefix keep recovering.
+func TestDeltaTornWriteRecoversIntactPrefix(t *testing.T) {
+	ds, root, _ := deltaChainStore(t)
+	seg := filepath.Join(root, "seg-0000000000000003.seg")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, buf[:len(buf)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, info, err := Recover(ds, Options{DeltaCheckpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != 2 || info.Skipped != 1 {
+		t.Fatalf("info = %+v, want gen 2 with 1 skip", info)
+	}
+	res, err := back.Search("(uid=u9000, ou=userProfiles, dc=research, dc=att, dc=com ? base ? objectClass=*)")
+	if err != nil || len(res.Entries) != 1 {
+		t.Fatalf("gen 2 lost its delta's entry: %v, %v", res, err)
+	}
+	if res, _ := back.Search("(uid=u9001, ou=userProfiles, dc=research, dc=att, dc=com ? base ? objectClass=*)"); len(res.Entries) != 0 {
+		t.Fatal("torn gen 3 entry must be gone")
+	}
+}
+
+// TestDeltaPayloadTypedErrors extends the snapshot corruption table to
+// the delta envelope: every structural mutilation of a DIRKITS2 payload
+// must surface as ErrCorruptSnapshot.
+func TestDeltaPayloadTypedErrors(t *testing.T) {
+	dir := peopleDirectory(t, 30, Options{DeltaCheckpoints: true})
+	if err := dir.UpdateEntries(personOp(t, dir, "u9000", "delta")); err != nil {
+		t.Fatal(err)
+	}
+	snap := dir.snap.Load()
+	dir.lineageMu.Lock()
+	rec, ok := dir.lineage[snap.gen]
+	dir.lineageMu.Unlock()
+	if !ok {
+		t.Fatal("fast path recorded no lineage")
+	}
+	var buf bytes.Buffer
+	if err := writeDeltaSnapshot(snap, rec.parent, rec.dirty, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	zeroBase := append([]byte(nil), full...)
+	for i := 8; i < 16; i++ {
+		zeroBase[i] = 0
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated-magic", full[:4]},
+		{"truncated-base-gen", full[:12]},
+		{"zero-base-gen", zeroBase},
+		{"truncated-section-header", full[:17]},
+		{"truncated-section-body", full[:40]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := decodeDeltaSnapshot(tc.data); !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+			}
+		})
+	}
+	// A full-image magic is not a delta.
+	var img bytes.Buffer
+	if err := dir.SaveSnapshot(&img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeDeltaSnapshot(img.Bytes()); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("full image accepted as delta: %v", err)
+	}
+	// And the pristine delta payload must decode.
+	if _, err := decodeDeltaSnapshot(full); err != nil {
+		t.Fatalf("pristine delta rejected: %v", err)
+	}
+}

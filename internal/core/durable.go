@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/durable"
+	"repro/internal/pager"
 )
 
 // Checkpoint durably persists the read snapshot current at call time
@@ -17,6 +19,13 @@ import (
 // is a no-op (the common case for periodic checkpoint loops between
 // writes).
 //
+// Under Options.DeltaCheckpoints the payload is a page delta against
+// the newest durable generation whenever the update lineage permits
+// (see deltaPlan); otherwise — and always by default — it is a
+// self-contained full image. A failed delta commit falls back to a
+// full image for the same generation, so delta mode never makes a
+// checkpoint less likely to succeed.
+//
 // The durable store acknowledges only after the full
 // write-temp → fsync → rename → fsync-dir protocol; a nil return
 // therefore means this generation survives kill -9 from here on.
@@ -25,13 +34,75 @@ func (d *Directory) Checkpoint(ds *durable.Store) (int64, error) {
 	if newest, ok := ds.Newest(); ok && newest == snap.gen {
 		return snap.gen, nil
 	}
+	if d.opts.DeltaCheckpoints {
+		if base, dirty, ok := d.deltaPlan(ds, snap); ok {
+			err := ds.CommitDelta(snap.gen, base, func(w io.Writer) error {
+				return writeDeltaSnapshot(snap, base, dirty, w)
+			})
+			if err == nil {
+				d.pruneLineage(snap.gen)
+				return snap.gen, nil
+			}
+			// Fall through to a full image: a failed delta commit (base
+			// pruned underfoot, an I/O fault mid-write) must not wedge
+			// checkpointing, and committing the same generation again
+			// replaces whatever the failed attempt left behind.
+		}
+	}
 	err := ds.Commit(snap.gen, func(w io.Writer) error {
 		return writeSnapshot(snap, w)
 	})
 	if err != nil {
 		return 0, err
 	}
+	d.pruneLineage(snap.gen)
 	return snap.gen, nil
+}
+
+// deltaPlan decides whether the next checkpoint can be a page delta,
+// and against what. Three conditions gate it: the in-memory lineage
+// must link snap.gen down to the newest durable generation (any
+// full-rebuild Update in between breaks the chain); the resulting
+// delta chain must stay shorter than the retention window, so the
+// recovery ladder always retains at least one full image below every
+// delta; and the dirty union must stay under half the device — past
+// that a full image is barely larger to write and far cheaper to
+// recover.
+func (d *Directory) deltaPlan(ds *durable.Store, snap *snapshot) (base int64, dirty []pager.PageID, ok bool) {
+	newest, has := ds.Newest()
+	if !has || newest >= snap.gen {
+		return 0, nil, false
+	}
+	if ds.DeltaChainLen()+1 >= ds.Keep() {
+		return 0, nil, false
+	}
+	union := make(map[pager.PageID]struct{})
+	d.lineageMu.Lock()
+	g := snap.gen
+	for g > newest {
+		rec, found := d.lineage[g]
+		if !found {
+			d.lineageMu.Unlock()
+			return 0, nil, false
+		}
+		for _, id := range rec.dirty {
+			union[id] = struct{}{}
+		}
+		g = rec.parent
+	}
+	d.lineageMu.Unlock()
+	if g != newest {
+		return 0, nil, false
+	}
+	if 2*len(union) >= snap.st.Disk().NumPages() {
+		return 0, nil, false
+	}
+	dirty = make([]pager.PageID, 0, len(union))
+	for id := range union {
+		dirty = append(dirty, id)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return newest, dirty, true
 }
 
 // RecoverInfo describes what Recover found.
@@ -52,9 +123,15 @@ type RecoverInfo struct {
 // in ds, walking the recovery ladder: generations are verified
 // newest-first (envelope checksums in the durable store, then the full
 // snapshot decode here), corrupt ones are counted, dropped, and rolled
-// past. The restored Directory continues the durable lineage — its
-// generation is the recovered one, so the next Update produces gen+1
-// and the next Checkpoint slots right after the recovered segment.
+// past. A delta generation is intact only if its whole base chain is —
+// every payload down to a full image, decodable and replayable; damage
+// anywhere in the chain fails that rung and recovery moves one
+// generation down the ladder, which (by deltaPlan's retention gate)
+// always reaches a full image. The restored Directory continues the
+// durable lineage — its generation is the recovered one, so the next
+// Update produces gen+1 and the next Checkpoint slots right after the
+// recovered segment. Its update lineage starts empty, so the first
+// checkpoint after recovery is always a self-contained full image.
 //
 // An empty store is not an error: the returned info has Fresh set and
 // the Directory is nil — bootstrap, then Checkpoint. A store whose
@@ -69,17 +146,10 @@ func Recover(ds *durable.Store, opts Options) (*Directory, RecoverInfo, error) {
 	}
 	for i := len(gens) - 1; i >= 0; i-- {
 		gen := gens[i]
-		payload, err := ds.Load(gen)
+		dir, err := recoverGeneration(ds, opts, gen)
 		if err != nil {
-			// The durable store's checksums rejected the segment.
-			info.Skipped++
-			continue
-		}
-		dir, err := openSnapshotGen(bytes.NewReader(payload), opts, gen)
-		if err != nil {
-			// Checksum-intact but semantically undecodable — possible
-			// only for images that were corrupt before they were
-			// committed. Still just a rung on the ladder.
+			// Checksum damage, a broken delta chain, or a semantically
+			// undecodable payload — all just rungs on the ladder.
 			info.Skipped++
 			continue
 		}
@@ -94,4 +164,53 @@ func Recover(ds *durable.Store, opts Options) (*Directory, RecoverInfo, error) {
 		return dir, info, nil
 	}
 	return nil, info, fmt.Errorf("core: recover: %w", durable.ErrNoIntactGeneration)
+}
+
+// recoverGeneration materializes one generation. A full image decodes
+// directly. A delta payload chases base-generation links (read from
+// payload content, not the manifest, so a manifest rebuilt by the
+// durable store's directory scan recovers identically) down to a full
+// image, replays the page deltas oldest-first onto it, and assembles
+// with the newest payload's schema and manifest. Any failure anywhere
+// along the chain fails the whole rung.
+func recoverGeneration(ds *durable.Store, opts Options, gen int64) (*Directory, error) {
+	var deltas []*deltaParts // newest first
+	cur := gen
+	seen := make(map[int64]bool)
+	for {
+		if seen[cur] {
+			return nil, fmt.Errorf("%w: delta base chain cycles at generation %d", ErrCorruptSnapshot, cur)
+		}
+		seen[cur] = true
+		payload, err := ds.Load(cur)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.HasPrefix(payload, snapshotDeltaMagic[:]) {
+			dp, err := decodeDeltaSnapshot(payload)
+			if err != nil {
+				return nil, err
+			}
+			dp.gen = cur
+			deltas = append(deltas, dp)
+			cur = dp.baseGen
+			continue
+		}
+		parts, err := decodeSnapshot(bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		for j := len(deltas) - 1; j >= 0; j-- {
+			if err := parts.disk.ApplyDelta(deltas[j].pages); err != nil {
+				return nil, fmt.Errorf("%w: page delta for generation %d: %v", ErrCorruptSnapshot, deltas[j].gen, err)
+			}
+		}
+		if len(deltas) > 0 {
+			// The image now holds the newest generation's pages; describe
+			// it with the newest payload's metadata, not the base's.
+			parts.schema = deltas[0].schema
+			parts.manifest = deltas[0].manifest
+		}
+		return assembleSnapshot(parts, opts, gen)
+	}
 }

@@ -88,6 +88,26 @@ func OpenSnapshot(r io.Reader, opts Options) (*Directory, error) {
 
 // openSnapshotGen is OpenSnapshot with an explicit starting generation.
 func openSnapshotGen(r io.Reader, opts Options, gen int64) (*Directory, error) {
+	p, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return assembleSnapshot(p, opts, gen)
+}
+
+// snapshotParts is a decoded full-snapshot payload before store
+// assembly. Decode and assembly are split so delta recovery can replay
+// page deltas onto the base image (and substitute the newest payload's
+// schema and manifest) between the two steps.
+type snapshotParts struct {
+	schema   *model.Schema
+	manifest []byte
+	disk     *pager.Disk
+}
+
+// decodeSnapshot reads a full-snapshot payload: magic, schema section,
+// manifest section, disk image.
+func decodeSnapshot(r io.Reader) (*snapshotParts, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -112,6 +132,12 @@ func openSnapshotGen(r io.Reader, opts Options, gen int64) (*Directory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: disk image: %v", ErrCorruptSnapshot, err)
 	}
+	return &snapshotParts{schema: schema, manifest: manifest, disk: disk}, nil
+}
+
+// assembleSnapshot builds the queryable Directory from decoded parts.
+func assembleSnapshot(p *snapshotParts, opts Options, gen int64) (*Directory, error) {
+	schema, manifest, disk := p.schema, p.manifest, p.disk
 	st, err := store.Reopen(disk, schema, manifest)
 	if err != nil {
 		return nil, fmt.Errorf("%w: reopen store: %v", ErrCorruptSnapshot, err)
@@ -134,6 +160,92 @@ func openSnapshotGen(r io.Reader, opts Options, gen int64) (*Directory, error) {
 		gen:    gen,
 	})
 	return d, nil
+}
+
+// Delta snapshot format (generation deltas, DESIGN.md §15): magic, the
+// base generation as 8 bytes little-endian, then the schema and store
+// manifest sections exactly as in a full snapshot — but describing THIS
+// generation — and finally a pager page delta (pager.WriteDeltaTo)
+// carrying only the pages that differ from the base generation's image.
+// Recovery chases base links down to a full DIRKITS1 image, replays the
+// page deltas oldest-first, and assembles with the newest payload's
+// schema and manifest.
+var snapshotDeltaMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'S', '2'}
+
+// writeDeltaSnapshot serializes snap as a delta against baseGen, where
+// dirty is the union of fork dirty sets along the update lineage from
+// baseGen to snap (ascending page order — WriteDeltaTo's contract).
+func writeDeltaSnapshot(snap *snapshot, baseGen int64, dirty []pager.PageID, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotDeltaMagic[:]); err != nil {
+		return fmt.Errorf("core: write delta magic: %w", err)
+	}
+	var g [8]byte
+	binary.LittleEndian.PutUint64(g[:], uint64(baseGen))
+	if _, err := bw.Write(g[:]); err != nil {
+		return fmt.Errorf("core: write delta base generation: %w", err)
+	}
+	if err := writeSection(bw, []byte(ldif.MarshalSchema(snap.st.Schema()))); err != nil {
+		return fmt.Errorf("core: write schema section: %w", err)
+	}
+	manifest, err := snap.st.Manifest()
+	if err != nil {
+		return fmt.Errorf("core: marshal store manifest: %w", err)
+	}
+	if err := writeSection(bw, manifest); err != nil {
+		return fmt.Errorf("core: write manifest section: %w", err)
+	}
+	if _, err := snap.st.Disk().WriteDeltaTo(bw, dirty); err != nil {
+		return fmt.Errorf("core: write page delta: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush delta snapshot: %w", err)
+	}
+	return nil
+}
+
+// deltaParts is a decoded delta payload: the metadata sections plus the
+// raw pager delta stream, held unparsed for replay onto the base image.
+type deltaParts struct {
+	gen      int64 // the generation this payload encodes (set by the caller)
+	baseGen  int64
+	schema   *model.Schema
+	manifest []byte
+	pages    *bytes.Reader // positioned at the pager delta stream
+}
+
+// decodeDeltaSnapshot parses a DIRKITS2 payload's header and sections,
+// leaving the reader at the pager delta stream.
+func decodeDeltaSnapshot(payload []byte) (*deltaParts, error) {
+	r := bytes.NewReader(payload)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated delta magic: %v", ErrCorruptSnapshot, err)
+	}
+	if magic != snapshotDeltaMagic {
+		return nil, fmt.Errorf("%w: bad delta magic %q", ErrCorruptSnapshot, magic[:])
+	}
+	var g [8]byte
+	if _, err := io.ReadFull(r, g[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated delta base generation: %v", ErrCorruptSnapshot, err)
+	}
+	baseGen := int64(binary.LittleEndian.Uint64(g[:]))
+	if baseGen <= 0 {
+		return nil, fmt.Errorf("%w: delta base generation %d", ErrCorruptSnapshot, baseGen)
+	}
+	schemaText, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("schema section: %w", err)
+	}
+	schema, err := ldif.UnmarshalSchema(string(schemaText))
+	if err != nil {
+		return nil, fmt.Errorf("%w: undecodable schema: %v", ErrCorruptSnapshot, err)
+	}
+	manifest, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("manifest section: %w", err)
+	}
+	return &deltaParts{baseGen: baseGen, schema: schema, manifest: manifest, pages: r}, nil
 }
 
 func loadInstanceFromStore(st *store.Store, inst *model.Instance) error {

@@ -1,0 +1,383 @@
+// Package cowtree implements a copy-on-write B-tree over a paged
+// device: mutations path-copy root→leaf, writing O(log N) fresh pages
+// and freeing the replaced ones, so an entry-level update of a large
+// store dirties a handful of pages instead of rebuilding O(N). The
+// published root is never edited in place, which is exactly the
+// property the snapshot-swap core and the page-delta checkpoints need:
+// an old root keeps describing the old tree forever, and the dirty
+// page set between two roots is a valid checkpoint delta.
+//
+// The tree talks to storage through three callbacks (get/new/del), so
+// it runs over pager.Disk, a fork of one, or a test harness alike.
+// Node layout is the 4 KB slotted-page encoding documented in node.go.
+package cowtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// PageIO is the callback triple the tree uses for page storage. Get
+// reads a page image (charging the optional meter), New allocates a
+// fresh page holding data, Del returns a page to the device's free
+// list. DiskIO adapts a pager.Disk.
+type PageIO struct {
+	Get func(id pager.PageID, m *pager.Meter) ([]byte, error)
+	New func(data []byte) (pager.PageID, error)
+	Del func(id pager.PageID) error
+}
+
+// DiskIO returns the PageIO triple over a pager.Disk: reads count on
+// the disk's stats (plus the caller's meter, the arena idiom), New is
+// Alloc+Write, Del is Free — so freed COW pages recycle through the
+// disk's free list.
+func DiskIO(d *pager.Disk) PageIO {
+	return PageIO{
+		Get: func(id pager.PageID, m *pager.Meter) ([]byte, error) {
+			buf := make([]byte, d.PageSize())
+			if err := d.Read(id, buf); err != nil {
+				return nil, err
+			}
+			m.Add(pager.Stats{Reads: 1})
+			return buf, nil
+		},
+		New: func(data []byte) (pager.PageID, error) {
+			id, err := d.Alloc()
+			if err != nil {
+				return 0, err
+			}
+			if err := d.Write(id, data); err != nil {
+				return 0, err
+			}
+			return id, nil
+		},
+		Del: d.Free,
+	}
+}
+
+// Tree is a copy-on-write B-tree. Not safe for concurrent mutation;
+// concurrent readers of an already-published root are safe because no
+// mutation ever edits a reachable page.
+type Tree struct {
+	io       PageIO
+	pageSize int
+	root     pager.PageID
+	n        int
+}
+
+// Tree-level errors.
+var (
+	ErrItemTooLarge = errors.New("cowtree: key+value exceeds MaxItem")
+	ErrEmptyKey     = errors.New("cowtree: empty key")
+)
+
+// New creates an empty tree (root 0) over io with the given page size.
+func New(io PageIO, pageSize int) *Tree {
+	if pageSize <= 0 {
+		pageSize = pager.DefaultPageSize
+	}
+	return &Tree{io: io, pageSize: pageSize}
+}
+
+// Open resumes a tree from a persisted root pointer and key count.
+func Open(io PageIO, pageSize int, root pager.PageID, n int) *Tree {
+	t := New(io, pageSize)
+	t.root, t.n = root, n
+	return t
+}
+
+// Root returns the current root page (0 when empty). Persisting the
+// root and Len is all a snapshot manifest needs.
+func (t *Tree) Root() pager.PageID { return t.root }
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.n }
+
+// MaxItem returns the largest len(key)+len(value) the tree accepts —
+// a quarter page, so a post-insert split always yields halves that fit.
+func (t *Tree) MaxItem() int { return t.pageSize/4 - 16 }
+
+// splitTarget is the byte size the left half of a split aims for.
+func (t *Tree) splitTarget() int { return t.pageSize * 3 / 4 }
+
+func (t *Tree) getNode(id pager.PageID, m *pager.Meter) (node, error) {
+	b, err := t.io.Get(id, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateNode(b, t.pageSize); err != nil {
+		return nil, fmt.Errorf("page %d: %w", id, err)
+	}
+	return node(b), nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte, m *pager.Meter) ([]byte, bool, error) {
+	id := t.root
+	for id != 0 {
+		n, err := t.getNode(id, m)
+		if err != nil {
+			return nil, false, err
+		}
+		i := n.lookupLE(key)
+		if n.btype() == leafNode {
+			if i >= 0 && cmp(n.key(i), key) == 0 {
+				return n.val(i), true, nil
+			}
+			return nil, false, nil
+		}
+		if i < 0 {
+			i = 0
+		}
+		id = n.ptr(i)
+	}
+	return nil, false, nil
+}
+
+// link is one (min key, page) edge handed up the copy path: the
+// replacement(s) for the subtree a recursive call rewrote.
+type link struct {
+	key []byte
+	id  pager.PageID
+}
+
+// Insert upserts key → val, path-copying from root to leaf. It reports
+// whether the key was newly added (false: an existing value was
+// replaced).
+func (t *Tree) Insert(key, val []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, ErrEmptyKey
+	}
+	if len(key)+len(val) > t.MaxItem() {
+		return false, ErrItemTooLarge
+	}
+	if t.root == 0 {
+		n := newNode(t.pageSize, leafNode, 1)
+		n.appendCell(0, 0, key, val)
+		id, err := t.io.New(n.trim())
+		if err != nil {
+			return false, err
+		}
+		t.root = id
+		t.n = 1
+		return true, nil
+	}
+	links, added, err := t.insertR(t.root, key, val)
+	if err != nil {
+		return false, err
+	}
+	if err := t.setRoot(links); err != nil {
+		return false, err
+	}
+	if added {
+		t.n++
+	}
+	return added, nil
+}
+
+// setRoot installs the links returned by a root-level rewrite: one
+// link becomes the root directly, two grow the tree by a level.
+func (t *Tree) setRoot(links []link) error {
+	switch len(links) {
+	case 0:
+		t.root = 0
+	case 1:
+		t.root = links[0].id
+	default:
+		n := newNode(t.pageSize, internalNode, len(links))
+		for i, l := range links {
+			n.appendCell(i, l.id, l.key, nil)
+		}
+		id, err := t.io.New(n.trim())
+		if err != nil {
+			return err
+		}
+		t.root = id
+	}
+	return nil
+}
+
+func (t *Tree) insertR(id pager.PageID, key, val []byte) ([]link, bool, error) {
+	n, err := t.getNode(id, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	var out node
+	added := false
+	if n.btype() == leafNode {
+		i := n.lookupLE(key)
+		replace := i >= 0 && cmp(n.key(i), key) == 0
+		nk := n.nkeys()
+		if replace {
+			out = newNode(t.pageSize, leafNode, nk)
+			out.appendRange(n, 0, 0, i)
+			out.appendCell(i, 0, key, val)
+			out.appendRange(n, i+1, i+1, nk-i-1)
+		} else {
+			added = true
+			out = newNode(t.pageSize, leafNode, nk+1)
+			out.appendRange(n, 0, 0, i+1)
+			out.appendCell(i+1, 0, key, val)
+			out.appendRange(n, i+2, i+1, nk-i-1)
+		}
+	} else {
+		i := n.lookupLE(key)
+		if i < 0 {
+			i = 0
+		}
+		var links []link
+		links, added, err = t.insertR(n.ptr(i), key, val)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err = t.replaceChild(n, i, 1, links)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if err := t.io.Del(id); err != nil {
+		return nil, false, err
+	}
+	links, err := t.writeSplit(out)
+	return links, added, err
+}
+
+// replaceChild builds a copy of internal node n with cells
+// [i, i+count) replaced by links.
+func (t *Tree) replaceChild(n node, i, count int, links []link) (node, error) {
+	nk := n.nkeys()
+	out := newNode(t.pageSize, internalNode, nk-count+len(links))
+	out.appendRange(n, 0, 0, i)
+	for j, l := range links {
+		out.appendCell(i+j, l.id, l.key, nil)
+	}
+	out.appendRange(n, i+len(links), i+count, nk-i-count)
+	return out, nil
+}
+
+// writeSplit writes a (possibly oversized) node image to fresh pages,
+// splitting byte-balanced into two when it exceeds the page, and
+// returns the resulting links.
+func (t *Tree) writeSplit(n node) ([]link, error) {
+	if n.nbytes() <= t.pageSize {
+		id, err := t.io.New(n.trim())
+		if err != nil {
+			return nil, err
+		}
+		return []link{{key: append([]byte(nil), n.key(0)...), id: id}}, nil
+	}
+	// Largest prefix whose encoded size stays within splitTarget. The
+	// MaxItem bound guarantees both halves then fit a page.
+	nk := n.nkeys()
+	perCell := 2
+	if n.btype() == internalNode {
+		perCell = 6
+	}
+	cut := nk - 1
+	for i := 1; i < nk; i++ {
+		if headerSize+perCell*i+n.off(i-1) > t.splitTarget() {
+			cut = i
+			break
+		}
+	}
+	left := newNode(t.pageSize, n.btype(), cut)
+	left.appendRange(n, 0, 0, cut)
+	right := newNode(t.pageSize, n.btype(), nk-cut)
+	right.appendRange(n, 0, cut, nk-cut)
+	if left.nbytes() > t.pageSize || right.nbytes() > t.pageSize {
+		return nil, fmt.Errorf("cowtree: split halves exceed page (%d/%d)", left.nbytes(), right.nbytes())
+	}
+	lid, err := t.io.New(left.trim())
+	if err != nil {
+		return nil, err
+	}
+	rid, err := t.io.New(right.trim())
+	if err != nil {
+		return nil, err
+	}
+	return []link{
+		{key: append([]byte(nil), left.key(0)...), id: lid},
+		{key: append([]byte(nil), right.key(0)...), id: rid},
+	}, nil
+}
+
+// Delete removes key, path-copying the route to it. It reports whether
+// the key was present; an absent key touches no pages. Emptied nodes
+// are removed (and the tree height collapses at the root), but no
+// rebalancing below that is attempted — the overlay workload is
+// insert-mostly and the tree is rebuilt at every compaction.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	if t.root == 0 {
+		return false, nil
+	}
+	links, found, err := t.deleteR(t.root, key)
+	if err != nil || !found {
+		return false, err
+	}
+	// Collapse a single-child internal root so height tracks content.
+	for len(links) == 1 {
+		n, err := t.getNode(links[0].id, nil)
+		if err != nil {
+			return false, err
+		}
+		if n.btype() != internalNode || n.nkeys() != 1 {
+			break
+		}
+		child := n.ptr(0)
+		if err := t.io.Del(links[0].id); err != nil {
+			return false, err
+		}
+		links = []link{{key: links[0].key, id: child}}
+	}
+	if err := t.setRoot(links); err != nil {
+		return false, err
+	}
+	t.n--
+	return true, nil
+}
+
+func (t *Tree) deleteR(id pager.PageID, key []byte) ([]link, bool, error) {
+	n, err := t.getNode(id, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	i := n.lookupLE(key)
+	if n.btype() == leafNode {
+		if i < 0 || cmp(n.key(i), key) != 0 {
+			return nil, false, nil
+		}
+		nk := n.nkeys()
+		if err := t.io.Del(id); err != nil {
+			return nil, false, err
+		}
+		if nk == 1 {
+			return nil, true, nil
+		}
+		out := newNode(t.pageSize, leafNode, nk-1)
+		out.appendRange(n, 0, 0, i)
+		out.appendRange(n, i, i+1, nk-i-1)
+		links, err := t.writeSplit(out)
+		return links, true, err
+	}
+	if i < 0 {
+		i = 0
+	}
+	links, found, err := t.deleteR(n.ptr(i), key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	if err := t.io.Del(id); err != nil {
+		return nil, false, err
+	}
+	if n.nkeys()-1+len(links) == 0 {
+		return nil, true, nil
+	}
+	out, err := t.replaceChild(n, i, 1, links)
+	if err != nil {
+		return nil, false, err
+	}
+	up, err := t.writeSplit(out)
+	return up, true, err
+}

@@ -1,0 +1,266 @@
+package cowtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func testTree(t *testing.T, pageSize int) (*Tree, *pager.Disk) {
+	t.Helper()
+	d := pager.NewDisk(pageSize)
+	return New(DiskIO(d), pageSize), d
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d-%s", i, string(make([]byte, i%50)))) }
+
+func TestInsertGetDelete(t *testing.T) {
+	tr, _ := testTree(t, 512)
+	const N = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(N)
+	for _, i := range perm {
+		added, err := tr.Insert(key(i), val(i))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if !added {
+			t.Fatalf("insert %d: reported replace on fresh key", i)
+		}
+	}
+	if tr.Len() != N {
+		t.Fatalf("Len = %d, want %d", tr.Len(), N)
+	}
+	for i := 0; i < N; i++ {
+		v, ok, err := tr.Get(key(i), nil)
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d: wrong value", i)
+		}
+	}
+	// Upsert half the keys.
+	for i := 0; i < N; i += 2 {
+		added, err := tr.Insert(key(i), []byte("replaced"))
+		if err != nil || added {
+			t.Fatalf("upsert %d: added=%v err=%v", i, added, err)
+		}
+	}
+	if tr.Len() != N {
+		t.Fatalf("Len after upserts = %d, want %d", tr.Len(), N)
+	}
+	// Delete in random order, verifying presence flags.
+	for _, i := range perm {
+		found, err := tr.Delete(key(i))
+		if err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", i, found, err)
+		}
+		if found, err = tr.Delete(key(i)); err != nil || found {
+			t.Fatalf("re-delete %d: found=%v err=%v", i, found, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Root() != 0 {
+		t.Fatalf("after full delete: len=%d root=%d", tr.Len(), tr.Root())
+	}
+}
+
+func TestScanOrderAndRange(t *testing.T) {
+	tr, _ := testTree(t, 512)
+	const N = 1000
+	for _, i := range rand.New(rand.NewSource(2)).Perm(N) {
+		if _, err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := tr.Scan(nil, nil, nil, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != N {
+		t.Fatalf("full scan returned %d keys, want %d", len(got), N)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan out of order")
+	}
+	// Half-open range [key(100), key(200)).
+	var rng []string
+	if err := tr.Scan(key(100), key(200), nil, func(k, _ []byte) bool {
+		rng = append(rng, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rng) != 100 || rng[0] != string(key(100)) || rng[99] != string(key(199)) {
+		t.Fatalf("range scan wrong: n=%d first=%q last=%q", len(rng), rng[0], rng[len(rng)-1])
+	}
+	// Seek between keys lands on the next one.
+	it := tr.Seek([]byte("key-000100x"), nil)
+	if !it.Valid() || string(it.Key()) != string(key(101)) {
+		t.Fatalf("seek between keys: valid=%v", it.Valid())
+	}
+}
+
+func TestCopyOnWritePreservesOldRoot(t *testing.T) {
+	pageSize := 512
+	d := pager.NewDisk(pageSize)
+	tr := New(DiskIO(d), pageSize)
+	const N = 300
+	for i := 0; i < N; i++ {
+		if _, err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Publish: freeze the root, keep mutating through a snapshot-style
+	// second handle. Old pages must not be freed while the old root is
+	// live, so mutate on a fork of the disk — the overlay usage pattern.
+	oldRoot, oldLen := tr.Root(), tr.Len()
+	fork := d.Fork()
+	tr2 := Open(DiskIO(fork), pageSize, oldRoot, oldLen)
+	for i := 0; i < N; i += 3 {
+		if _, err := tr2.Insert(key(i), []byte("mutated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := N; i < N+50; i++ {
+		if _, err := tr2.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The old root over the old disk still reads the original values.
+	old := Open(DiskIO(d), pageSize, oldRoot, oldLen)
+	for i := 0; i < N; i++ {
+		v, ok, err := old.Get(key(i), nil)
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("old root key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, ok, _ := old.Get(key(N+1), nil); ok {
+		t.Fatal("old root sees a key inserted after publish")
+	}
+	// And the new root sees the mutations.
+	for i := 0; i < N; i += 3 {
+		v, ok, err := tr2.Get(key(i), nil)
+		if err != nil || !ok || string(v) != "mutated" {
+			t.Fatalf("new root key %d: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+func TestMutationTouchesLogNPages(t *testing.T) {
+	pageSize := pager.DefaultPageSize
+	d := pager.NewDisk(pageSize)
+	tr := New(DiskIO(d), pageSize)
+	const N = 20000
+	for i := 0; i < N; i++ {
+		if _, err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fork := d.Fork()
+	tf := Open(DiskIO(fork), pageSize, tr.Root(), tr.Len())
+	if _, err := tf.Insert([]byte("key-0100005"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Path copy: at most the root→leaf path plus one split per level.
+	if n := fork.DirtyCount(); n > 10 {
+		t.Fatalf("single insert dirtied %d pages; want O(log N)", n)
+	}
+}
+
+func TestFreeListRecyclesPages(t *testing.T) {
+	pageSize := 512
+	d := pager.NewDisk(pageSize)
+	tr := New(DiskIO(d), pageSize)
+	for i := 0; i < 500; i++ {
+		if _, err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := d.NumPages()
+	// Steady-state churn must not grow the device: every COW'd page is
+	// Del'd back to the free list and reused.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 500; i += 7 {
+			if _, err := tr.Insert(key(i), val(i+round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := d.NumPages(); after > live+2 {
+		t.Fatalf("page churn leaked: %d live pages before, %d after", live, after)
+	}
+}
+
+func TestItemLimits(t *testing.T) {
+	tr, _ := testTree(t, 512)
+	if _, err := tr.Insert(nil, []byte("v")); err != ErrEmptyKey {
+		t.Fatalf("empty key: %v", err)
+	}
+	big := make([]byte, tr.MaxItem()+1)
+	if _, err := tr.Insert([]byte("k"), big); err != ErrItemTooLarge {
+		t.Fatalf("oversized item: %v", err)
+	}
+	// Exactly MaxItem fits.
+	k := []byte("k")
+	if _, err := tr.Insert(k, make([]byte, tr.MaxItem()-len(k))); err != nil {
+		t.Fatalf("max item insert: %v", err)
+	}
+}
+
+func TestDifferentialAgainstMap(t *testing.T) {
+	tr, _ := testTree(t, 1024)
+	oracle := map[string]string{}
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 30000; step++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", step)
+			added, err := tr.Insert([]byte(k), []byte(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, existed := oracle[k]
+			if added == existed {
+				t.Fatalf("step %d: added=%v but existed=%v", step, added, existed)
+			}
+			oracle[k] = v
+		case 2:
+			found, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, existed := oracle[k]
+			if found != existed {
+				t.Fatalf("step %d: delete found=%v existed=%v", step, found, existed)
+			}
+			delete(oracle, k)
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len=%d oracle=%d", tr.Len(), len(oracle))
+	}
+	got := map[string]string{}
+	if err := tr.Scan(nil, nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(oracle) {
+		t.Fatalf("scan size %d != oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("key %q: got %q want %q", k, got[k], v)
+		}
+	}
+}

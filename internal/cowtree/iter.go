@@ -1,0 +1,130 @@
+package cowtree
+
+import "repro/internal/pager"
+
+// Iter walks the tree in ascending key order. Because COW nodes carry
+// no sibling links (path copying would invalidate them), the iterator
+// keeps the root→leaf descent stack and climbs it when a leaf is
+// exhausted. The usual snapshot guarantee applies: an Iter over a
+// published root stays valid forever, even across later mutations of
+// a forked tree.
+type Iter struct {
+	t     *Tree
+	m     *pager.Meter
+	stack []iterFrame
+	err   error
+}
+
+type iterFrame struct {
+	n   node
+	idx int
+}
+
+// Seek positions an iterator at the first key >= lo. Reads along the
+// descent (and all subsequent Next reads) are charged to m.
+func (t *Tree) Seek(lo []byte, m *pager.Meter) *Iter {
+	it := &Iter{t: t, m: m}
+	id := t.root
+	for id != 0 {
+		n, err := t.getNode(id, m)
+		if err != nil {
+			it.err = err
+			return it
+		}
+		i := n.lookupLE(lo)
+		if n.btype() == leafNode {
+			if i < 0 || cmp(n.key(i), lo) != 0 {
+				i++ // first key strictly greater than lo
+			}
+			it.stack = append(it.stack, iterFrame{n: n, idx: i})
+			if i >= n.nkeys() {
+				it.climb()
+			}
+			return it
+		}
+		if i < 0 {
+			i = 0
+		}
+		it.stack = append(it.stack, iterFrame{n: n, idx: i})
+		id = n.ptr(i)
+	}
+	return it
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iter) Valid() bool {
+	return it.err == nil && len(it.stack) > 0
+}
+
+// Err returns the read error that stopped the iterator, if any.
+func (it *Iter) Err() error { return it.err }
+
+// Key returns the current key (aliases the page buffer; valid until
+// the tree's pages are freed).
+func (it *Iter) Key() []byte {
+	f := &it.stack[len(it.stack)-1]
+	return f.n.key(f.idx)
+}
+
+// Val returns the current value (same aliasing as Key).
+func (it *Iter) Val() []byte {
+	f := &it.stack[len(it.stack)-1]
+	return f.n.val(f.idx)
+}
+
+// Next advances to the following key; the iterator becomes invalid at
+// the end of the tree.
+func (it *Iter) Next() {
+	if !it.Valid() {
+		return
+	}
+	f := &it.stack[len(it.stack)-1]
+	f.idx++
+	if f.idx >= f.n.nkeys() {
+		it.climb()
+	}
+}
+
+// climb pops exhausted frames, advances the nearest ancestor with
+// remaining children, and descends to the leftmost leaf below it.
+func (it *Iter) climb() {
+	for len(it.stack) > 0 {
+		f := &it.stack[len(it.stack)-1]
+		if f.idx < f.n.nkeys() {
+			if f.n.btype() == leafNode {
+				return
+			}
+			id := f.n.ptr(f.idx)
+			n, err := it.t.getNode(id, it.m)
+			if err != nil {
+				it.err = err
+				it.stack = nil
+				return
+			}
+			it.stack = append(it.stack, iterFrame{n: n, idx: 0})
+			if n.btype() == leafNode && n.nkeys() > 0 {
+				return
+			}
+			continue
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+		if len(it.stack) > 0 {
+			it.stack[len(it.stack)-1].idx++
+		}
+	}
+}
+
+// Scan calls fn for every key in [lo, hi) in ascending order, stopping
+// early if fn returns false. A nil hi means "to the end".
+func (t *Tree) Scan(lo, hi []byte, m *pager.Meter, fn func(key, val []byte) bool) error {
+	it := t.Seek(lo, m)
+	for ; it.Valid(); it.Next() {
+		if hi != nil && cmp(it.Key(), hi) >= 0 {
+			break
+		}
+		if !fn(it.Key(), it.Val()) {
+			break
+		}
+	}
+	return it.Err()
+}

@@ -1,0 +1,235 @@
+package cowtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// Node layout (one page, default 4 KB):
+//
+//	| header | pointers | offsets | kv-cells |
+//
+// header (4 bytes): btype uint16, nkeys uint16.
+// pointers (internal nodes only): nkeys × 4-byte child PageIDs.
+// offsets: nkeys × 2-byte end offsets of each kv-cell, relative to the
+// cells section, so cell i spans [off(i-1), off(i)) with off(-1) = 0.
+// kv-cell: | klen uint16 | vlen uint16 | key | val |. Internal nodes
+// carry empty vals; key i is the minimum key of child i.
+//
+// The layout is the SIGMOD-era slotted-page idiom: fixed-width lookup
+// tables up front so the i-th key is found with two loads, variable
+// bytes packed behind. Mutations never edit a node in place — they
+// build a fresh image (nodeAppend*) and write it to a fresh page,
+// which is what makes the tree copy-on-write.
+
+// Node types.
+const (
+	leafNode     = 1
+	internalNode = 2
+)
+
+const headerSize = 4
+
+// node is one page image. All accessors assume a validated image
+// (validateNode) or one built by this package.
+type node []byte
+
+func (n node) btype() uint16 { return binary.LittleEndian.Uint16(n[0:2]) }
+func (n node) nkeys() int    { return int(binary.LittleEndian.Uint16(n[2:4])) }
+
+func (n node) setHeader(btype uint16, nkeys int) {
+	binary.LittleEndian.PutUint16(n[0:2], btype)
+	binary.LittleEndian.PutUint16(n[2:4], uint16(nkeys))
+}
+
+// ptrPos returns the byte position of child pointer i.
+func (n node) ptrPos(i int) int { return headerSize + 4*i }
+
+func (n node) ptr(i int) pager.PageID {
+	return pager.PageID(binary.LittleEndian.Uint32(n[n.ptrPos(i):]))
+}
+
+func (n node) setPtr(i int, id pager.PageID) {
+	binary.LittleEndian.PutUint32(n[n.ptrPos(i):], uint32(id))
+}
+
+// ptrSectionLen returns the size of the pointers section.
+func (n node) ptrSectionLen() int {
+	if n.btype() == internalNode {
+		return 4 * n.nkeys()
+	}
+	return 0
+}
+
+// offPos returns the byte position of the i-th cell end offset.
+func (n node) offPos(i int) int { return headerSize + n.ptrSectionLen() + 2*i }
+
+// off returns the end offset of cell i relative to the cells section;
+// off(-1) is 0.
+func (n node) off(i int) int {
+	if i < 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint16(n[n.offPos(i):]))
+}
+
+func (n node) setOff(i, v int) {
+	binary.LittleEndian.PutUint16(n[n.offPos(i):], uint16(v))
+}
+
+// cellsStart returns the byte position of the kv-cells section.
+func (n node) cellsStart() int { return headerSize + n.ptrSectionLen() + 2*n.nkeys() }
+
+// cell returns the raw bytes of cell i.
+func (n node) cell(i int) []byte {
+	s := n.cellsStart()
+	return n[s+n.off(i-1) : s+n.off(i)]
+}
+
+func (n node) key(i int) []byte {
+	c := n.cell(i)
+	klen := int(binary.LittleEndian.Uint16(c[0:2]))
+	return c[4 : 4+klen]
+}
+
+func (n node) val(i int) []byte {
+	c := n.cell(i)
+	klen := int(binary.LittleEndian.Uint16(c[0:2]))
+	vlen := int(binary.LittleEndian.Uint16(c[2:4]))
+	return c[4+klen : 4+klen+vlen]
+}
+
+// nbytes returns the encoded size of the node image.
+func (n node) nbytes() int { return n.cellsStart() + n.off(n.nkeys()-1) }
+
+// cellSize returns the encoded size of a cell holding key and val.
+func cellSize(key, val []byte) int { return 4 + len(key) + len(val) }
+
+// lookupLE returns the greatest index whose key is <= key, or -1 if
+// every key is greater. Binary search over the offset table.
+func (n node) lookupLE(key []byte) int {
+	lo, hi := 0, n.nkeys() // invariant: keys[<lo] <= key < keys[>=hi]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(n.key(mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+func cmp(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// newNode returns an empty node image with room for an oversized
+// (pre-split) build: capacity is twice the page size so an insert into
+// a full node can be materialized before splitting.
+func newNode(pageSize int, btype uint16, nkeys int) node {
+	n := node(make([]byte, 2*pageSize))
+	n.setHeader(btype, nkeys)
+	return n
+}
+
+// appendCell writes cell i (and, for internal nodes, child pointer i)
+// into a node being built left to right. Cells must be appended in
+// ascending i order.
+func (n node) appendCell(i int, ptr pager.PageID, key, val []byte) {
+	if n.btype() == internalNode {
+		n.setPtr(i, ptr)
+	}
+	s := n.cellsStart()
+	pos := s + n.off(i-1)
+	binary.LittleEndian.PutUint16(n[pos:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(n[pos+2:], uint16(len(val)))
+	copy(n[pos+4:], key)
+	copy(n[pos+4+len(key):], val)
+	n.setOff(i, n.off(i-1)+cellSize(key, val))
+}
+
+// appendRange copies cells [srcLo, srcLo+count) of old into positions
+// starting at dstLo of n (same node type assumed).
+func (n node) appendRange(old node, dstLo, srcLo, count int) {
+	for i := 0; i < count; i++ {
+		var p pager.PageID
+		if old.btype() == internalNode {
+			p = old.ptr(srcLo + i)
+		}
+		n.appendCell(dstLo+i, p, old.key(srcLo+i), old.val(srcLo+i))
+	}
+}
+
+// trim returns the node image cut to its encoded length.
+func (n node) trim() node { return n[:n.nbytes()] }
+
+// validateNode checks that an untrusted page image is a structurally
+// sound node for the given page size: sane type and key count, offset
+// table strictly increasing, every cell in bounds with consistent
+// key/val lengths, and total size within the page. It never panics on
+// hostile bytes (FuzzNodeRoundTrip feeds it arbitrary input).
+func validateNode(b []byte, pageSize int) error {
+	if len(b) < headerSize {
+		return errors.New("cowtree: node shorter than header")
+	}
+	n := node(b)
+	t := n.btype()
+	if t != leafNode && t != internalNode {
+		return fmt.Errorf("cowtree: bad node type %d", t)
+	}
+	nk := n.nkeys()
+	if t == internalNode && nk == 0 {
+		return errors.New("cowtree: internal node with no children")
+	}
+	fixed := n.cellsStart()
+	if fixed > len(b) || fixed > pageSize {
+		return errors.New("cowtree: lookup tables exceed page")
+	}
+	prev := 0
+	for i := 0; i < nk; i++ {
+		end := n.off(i)
+		if end <= prev {
+			return fmt.Errorf("cowtree: offset table not increasing at %d", i)
+		}
+		if fixed+end > len(b) || fixed+end > pageSize {
+			return fmt.Errorf("cowtree: cell %d out of bounds", i)
+		}
+		c := b[fixed+prev : fixed+end]
+		if len(c) < 4 {
+			return fmt.Errorf("cowtree: cell %d shorter than its header", i)
+		}
+		klen := int(binary.LittleEndian.Uint16(c[0:2]))
+		vlen := int(binary.LittleEndian.Uint16(c[2:4]))
+		if 4+klen+vlen != len(c) {
+			return fmt.Errorf("cowtree: cell %d length mismatch", i)
+		}
+		if t == internalNode && vlen != 0 {
+			return fmt.Errorf("cowtree: internal cell %d carries a value", i)
+		}
+		prev = end
+	}
+	for i := 1; i < nk; i++ {
+		if cmp(n.key(i-1), n.key(i)) >= 0 {
+			return fmt.Errorf("cowtree: keys not strictly ascending at %d", i)
+		}
+	}
+	return nil
+}

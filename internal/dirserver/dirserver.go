@@ -39,6 +39,7 @@ import (
 	"repro/internal/plist"
 	"repro/internal/qcache"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Registry is the delegation map of the directory information forest:
@@ -582,30 +583,30 @@ func (s *Server) applyWrite(req request) (int64, error) {
 	if !s.cfg.Mutable {
 		return 0, fmt.Errorf("dirserver: read-only server rejects kind %q", req.Kind)
 	}
-	var mutate func(in *model.Instance) error
+	// Writes go through the entry-level fast path: the directory forks
+	// its page device copy-on-write instead of rebuilding it, and a
+	// server running with delta checkpoints then persists just the
+	// dirtied pages. Mutations the fast path cannot express fall back
+	// to a full rebuild inside UpdateEntries — same answers, one
+	// generation either way. Malformed input still fails before the
+	// directory is touched, so it never swaps.
+	var op store.EntryOp
 	switch req.Kind {
 	case "add":
-		mutate = func(in *model.Instance) error {
-			e, err := ldif.UnmarshalEntry(in.Schema(), req.Query)
-			if err != nil {
-				return fmt.Errorf("dirserver: add: %w", err)
-			}
-			return in.Add(e)
+		e, err := ldif.UnmarshalEntry(s.dir.Schema(), req.Query)
+		if err != nil {
+			return 0, fmt.Errorf("dirserver: add: %w", err)
 		}
+		op = store.EntryOp{Add: e}
 	case "del":
 		dn, err := model.ParseDN(req.Query)
 		if err != nil {
 			return 0, fmt.Errorf("dirserver: del: %w", err)
 		}
-		mutate = func(in *model.Instance) error {
-			if !in.Remove(dn) {
-				return fmt.Errorf("dirserver: del: no entry %q", req.Query)
-			}
-			return nil
-		}
+		op = store.EntryOp{Remove: dn}
 	}
-	if err := s.dir.Update(mutate); err != nil {
-		return 0, err
+	if err := s.dir.UpdateEntries(op); err != nil {
+		return 0, fmt.Errorf("dirserver: %s: %w", req.Kind, err)
 	}
 	gen := s.dir.Generation()
 	if s.cfg.AfterUpdate != nil {

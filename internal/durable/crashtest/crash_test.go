@@ -80,12 +80,18 @@ type child struct {
 
 // startChild boots dirserve on the shared data directory and waits for
 // its listen line. faultProb > 0 wraps the child's durable store in the
-// deterministic storage fault injector.
-func startChild(dataDir string, faultProb float64, seed int64) (*child, error) {
+// deterministic storage fault injector; delta switches the child to
+// incremental page-delta checkpoints. Children restart on the same
+// data directory with the flag alternating, so recovery is routinely
+// asked to replay a mixed full-image/delta segment history.
+func startChild(dataDir string, faultProb float64, seed int64, delta bool) (*child, error) {
 	args := []string{
 		"-gen", "paper", "-data", dataDir, "-mutable",
 		"-checkpoint-every", "0", "-addr", "127.0.0.1:0",
 		"-grace", "300ms",
+	}
+	if delta {
+		args = append(args, "-delta-checkpoints")
 	}
 	if faultProb > 0 {
 		args = append(args, "-fault-prob", fmt.Sprint(faultProb), "-fault-seed", fmt.Sprint(seed))
@@ -238,8 +244,9 @@ func assertNoTempFiles(t *testing.T, dataDir string) {
 
 // TestKillNineRecoversAckedState is the headline crash loop: stream
 // writes, kill -9 mid-stream (alternate iterations also inject torn
-// writes and fsync failures underneath), restart, and require the
-// recovered server to be at least as new as the last acknowledged
+// writes and fsync failures underneath, and alternate between
+// full-image and incremental delta checkpoints), restart, and require
+// the recovered server to be at least as new as the last acknowledged
 // write and byte-identical to the reference reconstruction.
 func TestKillNineRecoversAckedState(t *testing.T) {
 	dataDir := filepath.Join(t.TempDir(), "data")
@@ -248,7 +255,7 @@ func TestKillNineRecoversAckedState(t *testing.T) {
 	defer cl.Close()
 	rng := rand.New(rand.NewSource(7))
 
-	c, err := startChild(dataDir, 0, 0)
+	c, err := startChild(dataDir, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,16 +297,19 @@ func TestKillNineRecoversAckedState(t *testing.T) {
 		}
 		lastAcked := acked.Load()
 
-		// Alternate iterations restart on a fault-injected filesystem.
+		// Cycle the restart through the four checkpointing regimes:
+		// full images, page deltas, deltas over injected faults, full
+		// images over injected faults.
 		faultProb := 0.0
-		if iter%2 == 1 {
+		if iter%4 >= 2 {
 			faultProb = 0.03
 		}
-		c, err = startChild(dataDir, faultProb, int64(iter))
+		delta := iter%4 == 1 || iter%4 == 2
+		c, err = startChild(dataDir, faultProb, int64(iter), delta)
 		if err != nil && faultProb > 0 {
 			// An injected fault broke the boot path itself (e.g. fsync of
 			// the orphan sweep); a clean restart must always work.
-			c, err = startChild(dataDir, 0, 0)
+			c, err = startChild(dataDir, 0, 0, delta)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -326,7 +336,9 @@ func TestGracefulShutdownCheckpointsInFlightWrites(t *testing.T) {
 	cl := dirserver.NewClient(schema, dirserver.ClientConfig{})
 	defer cl.Close()
 
-	c, err := startChild(dataDir, 0, 0)
+	// The writer runs against a delta-checkpointing server; the final
+	// drain checkpoint and the later full-image restart must agree.
+	c, err := startChild(dataDir, 0, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +368,7 @@ func TestGracefulShutdownCheckpointsInFlightWrites(t *testing.T) {
 	}
 	assertNoTempFiles(t, dataDir)
 
-	back, err := startChild(dataDir, 0, 0)
+	back, err := startChild(dataDir, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,6 +72,11 @@ type segEntry struct {
 	File string `json:"file"`
 	Size int64  `json:"size"` // whole file: header + payload
 	CRC  uint32 `json:"crc"`  // CRC32C of the payload
+	// Base is the generation this segment is a page delta against; 0
+	// marks a self-contained full image. Pruning retains the transitive
+	// base closure of every kept segment, so an acknowledged delta's
+	// recovery chain can never be pruned out from under it.
+	Base int64 `json:"base,omitempty"`
 }
 
 // manifestBody is the manifest payload: the retained generations,
@@ -187,6 +192,35 @@ func (s *Store) loadManifest(names []string) error {
 // rollback recovery, the write path re-commits the recovered lineage
 // over the abandoned one.
 func (s *Store) Commit(gen int64, write func(w io.Writer) error) error {
+	return s.commitEntry(gen, 0, write)
+}
+
+// CommitDelta durably stores one generation as a page delta against an
+// already-retained base generation, under the same protocol and
+// acknowledgment rules as Commit. The manifest records the dependency,
+// and pruning keeps the transitive base closure of every retained
+// segment, so the chain needed to replay an acknowledged delta is
+// itself always retained.
+func (s *Store) CommitDelta(gen, base int64, write func(w io.Writer) error) error {
+	if base <= 0 || base >= gen {
+		return fmt.Errorf("durable: delta gen %d has invalid base %d", gen, base)
+	}
+	s.mu.Lock()
+	found := false
+	for _, e := range s.entries {
+		if e.Gen == base {
+			found = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return fmt.Errorf("durable: delta gen %d: base %d not in store", gen, base)
+	}
+	return s.commitEntry(gen, base, write)
+}
+
+func (s *Store) commitEntry(gen, base int64, write func(w io.Writer) error) error {
 	var buf bytes.Buffer
 	if err := write(&buf); err != nil {
 		return fmt.Errorf("durable: serialize gen %d: %w", gen, err)
@@ -202,7 +236,7 @@ func (s *Store) Commit(gen int64, write func(w io.Writer) error) error {
 		return fmt.Errorf("durable: commit gen %d: %w", gen, err)
 	}
 
-	entry := segEntry{Gen: gen, File: name, Size: int64(len(sealed)), CRC: payloadCRC(sealed)}
+	entry := segEntry{Gen: gen, File: name, Size: int64(len(sealed)), CRC: payloadCRC(sealed), Base: base}
 	next := make([]segEntry, 0, len(s.entries)+1)
 	for _, e := range s.entries {
 		if e.Gen != gen {
@@ -211,10 +245,7 @@ func (s *Store) Commit(gen int64, write func(w io.Writer) error) error {
 	}
 	next = append(next, entry)
 	sort.Slice(next, func(i, j int) bool { return next[i].Gen < next[j].Gen })
-	var drop []segEntry
-	if n := len(next) - s.keep; n > 0 {
-		drop, next = next[:n], next[n:]
-	}
+	drop, next := planPrune(next, s.keep)
 	if err := s.writeManifest(next); err != nil {
 		// The segment file exists but the manifest still describes the
 		// previous state; the commit is not acknowledged. Recovery may
@@ -224,13 +255,16 @@ func (s *Store) Commit(gen int64, write func(w io.Writer) error) error {
 	}
 	s.entries = next
 	// Prune only after the manifest stopped referencing the old
-	// generations; a failure here leaves stray files, not wrong state.
-	for _, e := range drop {
-		if s.fs.Remove(e.File) == nil {
-			s.pruned.Add(1)
+	// generations — and only after reading the on-disk manifest back to
+	// confirm it really is the one that dropped them. A crash (or a
+	// lying rename) between manifest write and prune then leaves stray
+	// files, never a manifest pointing at removed segments.
+	if len(drop) > 0 && s.verifyManifestDropped(drop) {
+		for _, e := range drop {
+			if s.fs.Remove(e.File) == nil {
+				s.pruned.Add(1)
+			}
 		}
-	}
-	if len(drop) > 0 {
 		_ = s.fs.SyncRoot()
 	}
 	s.commits.Add(1)
@@ -241,23 +275,87 @@ func (s *Store) Commit(gen int64, write func(w io.Writer) error) error {
 	return nil
 }
 
+// planPrune splits a candidate manifest view into the entries to drop
+// and the entries to retain: the newest keep generations plus,
+// transitively, every base a retained delta depends on. A base pinned
+// by a retained delta survives even when it falls outside the keep
+// window — dropping it would leave the delta unreplayable, i.e. fewer
+// than keep recoverable generations.
+func planPrune(entries []segEntry, keep int) (drop, next []segEntry) {
+	if len(entries) <= keep {
+		return nil, entries
+	}
+	byGen := make(map[int64]segEntry, len(entries))
+	for _, e := range entries {
+		byGen[e.Gen] = e
+	}
+	retain := make(map[int64]bool, keep)
+	for _, e := range entries[len(entries)-keep:] {
+		retain[e.Gen] = true
+		for b := e.Base; b != 0; {
+			be, ok := byGen[b]
+			if !ok || retain[b] {
+				break
+			}
+			retain[b] = true
+			b = be.Base
+		}
+	}
+	for _, e := range entries {
+		if retain[e.Gen] {
+			next = append(next, e)
+		} else {
+			drop = append(drop, e)
+		}
+	}
+	return drop, next
+}
+
+// verifyManifestDropped re-reads MANIFEST from disk and reports whether
+// it verifies intact and references none of the given entries. Callers
+// must not remove segment files unless this holds.
+func (s *Store) verifyManifestDropped(drop []segEntry) bool {
+	buf, err := s.readFile(manifestName)
+	if err != nil {
+		return false
+	}
+	_, payload, err := openEnvelope(manMagic, buf)
+	if err != nil {
+		return false
+	}
+	var body manifestBody
+	if json.Unmarshal(payload, &body) != nil {
+		return false
+	}
+	listed := make(map[int64]bool, len(body.Generations))
+	for _, e := range body.Generations {
+		listed[e.Gen] = true
+	}
+	for _, e := range drop {
+		if listed[e.Gen] {
+			return false
+		}
+	}
+	return true
+}
+
 // payloadCRC reads the payload checksum back out of a sealed envelope.
 func payloadCRC(sealed []byte) uint32 {
 	return uint32(sealed[24]) | uint32(sealed[25])<<8 | uint32(sealed[26])<<16 | uint32(sealed[27])<<24
 }
 
-// writeManifest durably replaces MANIFEST with the given view.
+// writeManifest durably replaces MANIFEST with the given view. The
+// sequence number is monotonic even across failures: a failed write may
+// still have renamed the new manifest into place (only its directory
+// fsync broke), so reusing the sequence for different content would be
+// ambiguous on disk.
 func (s *Store) writeManifest(entries []segEntry) error {
 	payload, err := json.Marshal(manifestBody{Generations: entries})
 	if err != nil {
 		return err
 	}
 	s.manSeq++
-	if err := s.writeFileAtomic(manifestName, sealEnvelope(manMagic, s.manSeq, payload)); err != nil {
-		s.manSeq--
-		return err
-	}
-	return nil
+	return s.writeFileAtomic(manifestName, sealEnvelope(manMagic, s.manSeq, payload))
 }
 
 // writeFileAtomic runs the four-step commit for one file: the sealed
@@ -325,6 +423,49 @@ func (s *Store) Generations() []int64 {
 		out[i] = e.Gen
 	}
 	return out
+}
+
+// Keep reports the retention window: how many newest generations the
+// store keeps for rollback.
+func (s *Store) Keep() int { return s.keep }
+
+// BaseOf returns the base generation the given segment is a delta
+// against (0 for a full image) and whether the generation is retained.
+func (s *Store) BaseOf(gen int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.Gen == gen {
+			return e.Base, true
+		}
+	}
+	return 0, false
+}
+
+// DeltaChainLen reports how many delta segments the newest generation's
+// recovery chain replays before reaching a full image (0 when the
+// newest generation is itself a full image, or the store is empty).
+// Checkpoint policies bound this to cap recovery work and delta pileup.
+func (s *Store) DeltaChainLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return 0
+	}
+	byGen := make(map[int64]segEntry, len(s.entries))
+	for _, e := range s.entries {
+		byGen[e.Gen] = e
+	}
+	n := 0
+	for e := s.entries[len(s.entries)-1]; e.Base != 0 && n < len(s.entries); {
+		n++
+		b, ok := byGen[e.Base]
+		if !ok {
+			break
+		}
+		e = b
+	}
+	return n
 }
 
 // Newest returns the highest retained generation, or false when the
@@ -462,6 +603,9 @@ func (s *Store) dropSegments(drop []segEntry) {
 		return
 	}
 	s.entries = next
+	if !s.verifyManifestDropped(drop) {
+		return // stray files are safe; a manifest needing them is not
+	}
 	for _, e := range drop {
 		if s.fs.Remove(e.File) == nil {
 			s.pruned.Add(1)

@@ -1,0 +1,204 @@
+package pager
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func fillPage(size int, b byte) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestForkIsolation(t *testing.T) {
+	d := NewDisk(128)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(id, fillPage(128, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	f := d.Fork()
+	// Overwrite half the pages and free one on the fork.
+	for i := 0; i < 5; i++ {
+		if err := f.Write(ids[i], fillPage(128, 0xAA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Free(ids[9]); err != nil {
+		t.Fatal(err)
+	}
+	nid, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(nid, fillPage(128, 0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	// Parent unchanged.
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if err := d.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("parent page %d mutated: %x", id, buf[0])
+		}
+	}
+	// Fork sees its own writes plus shared pages.
+	for i := 0; i < 10; i++ {
+		if i == 9 {
+			continue
+		}
+		if err := f.Read(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(i)
+		if i < 5 {
+			want = 0xAA
+		}
+		if buf[0] != want {
+			t.Fatalf("fork page %d = %x, want %x", ids[i], buf[0], want)
+		}
+	}
+	dirty := f.Dirty()
+	if len(dirty) == 0 {
+		t.Fatal("fork reported no dirty pages")
+	}
+	want := map[PageID]bool{ids[0]: true, ids[1]: true, ids[2]: true, ids[3]: true, ids[4]: true, ids[9]: true, nid: true}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+	for _, id := range dirty {
+		if !want[id] {
+			t.Fatalf("unexpected dirty page %d", id)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDisk(64)
+	for i := 0; i < 40; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 64)
+		rng.Read(p)
+		if err := d.Write(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chain of two forks, as between checkpoints.
+	f1 := d.Fork()
+	for i := 0; i < 10; i++ {
+		p := make([]byte, 64)
+		rng.Read(p)
+		if err := f1.Write(PageID(rng.Intn(40)+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f1.Free(3); err != nil {
+		t.Fatal(err)
+	}
+	f2 := f1.Fork()
+	for i := 0; i < 5; i++ {
+		id, err := f2.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 64)
+		rng.Read(p)
+		if err := f2.Write(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Union of the chain's dirty sets, deduped and sorted — what a
+	// delta checkpoint against d's image carries.
+	union := map[PageID]struct{}{}
+	for _, id := range f1.Dirty() {
+		union[id] = struct{}{}
+	}
+	for _, id := range f2.Dirty() {
+		union[id] = struct{}{}
+	}
+	dirty := make([]PageID, 0, len(union))
+	for id := range union {
+		dirty = append(dirty, id)
+	}
+	for i := range dirty {
+		for j := i + 1; j < len(dirty); j++ {
+			if dirty[j] < dirty[i] {
+				dirty[i], dirty[j] = dirty[j], dirty[i]
+			}
+		}
+	}
+	var delta bytes.Buffer
+	if _, err := f2.WriteDeltaTo(&delta, dirty); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct: full image of d, then apply the delta.
+	var full bytes.Buffer
+	if _, err := d.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDisk(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.ApplyDelta(bytes.NewReader(delta.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical to a full image of f2.
+	var wantImg, gotImg bytes.Buffer
+	if _, err := f2.WriteTo(&wantImg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&gotImg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantImg.Bytes(), gotImg.Bytes()) {
+		t.Fatal("delta-reconstructed disk is not byte-identical to the fork")
+	}
+}
+
+func TestApplyDeltaRejectsCorrupt(t *testing.T) {
+	d := NewDisk(64)
+	id, _ := d.Alloc()
+	_ = d.Write(id, fillPage(64, 1))
+	f := d.Fork()
+	_ = f.Write(id, fillPage(64, 2))
+	var delta bytes.Buffer
+	if _, err := f.WriteDeltaTo(&delta, f.Dirty()); err != nil {
+		t.Fatal(err)
+	}
+	raw := delta.Bytes()
+	cases := map[string][]byte{
+		"truncated header": raw[:12],
+		"bad magic":        append(append([]byte{}, "DIRKITXX"...), raw[8:]...),
+		"truncated image":  raw[:len(raw)-5],
+	}
+	for name, b := range cases {
+		base := NewDisk(64)
+		bid, _ := base.Alloc()
+		_ = base.Write(bid, fillPage(64, 1))
+		if err := base.ApplyDelta(bytes.NewReader(b)); err == nil {
+			t.Fatalf("%s: ApplyDelta accepted corrupt input", name)
+		}
+	}
+	// Page-size mismatch.
+	other := NewDisk(128)
+	if err := other.ApplyDelta(bytes.NewReader(raw)); err == nil {
+		t.Fatal("ApplyDelta accepted a delta with mismatched page size")
+	}
+}

@@ -95,6 +95,14 @@ type Disk struct {
 	free     []PageID
 	fault    func(op string, id PageID) error
 
+	// Copy-on-write fork state (see fork.go). On a fork, page ids below
+	// cowBase alias the parent's slices until first write (owned marks
+	// the ones replaced), and dirty records every page the fork has
+	// changed. All nil/zero on a directly constructed disk.
+	cowBase int
+	owned   map[PageID]bool
+	dirty   map[PageID]struct{}
+
 	shards     [statsShards]statsShard
 	nextHandle atomic.Uint32
 }
@@ -148,11 +156,16 @@ func (d *Disk) Alloc() (PageID, error) {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
 		d.pages[id] = nil
+		if d.owned != nil {
+			d.owned[id] = true
+		}
+		d.markDirty(id)
 		d.shardFor(id).allocs.Add(1)
 		return id, nil
 	}
 	d.pages = append(d.pages, nil)
 	id := PageID(len(d.pages) - 1)
+	d.markDirty(id)
 	d.shardFor(id).allocs.Add(1)
 	return id, nil
 }
@@ -166,6 +179,10 @@ func (d *Disk) Free(id PageID) error {
 	}
 	d.shardFor(id).frees.Add(1)
 	d.pages[id] = nil
+	if d.owned != nil {
+		d.owned[id] = true
+	}
+	d.markDirty(id)
 	d.free = append(d.free, id)
 	return nil
 }
@@ -219,10 +236,16 @@ func (d *Disk) Write(id PageID, data []byte) error {
 		}
 	}
 	d.shardFor(id).writes.Add(1)
+	d.markDirty(id)
 	p := d.pages[id]
-	if p == nil {
+	if p == nil || d.isShared(id) {
+		// A fork must not zero a page slice it still shares with its
+		// parent — install a private copy instead.
 		p = make([]byte, d.pageSize)
 		d.pages[id] = p
+		if d.owned != nil {
+			d.owned[id] = true
+		}
 	} else {
 		for i := range p {
 			p[i] = 0
@@ -276,29 +299,50 @@ func (d *Disk) NumPages() int {
 // Stats — it is backup traffic, not query evaluation.
 var snapshotMagic = [8]byte{'D', 'I', 'R', 'K', 'I', 'T', 'D', '1'}
 
-// WriteTo serializes the whole device.
+// WriteTo serializes the whole device in canonical form: trailing free
+// slots are trimmed from the slot count and dropped from the free list.
+// Scratch allocations (query evaluation materializes temporary posting
+// lists on the device and frees them) would otherwise leave a tail of
+// free slots whose size depends on query history, making two disks with
+// identical live contents serialize differently. Interior free slots
+// are kept — their ids are pinned by the pages around them — but carry
+// no image (freeing nils the page), so they cost one presence byte.
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	freeSet := make(map[PageID]bool, len(d.free))
+	for _, f := range d.free {
+		freeSet[f] = true
+	}
+	nOut := len(d.pages)
+	for nOut > 1 && freeSet[PageID(nOut-1)] {
+		nOut--
+	}
+	free := make([]PageID, 0, len(d.free))
+	for _, f := range d.free {
+		if int(f) < nOut {
+			free = append(free, f)
+		}
+	}
 	bw := &countWriter{w: w}
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return bw.n, err
 	}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.pageSize))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(d.pages)))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.free)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(nOut))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(free)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return bw.n, err
 	}
 	var id [4]byte
-	for _, f := range d.free {
+	for _, f := range free {
 		binary.LittleEndian.PutUint32(id[:], uint32(f))
 		if _, err := bw.Write(id[:]); err != nil {
 			return bw.n, err
 		}
 	}
-	for _, p := range d.pages[1:] {
+	for _, p := range d.pages[1:nOut] {
 		if p == nil {
 			if _, err := bw.Write([]byte{0}); err != nil {
 				return bw.n, err

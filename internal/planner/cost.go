@@ -279,10 +279,20 @@ func (c *coster) planAtomic(a *query.Atomic) Estimate {
 		rows = 1
 	}
 
+	// The store's own static choice is the first minimal-EstBytes entry.
+	storePick := 0
+	for i := 1; i < len(paths); i++ {
+		if paths[i].EstBytes < paths[storePick].EstBytes {
+			storePick = i
+		}
+	}
 	// Price each path: scan-family costs are exact extents from the
 	// catalog; the index-family catalog heuristic is replaced by the
-	// observed median once this atomic has run on that path.
-	best := 0
+	// observed median once this atomic has run on that path. Selection
+	// starts from the store's static pick and moves only on a strictly
+	// cheaper estimate: an exact tie carries no information, and flipping
+	// away from the static choice on one thrashes plans (and their
+	// calibration classes) between equally-priced paths.
 	ests := make([]Estimate, len(paths))
 	for i, p := range paths {
 		e := Estimate{Pages: float64(p.EstPages), Rows: rows, Calibrated: rowsCal}
@@ -290,21 +300,16 @@ func (c *coster) planAtomic(a *query.Atomic) Estimate {
 			e.Pages, e.Calibrated = obs.P50IO, true
 		}
 		ests[i] = e
-		if e.Pages < ests[best].Pages {
+	}
+	best := storePick
+	for i := range ests {
+		if ests[i].Pages < ests[best].Pages {
 			best = i
 		}
 	}
 	chosen := paths[best].Path
 	if a.Scope != query.ScopeBase {
 		c.hints.Path[a] = chosen
-	}
-	// The store's own tie-break picks the first minimal-EstBytes entry;
-	// note when calibration overruled it.
-	storePick := 0
-	for i := 1; i < len(paths); i++ {
-		if paths[i].EstBytes < paths[storePick].EstBytes {
-			storePick = i
-		}
 	}
 	if best != storePick {
 		c.rules = append(c.rules, "cost-path:"+chosen)

@@ -138,6 +138,63 @@ func TestCostPathCrossover(t *testing.T) {
 	}
 }
 
+// TestCostPathExactTieKeepsStoreChoice pins the tie-break: when
+// calibration prices two paths exactly equal, the planner must keep the
+// store's static choice (first minimal-EstBytes path) instead of
+// flipping to whichever path happens to be listed first. An exact tie
+// carries no information, and a flip re-routes the query onto a path
+// whose calibration class then drifts — the plan thrashes between
+// equally-priced paths run over run.
+func TestCostPathExactTieKeepsStoreChoice(t *testing.T) {
+	// Seeded observations quantize to histogram bucket medians (12, 24,
+	// 48, ...); the catalog values below sit on those medians so the
+	// ties are exact.
+	const atom = `( ? sub ? tag=a)`
+	cases := []struct {
+		name       string
+		indexPages int64  // catalog pages for the index path; scan is fixed at 48
+		obsClass   string // calibrated path
+		obsIO      int64  // observed pages (quantizes to the bucket median)
+		want       string
+		wantRule   bool // the cost-path rule fires only when the static pick is overruled
+	}{
+		// Static pick is scan (catalog: 200 vs 48); observing the index
+		// path at exactly 48 pages ties it — the tie must not flip.
+		{"tie-keeps-static-scan", 200, store.PathIndex, 48, store.PathScan, false},
+		// Static pick is index (catalog: 12 vs 48); observing the scan
+		// path at exactly 12 pages ties it — same rule, other side.
+		{"tie-keeps-static-index", 12, store.PathScan, 12, store.PathIndex, false},
+		// A strictly cheaper observation still overrules the static pick.
+		{"strictly-cheaper-still-flips", 200, store.PathIndex, 16, store.PathIndex, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := fakeCatalog{paths: map[string][]store.PathCost{
+				atom: {
+					pathCost(store.PathIndex, tc.indexPages, 100),
+					pathCost(store.PathScan, 48, 100),
+				},
+			}}
+			qs := qstats.New()
+			foldAtomSpan(qs, atom, tc.obsClass, 0, 100, tc.obsIO)
+			foldAtomSpan(qs, atom, tc.obsClass, 0, 100, tc.obsIO)
+			res := planner.Plan(query.MustParse(atom), planner.Env{Catalog: cat, Stats: qs})
+			if got := chosenPath(t, res, atom); got != tc.want {
+				t.Fatalf("chose %s, want %s\nalternatives: %+v", got, tc.want, res.Alternatives)
+			}
+			gotRule := false
+			for _, r := range res.Rules {
+				if strings.HasPrefix(r, "cost-path:") {
+					gotRule = true
+				}
+			}
+			if gotRule != tc.wantRule {
+				t.Fatalf("cost-path rule fired = %v, want %v (rules %v)", gotRule, tc.wantRule, res.Rules)
+			}
+		})
+	}
+}
+
 // TestCostJoinOrderCrossover drives operand ordering across its
 // crossover: the commutative chain is rebuilt most-selective-first
 // using whichever cardinality evidence is best — catalog estimates

@@ -31,7 +31,7 @@ type Stats struct {
 	Inserts   int64 // entries stored
 	Evictions int64 // entries evicted to respect the byte budget
 	Entries   int64 // resident entries
-	Bytes     int64 // resident bytes (as reported by callers)
+	Bytes     int64 // resident bytes: caller-reported costs plus per-entry key and overhead charges
 	MaxBytes  int64 // configured budget
 }
 
@@ -45,10 +45,19 @@ func (s Stats) HitRate() float64 {
 	return float64(h) / float64(h+s.Misses)
 }
 
+// entryOverhead approximates the fixed per-entry footprint the budget
+// must cover beyond the caller-reported value cost: the entry struct,
+// its list element, and the two map slots. Charging it — plus the key
+// bytes — keeps the budget honest for tiny values; a flood of
+// near-empty results under long keys previously occupied real memory
+// the accounting never saw, so the cache held arbitrarily many entries
+// while reporting itself within budget.
+const entryOverhead = 64
+
 type entry struct {
 	key  string
 	val  any
-	cost int64
+	cost int64 // charged cost: caller-reported bytes + key + entryOverhead
 }
 
 // call is one in-flight computation other callers can join.
@@ -98,8 +107,9 @@ func (c *Cache) Get(key string) (any, bool) {
 }
 
 // Put stores val under key at the given byte cost, evicting least-
-// recently-used entries until the budget holds. A value whose cost
-// alone exceeds the budget is not stored.
+// recently-used entries until the budget holds. The budget charges
+// cost plus the key bytes plus a fixed per-entry overhead; a value
+// whose charged cost alone exceeds the budget is not stored.
 func (c *Cache) Put(key string, val any, cost int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -107,6 +117,7 @@ func (c *Cache) Put(key string, val any, cost int64) {
 }
 
 func (c *Cache) put(key string, val any, cost int64) {
+	cost += int64(len(key)) + entryOverhead
 	if cost > c.maxBytes {
 		return
 	}

@@ -9,8 +9,14 @@ import (
 	"time"
 )
 
+// charged mirrors the cache's per-entry accounting: the caller cost
+// plus key bytes plus the fixed overhead.
+func charged(key string, cost int64) int64 {
+	return cost + int64(len(key)) + entryOverhead
+}
+
 func TestGetPutLRU(t *testing.T) {
-	c := New(100)
+	c := New(2 * charged("a", 40))
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -28,14 +34,15 @@ func TestGetPutLRU(t *testing.T) {
 		t.Fatal("a (recently used) was evicted")
 	}
 	st := c.Stats()
-	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 2*charged("a", 40) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
 
 func TestByteBudget(t *testing.T) {
-	c := New(100)
-	c.Put("big", "x", 1000) // over budget: never stored
+	budget := 3 * charged("0", 30)
+	c := New(budget)
+	c.Put("big", "x", budget) // charged over budget: never stored
 	if _, ok := c.Get("big"); ok {
 		t.Fatal("over-budget value was stored")
 	}
@@ -43,7 +50,7 @@ func TestByteBudget(t *testing.T) {
 		c.Put(fmt.Sprint(i), i, 30)
 	}
 	st := c.Stats()
-	if st.Bytes > 100 {
+	if st.Bytes > budget {
 		t.Fatalf("budget exceeded: %d bytes", st.Bytes)
 	}
 	if st.Entries != 3 {
@@ -52,15 +59,38 @@ func TestByteBudget(t *testing.T) {
 }
 
 func TestPutUpdateAdjustsBytes(t *testing.T) {
-	c := New(100)
+	c := New(1 << 10)
 	c.Put("k", "v1", 10)
 	c.Put("k", "v2", 60)
 	st := c.Stats()
-	if st.Bytes != 60 || st.Entries != 1 {
+	if st.Bytes != charged("k", 60) || st.Entries != 1 {
 		t.Fatalf("stats after update = %+v", st)
 	}
 	if v, _ := c.Get("k"); v.(string) != "v2" {
 		t.Fatalf("k = %v", v)
+	}
+}
+
+// TestTinyValuesResidency pins the accounting fix: zero-cost values
+// under long keys must still be bounded by the byte budget. Before the
+// key and per-entry overhead were charged, every one of these inserts
+// stayed resident while Stats reported zero bytes.
+func TestTinyValuesResidency(t *testing.T) {
+	const budget = 1 << 10
+	c := New(budget)
+	key := func(i int) string {
+		return fmt.Sprintf("g42|( uid=u%04d, ou=userProfiles, dc=example ? base ? objectClass=*)", i)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Put(key(i), struct{}{}, 0)
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("budget exceeded by tiny values: %+v", st)
+	}
+	maxResident := budget / charged(key(0), 0)
+	if st.Entries == 0 || st.Entries > maxResident {
+		t.Fatalf("entries = %d, want 1..%d (tiny values must not be free)", st.Entries, maxResident)
 	}
 }
 

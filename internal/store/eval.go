@@ -140,7 +140,7 @@ func (env *evalEnv) evalBase(q *query.Atomic) (*plist.List, error) {
 		return nil, err
 	}
 	rr := s.master.MeteredRandomReader(env.m)
-	rec, _, err := rr.ReadAt(decodeOffset(v))
+	rec, err := env.fetchAt(rr, q.Base.Key(), decodeOffset(v))
 	if err != nil {
 		return nil, err
 	}
@@ -208,32 +208,21 @@ func scopeOK(baseKey string, baseDepth int, scope query.Scope, key string) bool 
 }
 
 func (env *evalEnv) scanEval(base model.DN, scope query.Scope, match func(*model.Entry) bool) (*plist.List, error) {
-	s := env.s
 	k := base.Key()
 	hi := model.SubtreeHigh(k)
 	depth := base.Depth()
 	w := plist.NewWriter(env.out)
 
-	off, found, err := s.seekOffsetMetered(k, env.m)
-	if err != nil {
-		return nil, err
-	}
-	if !found {
-		return w.Close()
-	}
-	rd, err := s.master.MeteredReaderAt(off, env.m)
+	mi, err := env.mergedScan(k, hi)
 	if err != nil {
 		return nil, err
 	}
 	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
-			break
-		}
+		rec, _, err := mi.Next()
 		if err != nil {
 			return nil, err
 		}
-		if rec.Key >= hi {
+		if rec == nil {
 			break
 		}
 		if !scopeOK(k, depth, scope, rec.Key) {
@@ -371,7 +360,7 @@ func (env *evalEnv) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bo
 				if rk < baseKey || rk >= baseHi || !scopeOK(baseKey, depth, q.Scope, rk) {
 					return true
 				}
-				rec, _, rerr := rr.ReadAt(decodeOffset(v))
+				rec, rerr := env.fetchAt(rr, rk, decodeOffset(v))
 				if rerr != nil {
 					inner = rerr
 					return false
@@ -443,7 +432,7 @@ func (env *evalEnv) collectFetch(q *query.Atomic, ranges [][2][]byte, ordered bo
 			continue // entry matched several values
 		}
 		first, last = false, hit.Key
-		rec, _, err := rr.ReadAt(hit.A)
+		rec, err := env.fetchAt(rr, hit.Key, hit.A)
 		if err != nil {
 			return nil, false, err
 		}

@@ -52,28 +52,21 @@ func (env *evalEnv) knnIndex(q *query.Atomic, ix *vindex.Index) (*plist.List, er
 // winners again in key order. Memory stays O(k); the winner re-fetch
 // costs at most k extra page reads.
 func (env *evalEnv) knnScan(q *query.Atomic) (*plist.List, error) {
-	s := env.s
 	baseKey := q.Base.Key()
 	hi := model.SubtreeHigh(baseKey)
 	depth := q.Base.Depth()
 
-	off, found, err := s.seekOffsetMetered(baseKey, env.m)
+	mi, err := env.mergedScanOff(baseKey, hi)
 	if err != nil {
 		return nil, err
 	}
-	if !found {
-		return plist.NewWriter(env.out).Close()
-	}
 	top := vindex.NewCollector(q.Filter.K)
-	rr := s.master.MeteredRandomReader(env.m)
-	for off < s.masterBytes() {
-		rec, next, err := rr.ReadAt(off)
+	for {
+		rec, recOff, err := mi.Next()
 		if err != nil {
 			return nil, err
 		}
-		recOff := off
-		off = next
-		if rec.Key >= hi {
+		if rec == nil {
 			break
 		}
 		if !scopeOK(baseKey, depth, q.Scope, rec.Key) {
@@ -94,7 +87,7 @@ func (env *evalEnv) fetchNeighbors(nbrs []vindex.Neighbor) (*plist.List, error) 
 	w := plist.NewWriter(env.out)
 	rr := env.s.master.MeteredRandomReader(env.m)
 	for _, n := range nbrs {
-		rec, _, err := rr.ReadAt(n.Off)
+		rec, err := env.fetchAt(rr, n.Key, n.Off)
 		if err != nil {
 			return nil, err
 		}

@@ -3,10 +3,10 @@ package store
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"sort"
 
 	"repro/internal/btree"
+	"repro/internal/cowtree"
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/plist"
@@ -27,7 +27,11 @@ type Manifest struct {
 	DNLen       int            `json:"dnLen"`
 	AttrRoot    pager.PageID   `json:"attrRoot,omitempty"` // 0 when unindexed
 	AttrLen     int            `json:"attrLen,omitempty"`
-	PoolPages   int            `json:"poolPages"`
+	// OverRoot/OverLen locate the COW entry overlay (internal/cowtree)
+	// masking the master list; 0 until the first incremental mutation.
+	OverRoot  pager.PageID `json:"overRoot,omitempty"`
+	OverLen   int          `json:"overLen,omitempty"`
+	PoolPages int          `json:"poolPages"`
 	// Vecs carries one flat-vector-index manifest per vector-typed
 	// attribute (ordered by attribute name); the posting pages travel in
 	// the disk image like every other structure.
@@ -50,6 +54,10 @@ func (s *Store) Manifest() ([]byte, error) {
 	if s.attr != nil {
 		m.AttrRoot = s.attr.Root()
 		m.AttrLen = s.attr.Len()
+	}
+	if s.over != nil && s.over.Root() != 0 {
+		m.OverRoot = s.over.Root()
+		m.OverLen = s.over.Len()
 	}
 	attrs := make([]string, 0, len(s.vecs))
 	for attr := range s.vecs {
@@ -79,6 +87,9 @@ func Reopen(disk *pager.Disk, schema *model.Schema, manifest []byte) (*Store, er
 		dn:     btree.Open(disk, m.PoolPages, m.DNRoot, m.DNLen),
 		count:  m.Count,
 	}
+	if m.OverRoot != 0 {
+		s.over = cowtree.Open(cowtree.DiskIO(disk), disk.PageSize(), m.OverRoot, m.OverLen)
+	}
 	if len(m.Vecs) > 0 {
 		s.vecs = make(map[string]*vindex.Index, len(m.Vecs))
 		for _, vm := range m.Vecs {
@@ -98,15 +109,10 @@ func Reopen(disk *pager.Disk, schema *model.Schema, manifest []byte) (*Store, er
 	s.stats = newCatalog()
 
 	strVals := make(map[string]map[string]bool)
-	rd := s.master.Reader()
-	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
+	// One pass over the live view — the master list merged with the
+	// overlay — so a reopened store's statistics match the mutated
+	// instance, not the stale master image.
+	if err := s.forEachLiveEntry(func(rec *plist.Record) error {
 		for _, av := range rec.Entry.Pairs() {
 			s.stats.observe(av.Attr, av.Value)
 			if av.Value.Kind() == model.KindString {
@@ -118,6 +124,9 @@ func Reopen(disk *pager.Disk, schema *model.Schema, manifest []byte) (*Store, er
 				set[av.Value.Str()] = true
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	s.stats.finish(s.master.Size(), s.master.Count())
 	for attr, set := range strVals {

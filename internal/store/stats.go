@@ -47,6 +47,81 @@ func (c *catalog) observe(attr string, v model.Value) {
 	}
 }
 
+// clone deep-copies the catalog so the incremental mutation path can
+// maintain a forked store's statistics without touching the published
+// snapshot's.
+func (c *catalog) clone() *catalog {
+	out := &catalog{avgRecBytes: c.avgRecBytes, attrs: make(map[string]*attrStats, len(c.attrs))}
+	for a, st := range c.attrs {
+		ns := &attrStats{
+			postings:  st.postings,
+			strCounts: make(map[string]int64, len(st.strCounts)),
+			intVals:   append([]int64(nil), st.intVals...),
+		}
+		for k, v := range st.strCounts {
+			ns.strCounts[k] = v
+		}
+		out.attrs[a] = ns
+	}
+	return out
+}
+
+// observeSorted is observe for a finished catalog: integer values are
+// inserted in place so intVals stays sorted without a full re-sort.
+func (c *catalog) observeSorted(attr string, v model.Value) {
+	if v.Kind() == model.KindVector {
+		return
+	}
+	st := c.attrs[attr]
+	if st == nil {
+		st = &attrStats{strCounts: make(map[string]int64)}
+		c.attrs[attr] = st
+	}
+	st.postings++
+	switch v.Kind() {
+	case model.KindInt:
+		x := v.Int()
+		i := sort.Search(len(st.intVals), func(i int) bool { return st.intVals[i] >= x })
+		st.intVals = append(st.intVals, 0)
+		copy(st.intVals[i+1:], st.intVals[i:])
+		st.intVals[i] = x
+	case model.KindDN:
+		st.strCounts[v.DN().Key()]++
+	default:
+		st.strCounts[v.Str()]++
+	}
+}
+
+// unobserve reverses one observe: entry deletion on the incremental
+// path. Counts that reach zero are dropped so estimateHits stays exact.
+func (c *catalog) unobserve(attr string, v model.Value) {
+	if v.Kind() == model.KindVector {
+		return
+	}
+	st := c.attrs[attr]
+	if st == nil {
+		return
+	}
+	st.postings--
+	dec := func(k string) {
+		if st.strCounts[k]--; st.strCounts[k] <= 0 {
+			delete(st.strCounts, k)
+		}
+	}
+	switch v.Kind() {
+	case model.KindInt:
+		x := v.Int()
+		i := sort.Search(len(st.intVals), func(i int) bool { return st.intVals[i] >= x })
+		if i < len(st.intVals) && st.intVals[i] == x {
+			st.intVals = append(st.intVals[:i], st.intVals[i+1:]...)
+		}
+	case model.KindDN:
+		dec(v.DN().Key())
+	default:
+		dec(v.Str())
+	}
+}
+
 func (c *catalog) finish(totalBytes, count int64) {
 	if count > 0 {
 		c.avgRecBytes = totalBytes / count

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/btree"
+	"repro/internal/cowtree"
 	"repro/internal/model"
 	"repro/internal/pager"
 	"repro/internal/plist"
@@ -50,6 +51,7 @@ type Store struct {
 	trie   map[string]*strindex.Trie
 	vecs   map[string]*vindex.Index // per vector attribute; nil without AttrIndex
 	stats  *catalog                 // nil without AttrIndex
+	over   *cowtree.Tree            // COW entry overlay; nil until the first incremental mutation
 	count  int
 }
 
@@ -206,9 +208,13 @@ func (s *Store) Get(dn model.DN) (*model.Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	rr := s.master.RandomReader()
-	rec, _, err := rr.ReadAt(decodeOffset(v))
-	if err != nil {
+	var rec *plist.Record
+	if off := decodeOffset(v); off >= 0 {
+		rr := s.master.RandomReader()
+		if rec, _, err = rr.ReadAt(off); err != nil {
+			return nil, err
+		}
+	} else if rec, err = s.overlayGet(dn.Key(), nil); err != nil {
 		return nil, err
 	}
 	return rec.Entry, nil
@@ -223,14 +229,19 @@ func (s *Store) seekOffset(lo string) (int64, bool, error) {
 }
 
 // seekOffsetMetered is seekOffset with the DN-index probe charged to the
-// per-query meter (nil = uncharged).
+// per-query meter (nil = uncharged). Overlay locators are skipped: the
+// result is the stream offset of the first *master-resident* entry at
+// or after lo (overlay entries in between come from the merged scan).
 func (s *Store) seekOffsetMetered(lo string, m *pager.Meter) (int64, bool, error) {
 	var off int64
 	found := false
 	err := s.dn.ScanMetered([]byte(lo), nil, m, func(_, v []byte) bool {
-		off = decodeOffset(v)
-		found = true
-		return false
+		if o := decodeOffset(v); o >= 0 {
+			off = o
+			found = true
+			return false
+		}
+		return true
 	})
 	return off, found, err
 }

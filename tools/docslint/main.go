@@ -34,6 +34,7 @@ var docPackages = []string{
 	"internal/qstats",
 	"internal/planner",
 	"internal/store",
+	"internal/cowtree",
 }
 
 // skipDirs are never scanned for markdown.
